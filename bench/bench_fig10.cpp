@@ -1,0 +1,24 @@
+// Reproduces Figure 10: end-to-end runtime speedup over MADlib+PostgreSQL
+// for the synthetic extensive (S/E) datasets, warm (10a) and cold (10b).
+
+#include <cstdio>
+
+#include "bench_harness.h"
+
+int main() {
+  using namespace dana;
+  bench::Harness harness;
+  bench::Harness::PrintHeader(
+      "Figure 10: end-to-end speedup, synthetic extensive datasets",
+      "Mahajan et al., PVLDB 11(11), Figure 10a/10b");
+  for (auto cache :
+       {runtime::CacheState::kWarm, runtime::CacheState::kCold}) {
+    auto st =
+        harness.RunSpeedupFigure(ml::SyntheticExtensiveWorkloads(), cache);
+    if (!st.ok()) {
+      std::fprintf(stderr, "fig10 failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Figure 12: DAnA accelerator runtime (access + execution
+// engines) with an increasing merge coefficient (thread count), normalized
+// to the single-thread design, with the achieved compute utilization.
+//
+// The paper's four panels: Remote Sensing SVM and LR improve until peak
+// utilization; Netflix (LRMF) is flat — one update-rule instance already
+// saturates the fabric; Patient saturates quickly.
+
+#include <cstdio>
+
+#include "bench_harness.h"
+#include "common/table_printer.h"
+
+using namespace dana;
+
+namespace {
+
+/// Paper's normalized-runtime series per merge coefficient (read off
+/// Figure 12; 0 marks coefficients outside the panel's x-range).
+struct PaperSeries {
+  const char* id;
+  double runtime[6];  // coef 1, 4, 16, 64, 256, 1024 (relative to coef=1)
+};
+const PaperSeries kPaper[] = {
+    {"rs_svm", {1.0, 0.55, 0.30, 0.22, 0.20, 0.20}},
+    {"rs_lr", {1.0, 0.55, 0.30, 0.22, 0.20, 0.20}},
+    {"netflix", {1.0, 1.0, 1.0, 0, 0, 0}},
+    {"patient", {1.0, 0.45, 0.30, 0.28, 0.28, 0.28}},
+};
+
+}  // namespace
+
+int main() {
+  bench::Harness harness;
+  bench::Harness::PrintHeader(
+      "Figure 12: runtime vs merge coefficient (threads)",
+      "Mahajan et al., PVLDB 11(11), Figure 12");
+
+  const uint32_t coefs[] = {1, 4, 16, 64, 256, 1024};
+  for (const auto& series : kPaper) {
+    const ml::Workload* w = ml::FindWorkload(series.id);
+    if (w == nullptr) return 1;
+    auto instance = harness.Instance(w->id);
+    if (!instance.ok()) return 1;
+
+    TablePrinter table({"Merge coef", "Threads", "Paper runtime",
+                        "Our runtime", "Utilization"});
+    double base = 0;
+    for (size_t c = 0; c < 6; ++c) {
+      // Rebuild the UDF with this merge coefficient and instantiate as
+      // many threads as the fabric allows (the sensitivity study sweeps
+      // the thread count directly, paper 7.2).
+      ml::Workload variant = *w;
+      variant.params.merge_coef = coefs[c];
+      runtime::DanaSystem::Options opts = harness.dana_options();
+      opts.hw.force_threads =
+          std::min(coefs[c], runtime::DefaultFpga().max_compute_units /
+                                 engine::kAusPerAc);
+      runtime::DanaSystem dana(harness.cost(), opts);
+      auto instance2 = runtime::WorkloadInstance::Create(variant);
+      if (!instance2.ok()) return 1;
+      auto udf = dana.Compile(**instance2);
+      if (!udf.ok()) {
+        std::fprintf(stderr, "%s coef %u: %s\n", w->id.c_str(), coefs[c],
+                     udf.status().ToString().c_str());
+        return 1;
+      }
+      (*instance2)->PrepareCache(runtime::CacheState::kWarm);
+      auto r = dana.RunCompiled(*udf, instance2->get(),
+                                runtime::CacheState::kWarm);
+      if (!r.ok()) return 1;
+      const double fpga = r->compute.seconds();
+      if (c == 0) base = fpga;
+      // Achieved compute utilization: scalar ops in flight vs fabric.
+      const auto& d = udf->design;
+      const double per_thread_par =
+          d.tuple_schedule.makespan == 0
+              ? 0
+              : static_cast<double>(d.tuple_schedule.op_count) /
+                    d.tuple_schedule.makespan;
+      const double util =
+          std::min(1.0, per_thread_par * d.num_threads /
+                            static_cast<double>(udf->fpga.max_compute_units));
+      std::string paper = series.runtime[c] > 0
+                              ? TablePrinter::Fmt(series.runtime[c], 2) + "x"
+                              : "-";
+      table.AddRow({std::to_string(coefs[c]), std::to_string(d.num_threads),
+                    paper, TablePrinter::Fmt(fpga / base, 2) + "x",
+                    TablePrinter::Fmt(util * 100, 0) + "%"});
+    }
+    std::printf("%s (%s):\n", w->display_name.c_str(),
+                ml::AlgoKindName(w->kind).c_str());
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

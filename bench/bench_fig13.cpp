@@ -1,0 +1,74 @@
+// Reproduces Figure 13: MADlib+Greenplum performance with 4, 8, and 16
+// segments (plus single-threaded PostgreSQL), publicly available datasets,
+// normalized to the 8-segment configuration.
+
+#include <cstdio>
+
+#include "bench_harness.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+
+using namespace dana;
+
+namespace {
+/// Paper's Figure 13 values: runtime speedup relative to 8 segments.
+struct PaperRow {
+  const char* id;
+  double pg, seg4, seg8, seg16;
+};
+const PaperRow kPaper[] = {
+    {"rs_lr", 0.31, 0.87, 1.00, 0.69},  {"wlan", 1.03, 1.21, 1.00, 0.95},
+    {"rs_svm", 0.42, 0.96, 1.00, 1.26}, {"netflix", 1.14, 1.02, 1.00, 0.90},
+    {"patient", 0.42, 0.97, 1.00, 0.73}, {"blog", 0.39, 0.80, 1.00, 0.95},
+};
+}  // namespace
+
+int main() {
+  bench::Harness harness;
+  bench::Harness::PrintHeader(
+      "Figure 13: Greenplum performance with varying segments",
+      "Mahajan et al., PVLDB 11(11), Figure 13");
+
+  TablePrinter table({"Workload", "PG paper", "PG ours", "4seg paper",
+                      "4seg ours", "16seg paper", "16seg ours"});
+  std::vector<double> pg_o, s4_o, s16_o, pg_p, s4_p, s16_p;
+  for (const auto& row : kPaper) {
+    auto pg = harness.RunPg(row.id, runtime::CacheState::kWarm);
+    auto g4 = harness.RunGp(row.id, runtime::CacheState::kWarm, 4);
+    auto g8 = harness.RunGp(row.id, runtime::CacheState::kWarm, 8);
+    auto g16 = harness.RunGp(row.id, runtime::CacheState::kWarm, 16);
+    if (!pg.ok() || !g4.ok() || !g8.ok() || !g16.ok()) {
+      std::fprintf(stderr, "%s failed\n", row.id);
+      return 1;
+    }
+    // Normalize to 8 segments, as the figure does.
+    const double pg_rel = g8->total / pg->total;
+    const double s4_rel = g8->total / g4->total;
+    const double s16_rel = g8->total / g16->total;
+    pg_o.push_back(pg_rel);
+    s4_o.push_back(s4_rel);
+    s16_o.push_back(s16_rel);
+    pg_p.push_back(row.pg);
+    s4_p.push_back(row.seg4);
+    s16_p.push_back(row.seg16);
+    const ml::Workload* w = ml::FindWorkload(row.id);
+    table.AddRow({w->display_name, TablePrinter::Fmt(row.pg, 2),
+                  TablePrinter::Fmt(pg_rel, 2), TablePrinter::Fmt(row.seg4, 2),
+                  TablePrinter::Fmt(s4_rel, 2),
+                  TablePrinter::Fmt(row.seg16, 2),
+                  TablePrinter::Fmt(s16_rel, 2)});
+  }
+  table.AddSeparator();
+  table.AddRow({"Geomean", TablePrinter::Fmt(GeoMean(pg_p), 2),
+                TablePrinter::Fmt(GeoMean(pg_o), 2),
+                TablePrinter::Fmt(GeoMean(s4_p), 2),
+                TablePrinter::Fmt(GeoMean(s4_o), 2),
+                TablePrinter::Fmt(GeoMean(s16_p), 2),
+                TablePrinter::Fmt(GeoMean(s16_o), 2)});
+  table.Print();
+  std::printf(
+      "\nShape check: 8 segments performs best; 16 segments regresses "
+      "(paper geomean 0.89, ours %.2f).\n",
+      GeoMean(s16_o));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Figure 14: DAnA accelerator (FPGA) time with the host link
+// bandwidth scaled 0.25x .. 4x, relative to the baseline bandwidth.
+//
+// The paper's shape: larger workloads become bandwidth bound (up to ~2.1x
+// at 4x bandwidth for S/E Linear) except the compute-heavy LRMF workloads,
+// which are insensitive.
+
+#include <cstdio>
+
+#include "bench_harness.h"
+#include "common/table_printer.h"
+
+using namespace dana;
+
+namespace {
+/// Paper Figure 14 speedups vs baseline bandwidth {0.25x, 0.5x, 2x, 4x}.
+struct PaperRow {
+  const char* id;
+  double s[4];
+};
+const PaperRow kPaper[] = {
+    {"rs_lr", {0.7, 0.9, 1.1, 1.13}},   {"wlan", {1.0, 1.0, 1.0, 1.0}},
+    {"rs_svm", {0.6, 0.8, 1.1, 1.2}},   {"netflix", {0.8, 0.9, 1.1, 1.1}},
+    {"patient", {0.9, 1.0, 1.0, 1.0}},  {"blog", {1.0, 1.0, 1.0, 1.0}},
+    {"sn_logistic", {0.4, 0.7, 1.4, 1.7}}, {"sn_svm", {0.5, 0.7, 1.2, 1.4}},
+    {"sn_lrmf", {0.9, 1.0, 1.0, 1.0}},  {"sn_linear", {0.3, 0.6, 1.5, 2.1}},
+    {"se_logistic", {0.4, 0.7, 1.4, 1.8}}, {"se_svm", {0.4, 0.7, 1.3, 1.6}},
+    {"se_lrmf", {1.0, 1.0, 1.0, 1.0}},  {"se_linear", {0.3, 0.6, 1.6, 2.1}},
+};
+}  // namespace
+
+int main() {
+  bench::Harness harness;
+  bench::Harness::PrintHeader(
+      "Figure 14: FPGA time vs host-link bandwidth",
+      "Mahajan et al., PVLDB 11(11), Figure 14");
+
+  const double scales[4] = {0.25, 0.5, 2.0, 4.0};
+  TablePrinter table({"Workload", "0.25x paper", "0.25x ours", "0.5x paper",
+                      "0.5x ours", "2x paper", "2x ours", "4x paper",
+                      "4x ours"});
+  for (const auto& row : kPaper) {
+    const ml::Workload* w = ml::FindWorkload(row.id);
+    auto base = harness.RunDana(row.id, runtime::CacheState::kWarm);
+    if (!base.ok()) {
+      std::fprintf(stderr, "%s: %s\n", row.id,
+                   base.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> cells = {w->display_name};
+    for (int i = 0; i < 4; ++i) {
+      accel::RunOptions opt;
+      opt.bandwidth_scale = scales[i];
+      auto r = harness.RunDana(row.id, runtime::CacheState::kWarm, opt);
+      if (!r.ok()) return 1;
+      // FPGA-time speedup relative to baseline bandwidth.
+      const double speedup = base->compute / r->compute;
+      cells.push_back(TablePrinter::Fmt(row.s[i], 2));
+      cells.push_back(TablePrinter::Fmt(speedup, 2));
+    }
+    table.AddRow(cells);
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: LRMF workloads are compute-bound (flat rows); wide "
+      "linear/logistic synthetic workloads are bandwidth-bound.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Figure 8: end-to-end runtime speedup over MADlib+PostgreSQL
+// for the publicly available datasets, warm cache (8a) and cold cache (8b).
+
+#include <cstdio>
+
+#include "bench_harness.h"
+
+int main() {
+  using namespace dana;
+  bench::Harness harness;
+  bench::Harness::PrintHeader(
+      "Figure 8: end-to-end speedup, publicly available datasets",
+      "Mahajan et al., PVLDB 11(11), Figure 8a/8b");
+  for (auto cache :
+       {runtime::CacheState::kWarm, runtime::CacheState::kCold}) {
+    auto st = harness.RunSpeedupFigure(ml::PublicWorkloads(), cache);
+    if (!st.ok()) {
+      std::fprintf(stderr, "fig8 failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

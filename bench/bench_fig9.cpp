@@ -1,0 +1,24 @@
+// Reproduces Figure 9: end-to-end runtime speedup over MADlib+PostgreSQL
+// for the synthetic nominal (S/N) datasets, warm (9a) and cold (9b) cache.
+
+#include <cstdio>
+
+#include "bench_harness.h"
+
+int main() {
+  using namespace dana;
+  bench::Harness harness;
+  bench::Harness::PrintHeader(
+      "Figure 9: end-to-end speedup, synthetic nominal datasets",
+      "Mahajan et al., PVLDB 11(11), Figure 9a/9b");
+  for (auto cache :
+       {runtime::CacheState::kWarm, runtime::CacheState::kCold}) {
+    auto st =
+        harness.RunSpeedupFigure(ml::SyntheticNominalWorkloads(), cache);
+    if (!st.ok()) {
+      std::fprintf(stderr, "fig9 failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "ml/workloads.h"
+#include "runtime/systems.h"
+
+namespace dana::bench {
+
+/// Shared machinery for the figure/table reproduction binaries.
+///
+/// Caches one WorkloadInstance (dataset + table + pool) and one compiled
+/// accelerator per workload so that a bench binary sweeping many
+/// configurations pays dataset generation and UDF compilation once.
+///
+/// Timing extrapolation: workloads assume `assumed_epochs` passes; the
+/// harness runs up to two functional epochs (the first epoch captures
+/// cold-cache I/O, the second the steady state) and extrapolates the wall
+/// time linearly — exact because every per-epoch cost in the simulator is
+/// count-linear.
+class Harness {
+ public:
+  Harness();
+
+  /// The instance for a workload id (creating it on first use).
+  dana::Result<runtime::WorkloadInstance*> Instance(const std::string& id);
+
+  /// The compiled accelerator for a workload id (default DAnA options).
+  dana::Result<const compiler::CompiledUdf*> Compiled(const std::string& id);
+
+  /// MADlib+PostgreSQL end-to-end runtime (timing only; no functional
+  /// training — the test suite covers model equivalence).
+  dana::Result<runtime::SystemResult> RunPg(const std::string& id,
+                                            runtime::CacheState cache);
+
+  /// MADlib+Greenplum with `segments` segments.
+  dana::Result<runtime::SystemResult> RunGp(const std::string& id,
+                                            runtime::CacheState cache,
+                                            uint32_t segments = 8);
+
+  /// DAnA+PostgreSQL; `run_overrides` tweaks bandwidth/bypass etc.
+  dana::Result<runtime::SystemResult> RunDana(
+      const std::string& id, runtime::CacheState cache,
+      const accel::RunOptions& run_overrides = {});
+
+  /// DAnA with a specific pre-compiled design (thread sweeps etc).
+  dana::Result<runtime::SystemResult> RunDanaCompiled(
+      const compiler::CompiledUdf& udf, const std::string& id,
+      runtime::CacheState cache, const accel::RunOptions& run_overrides = {});
+
+  const runtime::CpuCostModel& cost() const { return cost_; }
+  runtime::DanaSystem::Options dana_options() const;
+
+  /// Prints the standard bench header for a reproduced figure/table.
+  static void PrintHeader(const std::string& experiment,
+                          const std::string& paper_ref);
+
+  /// Runs one end-to-end speedup figure (the Figure 8/9/10 shape): for
+  /// each workload, MADlib+PostgreSQL (baseline), MADlib+Greenplum, and
+  /// DAnA, in the given cache state; prints paper-vs-measured speedups
+  /// and geomeans. Returns non-OK on the first failing run.
+  dana::Status RunSpeedupFigure(const std::vector<ml::Workload>& workloads,
+                                runtime::CacheState cache);
+
+ private:
+  runtime::CpuCostModel cost_;
+  std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>>
+      instances_;
+  std::map<std::string, std::unique_ptr<compiler::CompiledUdf>> compiled_;
+};
+
+}  // namespace dana::bench

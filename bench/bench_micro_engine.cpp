@@ -1,0 +1,77 @@
+// Microbenchmarks: backend compilation (lowering + list scheduling) and
+// functional fp32 execution throughput of the engine evaluator.
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/scalar_program.h"
+#include "compiler/scheduler.h"
+#include "engine/evaluator.h"
+#include "hdfg/translator.h"
+#include "ml/algorithms.h"
+
+namespace {
+
+using namespace dana;
+
+compiler::ScalarProgram LowerAlgo(uint32_t dims) {
+  ml::AlgoParams p;
+  p.dims = dims;
+  p.merge_coef = 16;
+  auto algo =
+      std::move(ml::BuildAlgo(ml::AlgoKind::kLogisticRegression, p))
+          .ValueOrDie();
+  auto graph = std::move(hdfg::Translator::Translate(*algo)).ValueOrDie();
+  return std::move(compiler::LowerGraph(graph)).ValueOrDie();
+}
+
+void BM_LowerLogistic(benchmark::State& state) {
+  ml::AlgoParams p;
+  p.dims = static_cast<uint32_t>(state.range(0));
+  p.merge_coef = 16;
+  auto algo =
+      std::move(ml::BuildAlgo(ml::AlgoKind::kLogisticRegression, p))
+          .ValueOrDie();
+  auto graph = std::move(hdfg::Translator::Translate(*algo)).ValueOrDie();
+  for (auto _ : state) {
+    auto prog = compiler::LowerGraph(graph);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_LowerLogistic)->Arg(54)->Arg(520)->Arg(2000);
+
+void BM_ScheduleLogistic(benchmark::State& state) {
+  auto prog = LowerAlgo(static_cast<uint32_t>(state.range(0)));
+  compiler::SchedulerConfig cfg;
+  cfg.num_acs = 16;
+  compiler::Scheduler sched(cfg);
+  for (auto _ : state) {
+    auto s = sched.Run(prog.tuple_ops);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["ops"] = static_cast<double>(prog.tuple_ops.size());
+}
+BENCHMARK(BM_ScheduleLogistic)->Arg(54)->Arg(520)->Arg(2000);
+
+void BM_EvaluatorTupleThroughput(benchmark::State& state) {
+  const uint32_t dims = static_cast<uint32_t>(state.range(0));
+  auto prog = LowerAlgo(dims);
+  engine::ScalarEvaluator evaluator(prog);
+  std::vector<engine::TupleData> batch(16);
+  for (auto& t : batch) {
+    t.inputs = {std::vector<float>(dims, 0.01f)};
+    t.outputs = {{1.0f}};
+  }
+  uint64_t tuples = 0;
+  for (auto _ : state) {
+    auto st = evaluator.EvalBatch(batch);
+    benchmark::DoNotOptimize(st);
+    tuples += batch.size();
+  }
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EvaluatorTupleThroughput)->Arg(54)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Microbenchmarks: Strider ISA encode/decode, assembly, and page-walk
+// throughput of the cycle-level interpreter (host-side performance of the
+// simulator itself, not simulated time).
+
+#include <benchmark/benchmark.h>
+
+#include "ml/datasets.h"
+#include "storage/table.h"
+#include "strider/assembler.h"
+#include "strider/codegen.h"
+#include "strider/simulator.h"
+
+namespace {
+
+using namespace dana;
+
+void BM_StriderEncodeDecode(benchmark::State& state) {
+  strider::Instruction ins;
+  ins.op = strider::Opcode::kReadB;
+  ins.f1 = strider::Operand::Reg(16);
+  ins.f2 = strider::Operand::Imm(12);
+  ins.f3 = strider::Operand::Imm(2);
+  for (auto _ : state) {
+    const uint32_t w = ins.Encode();
+    auto back = strider::Instruction::Decode(w);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_StriderEncodeDecode);
+
+void BM_StriderAssemble(benchmark::State& state) {
+  const std::string text =
+      "readB %t0, 12, 2\nad %t6, 24, 0\nbentr\nreadB %t2, %t6, 4\n"
+      "extrBi %t4, %t2, %cr3\ncln %t4, %t5, %cr2\nad %t6, %t6, 4\n"
+      "bexit 1, %t6, %t0\n";
+  for (auto _ : state) {
+    auto prog = strider::Assemble(text);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_StriderAssemble);
+
+void BM_PageWalk(benchmark::State& state) {
+  const uint32_t features = static_cast<uint32_t>(state.range(0));
+  storage::PageLayout layout;
+  ml::DatasetSpec spec;
+  spec.dims = features;
+  spec.tuples = 4096;
+  ml::Dataset data = ml::GenerateDataset(spec);
+  auto table = std::move(ml::BuildTable("t", data, layout)).ValueOrDie();
+  auto prog = std::move(strider::BuildPageWalkProgram(layout)).ValueOrDie();
+  strider::StriderSim sim;
+
+  uint64_t tuples = 0;
+  for (auto _ : state) {
+    for (uint64_t p = 0; p < table->num_pages(); ++p) {
+      auto run = sim.Run(prog, {table->PageData(p), layout.page_size});
+      tuples += run->tuples.size();
+      benchmark::DoNotOptimize(run);
+    }
+  }
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PageWalk)->Arg(54)->Arg(520)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Reproduces Table 3 (dataset & model inventory) and Table 4 (FPGA spec).
+//
+// Datasets are synthetic stand-ins generated at a reduced tuple count; the
+// "scale" column is the virtual multiplier the timing harness applies so
+// runtimes are reported at paper size (see DESIGN.md substitutions).
+
+#include <cstdio>
+
+#include "bench_harness.h"
+#include "common/table_printer.h"
+#include "runtime/systems.h"
+
+int main() {
+  using namespace dana;
+  bench::Harness harness;
+  bench::Harness::PrintHeader("Table 3: datasets and machine learning models",
+                              "Mahajan et al., PVLDB 11(11), Table 3");
+
+  TablePrinter table({"Workload", "Algorithm", "Model topology",
+                      "Paper tuples", "Our tuples", "Scale", "Our pages",
+                      "Our size (MB)", "Paper size (MB)"});
+  for (const auto& w : ml::AllWorkloads()) {
+    auto instance = harness.Instance(w.id);
+    if (!instance.ok()) {
+      std::fprintf(stderr, "%s: %s\n", w.id.c_str(),
+                   instance.status().ToString().c_str());
+      return 1;
+    }
+    const auto& t = (*instance)->table();
+    std::string topo = std::to_string(w.params.dims);
+    if (w.kind == ml::AlgoKind::kLowRankMF) {
+      topo = std::to_string(w.tuples) + ", " + std::to_string(w.params.dims) +
+             ", " + std::to_string(w.params.rank);
+    }
+    table.AddRow({w.display_name, ml::AlgoKindName(w.kind), topo,
+                  std::to_string(w.paper.tuples), std::to_string(w.tuples),
+                  TablePrinter::Fmt(w.scale, 1) + "x",
+                  std::to_string(t.num_pages()),
+                  TablePrinter::Fmt(t.SizeBytes() / 1e6, 1),
+                  TablePrinter::Fmt(w.paper.size_mb, 0)});
+  }
+  table.Print();
+
+  std::printf("\nTable 4: FPGA specification used by the simulator\n");
+  const compiler::FpgaSpec fpga = runtime::DefaultFpga();
+  TablePrinter t4({"FPGA", "LUTs", "Flip-Flops", "Frequency", "BRAM",
+                   "# DSPs", "Host link"});
+  t4.AddRow({fpga.name, std::to_string(fpga.luts / 1000) + " K",
+             std::to_string(fpga.flip_flops / 1000) + " K",
+             TablePrinter::Fmt(fpga.freq_hz / 1e6, 0) + " MHz",
+             std::to_string(fpga.bram_bytes >> 20) + " MB",
+             std::to_string(fpga.dsp_slices),
+             TablePrinter::Fmt(fpga.axi_bytes_per_sec / 1e9, 1) + " GB/s"});
+  t4.Print();
+  return 0;
+}

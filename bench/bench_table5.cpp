@@ -1,0 +1,39 @@
+// Reproduces Table 5: absolute end-to-end runtimes across all systems
+// (MADlib+PostgreSQL, MADlib+Greenplum, DAnA+PostgreSQL), warm cache.
+//
+// Absolute numbers depend on the calibrated CPU cost model and the assumed
+// epoch counts (EXPERIMENTS.md); the shape to check is per-column ordering
+// and rough magnitudes.
+
+#include <cstdio>
+
+#include "bench_harness.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace dana;
+  bench::Harness harness;
+  bench::Harness::PrintHeader("Table 5: absolute runtimes across systems",
+                              "Mahajan et al., PVLDB 11(11), Table 5");
+
+  TablePrinter table({"Workload", "PG paper", "PG ours", "GP paper",
+                      "GP ours", "DAnA paper", "DAnA ours"});
+  for (const auto& w : ml::AllWorkloads()) {
+    auto pg = harness.RunPg(w.id, runtime::CacheState::kWarm);
+    auto gp = harness.RunGp(w.id, runtime::CacheState::kWarm);
+    auto dana = harness.RunDana(w.id, runtime::CacheState::kWarm);
+    if (!pg.ok() || !gp.ok() || !dana.ok()) {
+      std::fprintf(stderr, "%s failed\n", w.id.c_str());
+      return 1;
+    }
+    table.AddRow({w.display_name,
+                  SimTime::Seconds(w.paper.pg_runtime_s).ToString(),
+                  pg->total.ToString(),
+                  SimTime::Seconds(w.paper.gp_runtime_s).ToString(),
+                  gp->total.ToString(),
+                  SimTime::Seconds(w.paper.dana_runtime_s).ToString(),
+                  dana->total.ToString()});
+  }
+  table.Print();
+  return 0;
+}

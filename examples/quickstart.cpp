@@ -1,0 +1,119 @@
+// Quickstart: the paper's linear-regression walkthrough (§4.3), end to end.
+//
+// 1. Express the update rule, merge function, and convergence in the DSL.
+// 2. Load a training table into the storage engine.
+// 3. Register the UDF and run the paper's query form:
+//      SELECT * FROM dana.linearR('training_data_table');
+//    DAnA translates the UDF to an hDFG, generates the accelerator design,
+//    programs the Striders for the page layout, and trains on the FPGA
+//    simulator directly from the buffer pool.
+
+#include <cstdio>
+
+#include "compiler/report.h"
+#include "dsl/algo.h"
+#include "dsl/expr.h"
+#include "ml/datasets.h"
+#include "ml/reference.h"
+#include "runtime/query.h"
+
+using namespace dana;
+
+int main() {
+  constexpr uint32_t kDims = 10;
+  constexpr uint32_t kMergeCoef = 8;
+
+  // --- 1. The UDF, exactly as in the paper's code snippet -----------------
+  auto algo = std::make_unique<dsl::Algo>("linearR");
+  auto mo = algo->Model("mo", {kDims});
+  auto in = algo->Input("in", {kDims});
+  auto out = algo->Output("out");
+  auto lr = algo->Meta("lr", 0.3);
+  auto inv = algo->Meta("inv_coef", 1.0 / kMergeCoef);
+
+  // Gradient of the squared loss.
+  auto s = dsl::Sigma(mo * in, 0);
+  auto er = s - out;
+  auto grad = er * in;
+
+  // Merge function: batched gradient descent over 8 threads.
+  auto g = algo->Merge(grad, kMergeCoef, dsl::OpKind::kAdd);
+
+  // Gradient-descent optimizer.
+  auto up = lr * (g * inv);
+  auto mo_up = mo - up;
+  if (auto st = algo->SetModel(mo, mo_up); !st.ok()) {
+    std::fprintf(stderr, "SetModel: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  algo->SetEpochs(60);
+
+  // Convergence: stop when the merged-gradient norm falls below 0.05.
+  auto conv_factor = algo->Meta("conv_factor", 0.05);
+  auto n = dsl::Norm(g, 0);
+  algo->SetConvergence(n < conv_factor);
+
+  // --- 2. Training data --------------------------------------------------
+  ml::DatasetSpec spec;
+  spec.kind = ml::AlgoKind::kLinearRegression;
+  spec.dims = kDims;
+  spec.tuples = 4000;
+  spec.seed = 42;
+  ml::Dataset data = ml::GenerateDataset(spec);
+
+  runtime::Session session;
+  storage::PageLayout layout;  // 32 KB PostgreSQL-style pages
+  auto table = ml::BuildTable("training_data_table", data, layout);
+  if (!table.ok()) {
+    std::fprintf(stderr, "BuildTable: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t pages = (*table)->num_pages();
+  if (auto st = session.catalog()->RegisterTable(
+          std::move(table).ValueOrDie());
+      !st.ok()) {
+    std::fprintf(stderr, "RegisterTable: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // --- 3. Register the UDF and run the query ------------------------------
+  if (auto st = session.RegisterUdf(std::move(algo)); !st.ok()) {
+    std::fprintf(stderr, "RegisterUdf: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto report =
+      session.ExecuteQuery("SELECT * FROM dana.linearR('training_data_table');");
+  if (!report.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 4. Results ---------------------------------------------------------
+  auto compiled = session.GetCompiled("linearR");
+  std::printf("%s\n", compiler::UtilizationReport(**compiled).c_str());
+  std::printf("table: %llu tuples on %llu pages\n",
+              static_cast<unsigned long long>(spec.tuples),
+              static_cast<unsigned long long>(pages));
+  std::printf("epochs run: %u (converged: %s)\n", report->epochs_run,
+              report->converged ? "yes" : "no");
+  std::printf("simulated accelerator time: %s (%llu FPGA cycles)\n",
+              report->total_time.ToString().c_str(),
+              static_cast<unsigned long long>(report->fpga_cycles));
+
+  // Compare the FPGA-trained model against the double-precision reference.
+  ml::AlgoParams params;
+  params.dims = kDims;
+  params.learning_rate = 0.3;
+  params.merge_coef = kMergeCoef;
+  params.epochs = report->epochs_run;
+  ml::ReferenceTrainer ref(ml::AlgoKind::kLinearRegression, params);
+  std::vector<double> model(report->final_models[0].begin(),
+                            report->final_models[0].end());
+  std::printf("training loss (MSE): %.6f\n", ref.Loss(data, model));
+  std::printf("model[0..4]:");
+  for (int i = 0; i < 5; ++i) std::printf(" %.4f", model[i]);
+  std::printf("\n");
+  return 0;
+}

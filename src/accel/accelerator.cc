@@ -1,0 +1,193 @@
+#include "accel/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "compiler/hw_generator.h"
+#include "hdfg/graph.h"
+
+namespace dana::accel {
+
+Accelerator::Accelerator(const compiler::CompiledUdf& udf) : udf_(udf) {
+  access_config_.num_page_buffers = udf.design.num_page_buffers;
+}
+
+Status Accelerator::DecodeTuple(const std::vector<uint8_t>& payload,
+                                engine::TupleData* out) const {
+  const compiler::ScalarProgram& prog = udf_.program;
+  const uint64_t want = 4 * prog.TupleElements();
+  if (payload.size() < want) {
+    return Status::Corruption("tuple payload of " +
+                              std::to_string(payload.size()) +
+                              " bytes, expected " + std::to_string(want));
+  }
+  size_t off = 0;
+  auto take = [&](const std::shared_ptr<const dsl::Var>& var,
+                  std::vector<float>* dst) {
+    const uint64_t n = hdfg::NumElements(var->dims);
+    dst->resize(n);
+    std::memcpy(dst->data(), payload.data() + off, n * 4);
+    off += n * 4;
+  };
+  out->inputs.resize(prog.input_vars.size());
+  out->outputs.resize(prog.output_vars.size());
+  for (size_t i = 0; i < prog.input_vars.size(); ++i) {
+    take(prog.input_vars[i], &out->inputs[i]);
+  }
+  for (size_t i = 0; i < prog.output_vars.size(); ++i) {
+    take(prog.output_vars[i], &out->outputs[i]);
+  }
+  return Status::OK();
+}
+
+Result<RunReport> Accelerator::Train(const storage::Table& table,
+                                     storage::BufferPool* pool,
+                                     const RunOptions& options) const {
+  const compiler::ScalarProgram& prog = udf_.program;
+  const compiler::DesignPoint& design = udf_.design;
+  const double freq = udf_.fpga.freq_hz;
+
+  engine::ScalarEvaluator evaluator(prog);
+  for (size_t m = 0; m < options.initial_models.size(); ++m) {
+    DANA_RETURN_NOT_OK(evaluator.SetModel(
+        static_cast<uint32_t>(m), options.initial_models[m]));
+  }
+
+  AccessEngine access(access_config_, udf_.strider_program);
+
+  const uint32_t epochs_budget = options.max_epochs_override
+                                     ? options.max_epochs_override
+                                     : prog.max_epochs;
+  const uint64_t batch_size = std::max<uint32_t>(prog.merge_coef, 1);
+  const uint32_t threads = design.num_threads;
+
+  RunReport report;
+  report.fpga_cycles += access.ConfigCycles();
+
+  std::vector<engine::TupleData> batch;
+  batch.reserve(batch_size);
+
+  for (uint32_t epoch = 0; epoch < epochs_budget; ++epoch) {
+    const dana::SimTime io_before = pool->stats().io_time;
+    uint64_t strider_cycles = 0;
+    uint64_t engine_cycles = 0;
+    uint64_t batches = 0;
+    uint64_t tuples_this_epoch = 0;
+
+    auto flush_batch = [&]() -> Status {
+      if (batch.empty()) return Status::OK();
+      DANA_RETURN_NOT_OK(evaluator.EvalBatch(batch));
+      // Timing: each thread runs ceil(batch/threads) rule instances
+      // back-to-back, then the tree bus merges and the model updates.
+      const uint64_t rule_runs = (batch.size() + threads - 1) / threads;
+      engine_cycles +=
+          rule_runs * std::max<uint64_t>(design.tuple_schedule.EffectiveMakespan(
+                                             design.inter_ac_bus_lanes,
+                                             threads),
+                                         1) +
+          compiler::MergeCycles(threads, prog.merge_slots.size(),
+                                prog.ModelElements(),
+                                design.tree_bus_lanes) +
+          design.batch_schedule.makespan;
+      ++batches;
+      batch.clear();
+      return Status::OK();
+    };
+
+    for (uint64_t p = 0; p < table.num_pages(); ++p) {
+      DANA_ASSIGN_OR_RETURN(const uint8_t* frame, pool->FetchPage(table, p));
+      DANA_ASSIGN_OR_RETURN(
+          PageExtraction extraction,
+          access.WalkPage({frame, table.layout().page_size}));
+      strider_cycles += extraction.strider_cycles;
+      report.strider_instructions += extraction.tuples.size();
+      for (auto& payload : extraction.tuples) {
+        engine::TupleData tuple;
+        DANA_RETURN_NOT_OK(DecodeTuple(payload, &tuple));
+        batch.push_back(std::move(tuple));
+        ++tuples_this_epoch;
+        if (batch.size() >= batch_size) {
+          DANA_RETURN_NOT_OK(flush_batch());
+        }
+      }
+    }
+    DANA_RETURN_NOT_OK(flush_batch());
+    report.tuples_processed += tuples_this_epoch;
+
+    // ---- Epoch timing ----------------------------------------------------
+    EpochBreakdown bd;
+    bd.io = pool->stats().io_time - io_before;
+
+    const double axi_bpc =
+        udf_.fpga.AxiBytesPerCycle() * options.bandwidth_scale;
+    const uint64_t page_bytes = table.num_pages() * table.layout().page_size;
+
+    if (!options.strider_bypass) {
+      const uint64_t axi_cycles = static_cast<uint64_t>(
+          std::ceil(static_cast<double>(page_bytes) / axi_bpc));
+      const uint64_t strider_par =
+          strider_cycles / std::max<uint32_t>(design.num_page_buffers, 1);
+      bd.axi = dana::SimTime::Cycles(axi_cycles, freq);
+      bd.strider = dana::SimTime::Cycles(strider_par, freq);
+      bd.engine = dana::SimTime::Cycles(engine_cycles, freq);
+      uint64_t fpga_cycles;
+      if (design.num_page_buffers >= 2) {
+        // Access/execute interleaving: epoch runs at the slowest stage.
+        fpga_cycles = std::max({axi_cycles, strider_par, engine_cycles}) +
+                      strider_cycles / std::max<uint64_t>(
+                                           table.num_pages(), 1);  // fill
+      } else {
+        fpga_cycles = axi_cycles + strider_par + engine_cycles;
+      }
+      fpga_cycles += design.epoch_schedule.makespan;
+      const dana::SimTime fpga_time = dana::SimTime::Cycles(fpga_cycles, freq);
+      // The accelerator stalls when the buffer pool cannot replace pages
+      // fast enough (§7.1, S/N SVM): wall = slower of I/O and FPGA.
+      bd.wall = dana::SimTime::Max(fpga_time, bd.io);
+      report.fpga_cycles += fpga_cycles;
+      report.fpga_time += fpga_time;
+    } else {
+      // Figure 11 alternative: CPU extracts and transforms each tuple and
+      // DMAs it individually; no access/execute interleaving is possible.
+      const uint64_t tuple_bytes = 4 * prog.TupleElements();
+      const dana::SimTime cpu_extract =
+          (options.cpu_extract_per_tuple +
+           dana::SimTime::Nanos(options.cpu_extract_ns_per_byte *
+                                static_cast<double>(tuple_bytes))) *
+          static_cast<double>(tuples_this_epoch);
+      const uint64_t dma_cycles = static_cast<uint64_t>(
+          std::ceil(static_cast<double>(tuple_bytes) / axi_bpc +
+                    static_cast<double>(options.handshake_cycles_per_tuple)) *
+          tuples_this_epoch);
+      const uint64_t fpga_cycles =
+          dma_cycles + engine_cycles + design.epoch_schedule.makespan;
+      bd.axi = dana::SimTime::Cycles(dma_cycles, freq);
+      bd.strider = dana::SimTime::Zero();
+      bd.engine = dana::SimTime::Cycles(engine_cycles, freq);
+      const dana::SimTime fpga_time = dana::SimTime::Cycles(fpga_cycles, freq);
+      bd.wall = cpu_extract + dana::SimTime::Max(fpga_time, bd.io);
+      report.fpga_cycles += fpga_cycles;
+      report.fpga_time += fpga_time;
+    }
+
+    report.io_time += bd.io;
+    report.total_time += bd.wall;
+    report.epochs.push_back(bd);
+    ++report.epochs_run;
+
+    DANA_ASSIGN_OR_RETURN(bool stop, evaluator.EvalConvergence());
+    if (stop) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  report.final_models.resize(prog.model_vars.size());
+  for (uint32_t m = 0; m < prog.model_vars.size(); ++m) {
+    report.final_models[m] = evaluator.Model(m);
+  }
+  return report;
+}
+
+}  // namespace dana::accel

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/access_engine.h"
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "compiler/compiler.h"
+#include "engine/evaluator.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace dana::accel {
+
+/// Per-run knobs of the accelerator simulator; each maps to one of the
+/// paper's sensitivity experiments.
+struct RunOptions {
+  /// Figure 11 ablation: bypass Striders — the CPU extracts/transforms
+  /// tuples and DMAs them one at a time to the execution engines.
+  bool strider_bypass = false;
+  /// Figure 14: scale the AXI/host bandwidth (0.25x .. 4x).
+  double bandwidth_scale = 1.0;
+  /// Overrides the algo's epoch budget when nonzero.
+  uint32_t max_epochs_override = 0;
+  /// CPU-side per-tuple extraction + transform cost in bypass mode.
+  dana::SimTime cpu_extract_per_tuple = dana::SimTime::Micros(0.35);
+  /// Additional CPU transform cost per payload byte in bypass mode (the
+  /// CPU touches every byte to deform, convert, and marshal the tuple).
+  double cpu_extract_ns_per_byte = 3.0;
+  /// CPU<->FPGA handshake cycles per tuple DMA in bypass mode.
+  uint64_t handshake_cycles_per_tuple = 300;
+  /// Initial model values (flattened per model var); zeros when empty.
+  std::vector<std::vector<float>> initial_models;
+};
+
+/// Timing breakdown of one epoch (all converted to simulated time at the
+/// design's clock).
+struct EpochBreakdown {
+  dana::SimTime io;        ///< buffer-pool miss service time
+  dana::SimTime axi;       ///< page DMA over the host link
+  dana::SimTime strider;   ///< page walking (parallel across buffers)
+  dana::SimTime engine;    ///< update-rule compute + merge + model update
+  dana::SimTime wall;      ///< pipelined epoch wall time
+};
+
+/// Result of a training run.
+struct RunReport {
+  uint32_t epochs_run = 0;
+  bool converged = false;
+  uint64_t tuples_processed = 0;
+  dana::SimTime total_time;        ///< end-to-end accelerator wall time
+  dana::SimTime io_time;           ///< total buffer-pool miss time
+  dana::SimTime fpga_time;         ///< total on-FPGA time
+  uint64_t fpga_cycles = 0;
+  uint64_t strider_instructions = 0;
+  std::vector<EpochBreakdown> epochs;
+  /// Trained model values, one vector per model variable.
+  std::vector<std::vector<float>> final_models;
+};
+
+/// The DAnA accelerator: functional + cycle-level simulation of the
+/// generated design training on a heap table through the buffer pool.
+///
+/// Functionally, every page is walked by the real Strider interpreter and
+/// every update rule executes in fp32 through the lowered scalar program —
+/// the returned model is genuinely trained. Timing follows the paper's
+/// pipeline: with >=2 page buffers the access engine interleaves with the
+/// execution engine, so an epoch runs at the rate of its slowest stage.
+class Accelerator {
+ public:
+  explicit Accelerator(const compiler::CompiledUdf& udf);
+
+  /// Trains on `table`, fetching pages through `pool`. The pool's stats
+  /// are used (and reset) to attribute I/O time.
+  dana::Result<RunReport> Train(const storage::Table& table,
+                                storage::BufferPool* pool,
+                                const RunOptions& options) const;
+
+  const compiler::CompiledUdf& udf() const { return udf_; }
+
+ private:
+  /// Splits a payload into per-variable fp32 element vectors.
+  dana::Status DecodeTuple(const std::vector<uint8_t>& payload,
+                           engine::TupleData* out) const;
+
+  const compiler::CompiledUdf& udf_;
+  AccessEngineConfig access_config_;
+};
+
+}  // namespace dana::accel

@@ -1,0 +1,26 @@
+#include "accel/access_engine.h"
+
+namespace dana::accel {
+
+AccessEngine::AccessEngine(AccessEngineConfig config,
+                           strider::StriderProgram program)
+    : config_(config),
+      program_(std::move(program)),
+      sim_(config.emit_width_bytes) {}
+
+Result<PageExtraction> AccessEngine::WalkPage(
+    std::span<const uint8_t> page) const {
+  DANA_ASSIGN_OR_RETURN(auto run, sim_.Run(program_, page));
+  PageExtraction out;
+  out.tuples = std::move(run.tuples);
+  out.strider_cycles = run.cycles + config_.shifter_cycles_per_page;
+  return out;
+}
+
+uint64_t AccessEngine::ConfigCycles() const {
+  const uint64_t words =
+      program_.code.size() + strider::kNumConfigRegisters;
+  return words * config_.config_fsm_cycles_per_word * config_.num_page_buffers;
+}
+
+}  // namespace dana::accel

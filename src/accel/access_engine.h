@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "strider/isa.h"
+#include "strider/simulator.h"
+
+namespace dana::accel {
+
+/// Configuration of the multi-threaded access engine (paper Figure 5).
+struct AccessEngineConfig {
+  /// On-chip page buffers; each has a dedicated Strider.
+  uint32_t num_page_buffers = 8;
+  /// Bytes the shifter aligns per cycle out of a page buffer's BRAM port.
+  uint32_t emit_width_bytes = 8;
+  /// One-time alignment cost the shifter adds per page.
+  uint32_t shifter_cycles_per_page = 4;
+  /// Cycles for the configuration FSM to route Strider instructions and
+  /// config registers at program-load time (charged once per query).
+  uint32_t config_fsm_cycles_per_word = 1;
+};
+
+/// Result of walking one page.
+struct PageExtraction {
+  std::vector<std::vector<uint8_t>> tuples;
+  uint64_t strider_cycles = 0;
+};
+
+/// The access engine: page buffers fed over AXI, each walked by its own
+/// Strider. This component owns the functional Strider interpreter; the
+/// Accelerator charges its cycle counts into the epoch pipeline model.
+class AccessEngine {
+ public:
+  AccessEngine(AccessEngineConfig config, strider::StriderProgram program);
+
+  /// Loads `page` into a page buffer and runs the Strider program over it.
+  /// Cycle cost includes the shifter alignment.
+  dana::Result<PageExtraction> WalkPage(std::span<const uint8_t> page) const;
+
+  /// One-time configuration cost: shipping the Strider program and config
+  /// registers through the configuration FSM to every Strider.
+  uint64_t ConfigCycles() const;
+
+  const AccessEngineConfig& config() const { return config_; }
+  const strider::StriderProgram& program() const { return program_; }
+
+ private:
+  AccessEngineConfig config_;
+  strider::StriderProgram program_;
+  strider::StriderSim sim_;
+};
+
+}  // namespace dana::accel

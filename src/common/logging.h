@@ -1,0 +1,52 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dana {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Current process-wide minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dana
+
+#define DANA_LOG(level)                                                  \
+  ::dana::internal::LogMessage(::dana::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal invariant check: aborts with a message when `cond` is false.
+/// Used for programming errors, never for data-dependent failures (those
+/// return Status).
+#define DANA_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  ::dana::internal::LogMessage(::dana::LogLevel::kError, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace dana {
+
+/// Deterministic xorshift128+ pseudo-random generator.
+///
+/// Used everywhere in the repo instead of std::mt19937 so dataset generation
+/// and the experiment harness are reproducible bit-for-bit across platforms
+/// and standard-library implementations.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed yields the same stream everywhere.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 expansion of the seed into the two lanes.
+    s_[0] = SplitMix(seed);
+    s_[1] = SplitMix(s_[0]);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next64() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n) { return n == 0 ? 0 : Next64() % n; }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Bernoulli with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace dana

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dana {
+
+/// Either a value of type T or an error Status.
+///
+/// Result is the value-returning companion of Status. Construct it from a T
+/// (success) or from a non-OK Status (failure). Accessing the value of a
+/// failed Result aborts, so callers must check ok() first or use the
+/// DANA_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  /// True iff this result holds a value.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; OK() if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// The contained value. Aborts if !ok().
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+
+  /// Moves the contained value out. Aborts if !ok().
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(rep_));
+  }
+
+  /// The contained value, or `fallback` on error.
+  T ValueOr(T fallback) const& {
+    if (ok()) return std::get<T>(rep_);
+    return fallback;
+  }
+
+  /// Accesses the value like a pointer. Aborts if !ok().
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const {
+    CheckOk();
+    return &std::get<T>(rep_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace dana
+
+/// Propagates a non-OK Status out of the current function.
+#define DANA_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::dana::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define DANA_CONCAT_IMPL(x, y) x##y
+#define DANA_CONCAT(x, y) DANA_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define DANA_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto DANA_CONCAT(_result_, __LINE__) = (rexpr);                  \
+  if (!DANA_CONCAT(_result_, __LINE__).ok())                       \
+    return DANA_CONCAT(_result_, __LINE__).status();               \
+  lhs = std::move(DANA_CONCAT(_result_, __LINE__)).ValueOrDie()

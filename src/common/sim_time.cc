@@ -1,0 +1,32 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace dana {
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  const double ns = ns_;
+  if (ns >= 60e9) {
+    const double s = ns / 1e9;
+    const int h = static_cast<int>(s / 3600);
+    const int m = static_cast<int>((s - h * 3600) / 60);
+    const double sec = s - h * 3600 - m * 60;
+    if (h > 0) {
+      std::snprintf(buf, sizeof(buf), "%dh %dm %.0fs", h, m, sec);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%dm %.1fs", m, sec);
+    }
+  } else if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace dana

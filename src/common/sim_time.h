@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dana {
+
+/// Simulated wall-clock time, in nanoseconds.
+///
+/// Every component of the reproduction (disk model, CPU cost model,
+/// cycle-level accelerator simulator) reports durations as SimTime so that
+/// end-to-end runtimes of heterogeneous systems are directly comparable,
+/// exactly as the paper compares measured wall clocks.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// @name Factories
+  ///@{
+  static constexpr SimTime Nanos(double ns) { return SimTime(ns); }
+  static constexpr SimTime Micros(double us) { return SimTime(us * 1e3); }
+  static constexpr SimTime Millis(double ms) { return SimTime(ms * 1e6); }
+  static constexpr SimTime Seconds(double s) { return SimTime(s * 1e9); }
+  /// Duration of `cycles` clock cycles at `freq_hz`.
+  static constexpr SimTime Cycles(uint64_t cycles, double freq_hz) {
+    return SimTime(static_cast<double>(cycles) * 1e9 / freq_hz);
+  }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  ///@}
+
+  constexpr double nanos() const { return ns_; }
+  constexpr double micros() const { return ns_ / 1e3; }
+  constexpr double millis() const { return ns_ / 1e6; }
+  constexpr double seconds() const { return ns_ / 1e9; }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  constexpr SimTime operator*(double k) const { return SimTime(ns_ * k); }
+  constexpr SimTime operator/(double k) const { return SimTime(ns_ / k); }
+  constexpr double operator/(SimTime o) const { return ns_ / o.ns_; }
+  SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  /// Larger / smaller of two durations; used when overlapping phases
+  /// (e.g. I/O interleaved with compute takes max(io, compute)).
+  static constexpr SimTime Max(SimTime a, SimTime b) { return a < b ? b : a; }
+  static constexpr SimTime Min(SimTime a, SimTime b) { return a < b ? a : b; }
+
+  /// Human-readable rendering with an adaptive unit ("1.34 s", "820 us", ...).
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimTime(double ns) : ns_(ns) {}
+  double ns_ = 0;
+};
+
+}  // namespace dana

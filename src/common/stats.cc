@@ -1,0 +1,42 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dana {
+
+double GeoMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(std::max(v, 1e-300));
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+}  // namespace dana

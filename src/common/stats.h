@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dana {
+
+/// Geometric mean of `values`; the paper reports geomean speedups in every
+/// evaluation figure. Returns 0 for an empty input; non-positive entries are
+/// clamped to a tiny positive value to keep the result defined.
+double GeoMean(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+/// Maximum; 0 for empty input.
+double Max(const std::vector<double>& values);
+
+/// Minimum; 0 for empty input.
+double Min(const std::vector<double>& values);
+
+}  // namespace dana

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace dana {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kCorruption:
+      return "Corruption";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace dana

@@ -1,0 +1,70 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dana {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) {
+      s.append(w + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      s += " " + v;
+      s.append(widths[c] - v.size() + 1, ' ');
+      s += "|";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule() + line(headers_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::Fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string TablePrinter::Speedup(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", prec, v);
+  return buf;
+}
+
+}  // namespace dana

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dana {
+
+/// Fixed-width ASCII table writer used by the benchmark harness to print
+/// paper-style result tables (one per reproduced table/figure).
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string Fmt(double v, int prec = 2);
+
+  /// Formats a speedup as "12.3x".
+  static std::string Speedup(double v, int prec = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace dana

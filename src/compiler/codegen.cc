@@ -1,0 +1,135 @@
+#include "compiler/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace dana::compiler {
+
+namespace {
+
+/// Reserved scratchpad words for leaf data (model/tuple/meta image) at the
+/// bottom of each AU's data memory; op results are allocated above it.
+constexpr uint16_t kLeafRegionWords = 256;
+
+engine::SrcRef LowerSrc(const ValueRef& ref, const Schedule& schedule,
+                        ValueRegion region, uint32_t my_ac, uint32_t my_au,
+                        const std::vector<uint16_t>& result_addr) {
+  using K = ValueRef::Kind;
+  engine::SrcRef src;
+  switch (ref.kind) {
+    case K::kNone:
+      src.kind = engine::SrcKind::kNone;
+      break;
+    case K::kSub: {
+      if (ref.region != region) {
+        // Value produced by another region's schedule; it was spilled to
+        // the leaf image of the scratchpad between regions.
+        src.kind = engine::SrcKind::kScratch;
+        src.addr = static_cast<uint16_t>(ref.index % kLeafRegionWords);
+        break;
+      }
+      const OpPlacement& p = schedule.placements[ref.index];
+      if (p.ac == my_ac && p.au == my_au) {
+        src.kind = engine::SrcKind::kScratch;
+        src.addr = result_addr[ref.index];
+      } else if (p.ac == my_ac) {
+        // Neighbor register when adjacent, else the intra-AC bus FIFO.
+        if (p.au + 1 == my_au) {
+          src.kind = engine::SrcKind::kLeft;
+        } else if (my_au + 1 == p.au) {
+          src.kind = engine::SrcKind::kRight;
+        } else {
+          src.kind = engine::SrcKind::kBus;
+        }
+      } else {
+        src.kind = engine::SrcKind::kBus;  // inter-AC bus delivery
+        src.addr = 1;                      // FIFO channel 1 == inter-AC
+      }
+      break;
+    }
+    case K::kConst:
+    case K::kMeta:
+      src.kind = engine::SrcKind::kImmediate;
+      src.addr = static_cast<uint16_t>(ref.var_id & 0xFFF);
+      break;
+    default:
+      // Model / input / output image in the leaf region of the scratchpad.
+      src.kind = engine::SrcKind::kScratch;
+      src.addr = static_cast<uint16_t>(ref.index % kLeafRegionWords);
+      break;
+  }
+  return src;
+}
+
+}  // namespace
+
+Result<std::vector<engine::AcProgram>> EmitAcPrograms(
+    const std::vector<ScalarOp>& ops, const Schedule& schedule,
+    ValueRegion region, uint32_t num_acs) {
+  if (schedule.placements.size() != ops.size()) {
+    return Status::InvalidArgument("schedule does not match op list");
+  }
+
+  // Scratchpad bump allocation per (ac, au).
+  std::map<std::pair<uint32_t, uint32_t>, uint16_t> next_word;
+  std::vector<uint16_t> result_addr(ops.size(), 0);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpPlacement& p = schedule.placements[i];
+    uint16_t& cursor = next_word[{p.ac, p.au}];
+    result_addr[i] = static_cast<uint16_t>(kLeafRegionWords + cursor);
+    cursor = static_cast<uint16_t>((cursor + 1) % (4096 - kLeafRegionWords));
+  }
+
+  // Group ops into cluster instructions keyed by (ac, start_cycle).
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint32_t>> groups;
+  for (uint32_t i = 0; i < ops.size(); ++i) {
+    const OpPlacement& p = schedule.placements[i];
+    if (p.ac >= num_acs) {
+      return Status::Internal("placement cluster out of range");
+    }
+    groups[{p.ac, p.start_cycle}].push_back(i);
+  }
+
+  std::vector<engine::AcProgram> programs(num_acs);
+  for (const auto& [key, members] : groups) {
+    const uint32_t ac = key.first;
+    engine::AcInstruction instr;
+    instr.op = ops[members[0]].op;
+    for (uint32_t op_id : members) {
+      const OpPlacement& p = schedule.placements[op_id];
+      if (p.au >= engine::kAusPerAc) {
+        return Status::Internal("placement lane out of range");
+      }
+      if (instr.active_mask & (1u << p.au)) {
+        return Status::Internal("two ops share a lane in one instruction");
+      }
+      instr.active_mask |= static_cast<uint8_t>(1u << p.au);
+      engine::AuMicroOp& lane = instr.lanes[p.au];
+      lane.op = ops[op_id].op;
+      lane.src1 =
+          LowerSrc(ops[op_id].a, schedule, region, ac, p.au, result_addr);
+      lane.src2 =
+          LowerSrc(ops[op_id].b, schedule, region, ac, p.au, result_addr);
+      lane.dst = engine::DstKind::kScratch;
+      lane.dst_addr = static_cast<uint16_t>(result_addr[op_id] & 0x1FF);
+    }
+    programs[ac].instructions.push_back(instr);
+  }
+  return programs;
+}
+
+uint64_t EncodedSizeBytes(const std::vector<engine::AcProgram>& programs) {
+  uint64_t n = 0;
+  for (const auto& p : programs) {
+    for (const auto& instr : p.instructions) {
+      n += 2;  // cluster opcode + active mask
+      for (uint32_t l = 0; l < engine::kAusPerAc; ++l) {
+        if (instr.active_mask & (1u << l)) n += 8;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace dana::compiler

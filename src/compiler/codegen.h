@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/scalar_program.h"
+#include "compiler/scheduler.h"
+#include "engine/isa.h"
+
+namespace dana::compiler {
+
+/// Emits the per-cluster instruction streams for one scheduled region
+/// (the "AC and AU micro-instructions" of §6.2).
+///
+/// Ops that share a cluster and a start cycle were packed by the scheduler
+/// into one selective-SIMD cluster instruction; this pass materializes it:
+/// the cluster opcode, the active-AU mask, and per-lane AuMicroOps whose
+/// source kinds encode where each operand physically comes from (own
+/// scratchpad, neighbor register, or bus FIFO).
+///
+/// Scratchpad allocation is a bump allocator per AU: every scheduled op's
+/// result gets the next free word of its AU's data memory; leaf values
+/// (model, tuple data, meta) occupy a reserved low region written by the
+/// access engine.
+dana::Result<std::vector<engine::AcProgram>> EmitAcPrograms(
+    const std::vector<ScalarOp>& ops, const Schedule& schedule,
+    ValueRegion region, uint32_t num_acs);
+
+/// Total encoded instruction-stream bytes across clusters (catalog
+/// footprint; each AU micro-op packs to 8 bytes as stored).
+uint64_t EncodedSizeBytes(const std::vector<engine::AcProgram>& programs);
+
+}  // namespace dana::compiler

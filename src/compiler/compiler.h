@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/codegen.h"
+#include "compiler/hw_generator.h"
+#include "compiler/scalar_program.h"
+#include "dsl/algo.h"
+#include "hdfg/graph.h"
+#include "storage/page_layout.h"
+#include "strider/isa.h"
+
+namespace dana::compiler {
+
+/// Everything DAnA generates for one UDF: the translated graph, the lowered
+/// scalar program, the chosen hardware design, and both instruction streams
+/// (Strider + execution engine). This is the object stored in the RDBMS
+/// catalog and executed when a query invokes the UDF (paper Figure 2).
+struct CompiledUdf {
+  std::string udf_name;
+  hdfg::Graph graph;
+  ScalarProgram program;
+  DesignPoint design;
+  strider::StriderProgram strider_program;
+  /// Per-cluster instruction streams for the per-tuple region of one
+  /// thread (threads are architecturally identical, §5.2).
+  std::vector<engine::AcProgram> ac_programs;
+  storage::PageLayout page_layout;
+  FpgaSpec fpga;
+  WorkloadShape shape;
+
+  /// Human-readable metadata blob stored in the catalog (design summary,
+  /// schedules, and disassembled instruction streams).
+  std::string CatalogBlob() const;
+};
+
+/// End-to-end DAnA compilation workflow (paper §3): DSL -> translator ->
+/// lowering -> hardware generation -> scheduling -> code generation.
+class UdfCompiler {
+ public:
+  explicit UdfCompiler(FpgaSpec fpga) : fpga_(fpga) {}
+  UdfCompiler(FpgaSpec fpga, HardwareGenerator::Options hw_options)
+      : fpga_(fpga), hw_options_(hw_options) {}
+
+  /// Compiles `algo` for a table with the given page layout and shape.
+  /// `shape.tuple_payload_bytes` must match the algo's tuple width
+  /// (4 bytes per input/output element in float4 storage).
+  dana::Result<CompiledUdf> Compile(const dsl::Algo& algo,
+                                    const storage::PageLayout& layout,
+                                    const WorkloadShape& shape) const;
+
+ private:
+  FpgaSpec fpga_;
+  HardwareGenerator::Options hw_options_;
+};
+
+}  // namespace dana::compiler

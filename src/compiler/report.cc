@@ -1,0 +1,87 @@
+#include "compiler/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/table_printer.h"
+#include "compiler/codegen.h"
+
+namespace dana::compiler {
+
+namespace {
+std::string Pct(uint64_t used, uint64_t total) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                total == 0 ? 0.0 : 100.0 * used / total);
+  return buf;
+}
+}  // namespace
+
+std::string UtilizationReport(const CompiledUdf& udf) {
+  const DesignPoint& d = udf.design;
+  const FpgaSpec& f = udf.fpga;
+  std::ostringstream os;
+
+  os << "Accelerator utilization report — UDF '" << udf.udf_name << "' on "
+     << f.name << "\n\n";
+
+  TablePrinter resources({"Resource", "Used", "Available", "Utilization"});
+  resources.AddRow({"Analytic units (AUs)", std::to_string(d.total_aus),
+                    std::to_string(f.max_compute_units),
+                    Pct(d.total_aus, f.max_compute_units)});
+  resources.AddRow({"DSP slices", std::to_string(d.dsps_used),
+                    std::to_string(f.dsp_slices),
+                    Pct(d.dsps_used, f.dsp_slices)});
+  resources.AddRow({"LUTs", std::to_string(d.luts_used),
+                    std::to_string(f.luts), Pct(d.luts_used, f.luts)});
+  resources.AddRow({"BRAM (bytes)", std::to_string(d.bram_used),
+                    std::to_string(f.bram_bytes),
+                    Pct(d.bram_used, f.bram_bytes)});
+  os << resources.ToString() << "\n";
+
+  TablePrinter org({"Component", "Configuration"});
+  org.AddRow({"Execution engine",
+              std::to_string(d.num_threads) + " threads x " +
+                  std::to_string(d.acs_per_thread) + " ACs x 8 AUs"});
+  org.AddRow({"Access engine",
+              std::to_string(d.num_page_buffers) + " page buffers / Striders @ " +
+                  std::to_string(udf.page_layout.page_size / 1024) +
+                  " KB pages"});
+  org.AddRow({"Merge network",
+              "tree bus, " + std::to_string(d.tree_bus_lanes) + " lane(s)"});
+  org.AddRow({"Clock", TablePrinter::Fmt(f.freq_hz / 1e6, 0) + " MHz"});
+  os << org.ToString() << "\n";
+
+  uint64_t engine_instrs = 0;
+  for (const auto& acp : udf.ac_programs) {
+    engine_instrs += acp.instructions.size();
+  }
+  TablePrinter code({"Instruction stream", "Count", "Encoded bytes"});
+  code.AddRow({"Strider ISA (22-bit)",
+               std::to_string(udf.strider_program.code.size()),
+               std::to_string(udf.strider_program.EncodedBytes())});
+  code.AddRow({"Execution engine (AC instructions)",
+               std::to_string(engine_instrs),
+               std::to_string(EncodedSizeBytes(udf.ac_programs))});
+  os << code.ToString() << "\n";
+
+  TablePrinter sched({"Region", "Scalar ops", "Makespan (cycles)",
+                      "Cross-AC transfers"});
+  sched.AddRow({"Update rule (per tuple)",
+                std::to_string(udf.program.tuple_ops.size()),
+                std::to_string(d.tuple_schedule.makespan),
+                std::to_string(d.tuple_schedule.cross_ac_transfers)});
+  sched.AddRow({"Model update (per batch)",
+                std::to_string(udf.program.batch_ops.size()),
+                std::to_string(d.batch_schedule.makespan),
+                std::to_string(d.batch_schedule.cross_ac_transfers)});
+  sched.AddRow({"Convergence (per epoch)",
+                std::to_string(udf.program.epoch_ops.size()),
+                std::to_string(d.epoch_schedule.makespan),
+                std::to_string(d.epoch_schedule.cross_ac_transfers)});
+  os << sched.ToString();
+  os << "\nEstimated cycles per epoch: " << d.est_cycles_per_epoch << "\n";
+  return os.str();
+}
+
+}  // namespace dana::compiler

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "compiler/compiler.h"
+
+namespace dana::compiler {
+
+/// Renders a synthesis-style utilization and timing report for a compiled
+/// accelerator: resource usage against the FPGA's budget (DSPs, LUTs,
+/// BRAM, compute units), the access/execution engine split, instruction
+/// footprints of both ISAs, and the static-schedule summary the
+/// performance estimator works from (§6.1).
+std::string UtilizationReport(const CompiledUdf& udf);
+
+}  // namespace dana::compiler

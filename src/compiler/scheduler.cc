@@ -1,0 +1,209 @@
+#include "compiler/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+namespace dana::compiler {
+
+namespace {
+
+/// Per-op scheduling state.
+struct OpState {
+  uint32_t deps[2] = {UINT32_MAX, UINT32_MAX};
+  uint32_t indeg = 0;
+  uint32_t priority = 0;    // critical-path length to a sink
+  uint32_t min_ready = 0;   // max dep finish (0-hop lower bound)
+  bool scheduled = false;
+};
+
+struct HeapEntry {
+  uint32_t priority;
+  uint32_t op;
+  bool operator<(const HeapEntry& o) const {
+    // max-heap by priority, tie-break to lower id for determinism
+    if (priority != o.priority) return priority < o.priority;
+    return op > o.op;
+  }
+};
+
+}  // namespace
+
+Result<Schedule> Scheduler::Run(const std::vector<ScalarOp>& ops) const {
+  const uint32_t n = static_cast<uint32_t>(ops.size());
+  Schedule sched;
+  sched.placements.resize(n);
+  sched.op_count = n;
+  if (n == 0) return sched;
+  if (config_.num_acs == 0 || config_.aus_per_ac == 0) {
+    return Status::InvalidArgument("scheduler needs at least one AC/AU");
+  }
+
+  // Dependency extraction: same-region kSub references.
+  std::vector<OpState> st(n);
+  std::vector<std::vector<uint32_t>> dependents(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int d = 0;
+    for (const ValueRef* ref : {&ops[i].a, &ops[i].b}) {
+      if (ref->kind == ValueRef::Kind::kSub) {
+        const uint32_t dep = ref->index;
+        if (dep >= i) {
+          return Status::Internal("scalar program not topologically ordered");
+        }
+        st[i].deps[d++] = dep;
+        ++st[i].indeg;
+        dependents[dep].push_back(i);
+      }
+    }
+  }
+
+  // Critical-path priorities (reverse topological: ops are in topo order).
+  for (uint32_t i = n; i-- > 0;) {
+    const uint32_t lat = engine::AluOpLatency(ops[i].op);
+    uint32_t best = 0;
+    for (uint32_t dep_of : dependents[i]) {
+      best = std::max(best, st[dep_of].priority);
+    }
+    st[i].priority = best + lat;
+  }
+
+  // Ready heap seeded with zero-indegree ops.
+  std::priority_queue<HeapEntry> avail;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (st[i].indeg == 0) avail.push({st[i].priority, i});
+  }
+
+  const uint32_t acs = config_.num_acs;
+  const uint32_t lanes = config_.aus_per_ac;
+  std::vector<uint64_t> ac_time(acs, 0);
+  // Producer placement lookup for hop costs.
+  auto ready_for = [&](uint32_t op, uint32_t ac) {
+    uint64_t r = 0;
+    for (uint32_t dep : st[op].deps) {
+      if (dep == UINT32_MAX) continue;
+      const OpPlacement& p = sched.placements[dep];
+      const uint64_t hop =
+          p.ac == ac ? config_.intra_ac_hop : config_.inter_ac_hop;
+      r = std::max<uint64_t>(r, p.finish_cycle + hop);
+    }
+    return r;
+  };
+  auto min_ready_for = [&](uint32_t op) {
+    uint64_t r = 0;
+    for (uint32_t dep : st[op].deps) {
+      if (dep == UINT32_MAX) continue;
+      r = std::max<uint64_t>(r, sched.placements[dep].finish_cycle);
+    }
+    return r;
+  };
+
+  uint32_t scheduled = 0;
+  std::vector<uint32_t> group;       // ops packed into one AC instruction
+  std::vector<HeapEntry> postponed;  // popped but not startable now
+  uint64_t guard = 0;
+  const uint64_t guard_max = static_cast<uint64_t>(n) * 64 + 1024;
+
+  while (scheduled < n) {
+    if (++guard > guard_max) {
+      return Status::Internal("scheduler failed to converge");
+    }
+    // Pick the cluster whose program counter is furthest behind.
+    uint32_t ac = 0;
+    for (uint32_t a = 1; a < acs; ++a) {
+      if (ac_time[a] < ac_time[ac]) ac = a;
+    }
+    uint64_t t = ac_time[ac];
+
+    // Pull startable ops (bounded scan to stay near O(n log n)).
+    group.clear();
+    postponed.clear();
+    engine::AluOp opcode = engine::AluOp::kNop;
+    uint64_t next_event = UINT64_MAX;
+    const size_t scan_limit = 4 * static_cast<size_t>(lanes) + 32;
+    while (!avail.empty() && postponed.size() < scan_limit &&
+           group.size() < lanes) {
+      HeapEntry e = avail.top();
+      avail.pop();
+      const uint64_t r = ready_for(e.op, ac);
+      const bool opcode_ok = group.empty() || !config_.selective_simd ||
+                             ops[e.op].op == opcode;
+      if (r <= t && opcode_ok) {
+        if (group.empty()) opcode = ops[e.op].op;
+        group.push_back(e.op);
+      } else {
+        next_event = std::min(next_event, std::max(r, t));
+        postponed.push_back(e);
+      }
+    }
+    for (const auto& e : postponed) avail.push(e);
+
+    if (group.empty()) {
+      if (avail.empty()) {
+        return Status::Internal("deadlock: no ready ops but work remains");
+      }
+      // Nothing startable on this cluster yet: advance its clock.
+      ac_time[ac] = next_event == UINT64_MAX ? t + 1 : next_event;
+      continue;
+    }
+
+    // Lane assignment: prefer a producer's lane (zero-hop chaining).
+    uint32_t lane_used = 0;  // bitmask
+    std::vector<uint32_t> lane_of(group.size(), UINT32_MAX);
+    for (size_t g = 0; g < group.size(); ++g) {
+      for (uint32_t dep : st[group[g]].deps) {
+        if (dep == UINT32_MAX) continue;
+        const OpPlacement& p = sched.placements[dep];
+        if (p.ac == ac && !(lane_used & (1u << p.au))) {
+          lane_of[g] = p.au;
+          lane_used |= 1u << p.au;
+          break;
+        }
+      }
+    }
+    for (size_t g = 0; g < group.size(); ++g) {
+      if (lane_of[g] != UINT32_MAX) continue;
+      for (uint32_t l = 0; l < lanes; ++l) {
+        if (!(lane_used & (1u << l))) {
+          lane_of[g] = l;
+          lane_used |= 1u << l;
+          break;
+        }
+      }
+    }
+
+    // Issue the cluster instruction: blocking semantics (§5.2) — the AC
+    // proceeds to its next instruction when the designated AUs complete.
+    uint32_t dur = 0;
+    for (uint32_t op : group) {
+      dur = std::max(dur, engine::AluOpLatency(ops[op].op));
+    }
+    for (size_t g = 0; g < group.size(); ++g) {
+      const uint32_t op = group[g];
+      OpPlacement& p = sched.placements[op];
+      p.ac = ac;
+      p.au = lane_of[g];
+      p.start_cycle = static_cast<uint32_t>(t);
+      p.finish_cycle = static_cast<uint32_t>(t + dur);
+      st[op].scheduled = true;
+      for (uint32_t dep : st[op].deps) {
+        if (dep != UINT32_MAX && sched.placements[dep].ac != ac) {
+          ++sched.cross_ac_transfers;
+        }
+      }
+      ++scheduled;
+      for (uint32_t dep_of : dependents[op]) {
+        if (--st[dep_of].indeg == 0) {
+          st[dep_of].min_ready =
+              static_cast<uint32_t>(min_ready_for(dep_of));
+          avail.push({st[dep_of].priority, dep_of});
+        }
+      }
+    }
+    ac_time[ac] = t + dur;
+    sched.makespan = std::max<uint64_t>(sched.makespan, t + dur);
+  }
+
+  return sched;
+}
+
+}  // namespace dana::compiler

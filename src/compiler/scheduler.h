@@ -1,0 +1,89 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/scalar_program.h"
+#include "engine/isa.h"
+
+namespace dana::compiler {
+
+/// Scheduling parameters: the single-thread compute fabric the scheduler
+/// targets plus communication costs (paper §5.2, §6.2).
+struct SchedulerConfig {
+  /// Analytic clusters available to one thread.
+  uint32_t num_acs = 4;
+  /// AUs per cluster (fixed to 8 in the paper for frequency).
+  uint32_t aus_per_ac = engine::kAusPerAc;
+  /// Extra cycles when an operand crosses AUs within one AC (neighbor
+  /// link / intra-AC bus).
+  uint32_t intra_ac_hop = 1;
+  /// Extra cycles when an operand crosses clusters (inter-AC bus).
+  uint32_t inter_ac_hop = 2;
+  /// Selective SIMD: all AUs of a cluster active in a cycle execute the
+  /// cluster's single opcode (§5.2). Disable to ablate (full MIMD, as if
+  /// each AU had its own controller).
+  bool selective_simd = true;
+};
+
+/// Placement of one scalar op.
+struct OpPlacement {
+  uint32_t ac = 0;
+  uint32_t au = 0;
+  uint32_t start_cycle = 0;
+  uint32_t finish_cycle = 0;  // start + latency
+};
+
+/// A static schedule of one region's scalar ops.
+struct Schedule {
+  std::vector<OpPlacement> placements;  // parallel to the op list
+  uint64_t makespan = 0;                // cycles from 0 to last finish
+  uint64_t op_count = 0;
+  /// Operand deliveries that cross clusters. These all ride the single
+  /// shared line-topology inter-AC bus (§5.2), so they bound throughput.
+  uint64_t cross_ac_transfers = 0;
+
+  /// Execution time of one schedule instance when `concurrent_threads`
+  /// copies run simultaneously: the dependency-driven makespan, or the
+  /// single shared inter-AC bus draining every thread's cross-cluster
+  /// transfers at `bus_lanes` words per cycle, whichever is slower. This
+  /// is what makes extra threads unprofitable for communication-heavy
+  /// update rules (the paper's flat LRMF curve in Figure 12).
+  uint64_t EffectiveMakespan(uint32_t bus_lanes,
+                             uint32_t concurrent_threads = 1) const {
+    if (bus_lanes == 0) bus_lanes = 1;
+    if (concurrent_threads == 0) concurrent_threads = 1;
+    return std::max(makespan,
+                    concurrent_threads * cross_ac_transfers / bus_lanes);
+  }
+
+  /// Achieved parallelism: op-cycles / makespan.
+  double Utilization(uint32_t total_aus) const {
+    if (makespan == 0 || total_aus == 0) return 0.0;
+    return static_cast<double>(op_count) /
+           (static_cast<double>(makespan) * total_aus);
+  }
+};
+
+/// List scheduler (paper §6.2): walks ready ops by critical-path priority
+/// and greedily places each on the cluster/AU that lets it start earliest,
+/// honouring dependency, communication, AU-occupancy, and selective-SIMD
+/// constraints. Elementwise nodes spread across AUs; reductions stay near
+/// their producers to minimize communication.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config) : config_(config) {}
+
+  /// Schedules one region's ops (dependencies are kSub refs into the same
+  /// region; cross-region values are memory reads, free at cycle 0).
+  dana::Result<Schedule> Run(const std::vector<ScalarOp>& ops) const;
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  SchedulerConfig config_;
+};
+
+}  // namespace dana::compiler

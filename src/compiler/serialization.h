@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "compiler/compiler.h"
+
+namespace dana::compiler {
+
+/// Binary serialization of a compiled accelerator.
+///
+/// The paper stores "the FPGA design, its schedule, operation map, and
+/// instructions" in the RDBMS catalog (§6.2) and re-executes them whenever
+/// a query calls the UDF. These functions give that catalog entry a real
+/// on-disk format: a versioned little-endian stream containing the lowered
+/// scalar program (with its variable tables), the chosen design point with
+/// all three region schedules, the Strider program (22-bit words + config
+/// registers), the per-cluster execution-engine streams (48-bit micro-op
+/// words), the page layout, and the workload shape.
+///
+/// A deserialized CompiledUdf is fully runnable: the Accelerator trains
+/// from it without recompilation, and the round trip is bit-exact (tested
+/// in serialization_test.cc). The translated hDFG is intentionally NOT
+/// serialized — it is a front-end artifact the backend no longer needs.
+///
+/// Format: "DANA" magic, u32 version, then length-prefixed sections. All
+/// integers little-endian; doubles as IEEE-754 bit patterns.
+inline constexpr uint32_t kCatalogFormatVersion = 1;
+
+/// Serializes `udf` into a catalog blob.
+std::string SerializeUdf(const CompiledUdf& udf);
+
+/// Parses a catalog blob produced by SerializeUdf. Fails with Corruption
+/// on malformed input and InvalidArgument on version mismatch.
+dana::Result<CompiledUdf> DeserializeUdf(const std::string& blob);
+
+}  // namespace dana::compiler

@@ -1,0 +1,80 @@
+#include "dsl/algo.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dana::dsl {
+
+Expr Algo::Declare(VarKind kind, const std::string& name,
+                   std::vector<uint32_t> dims, double meta_value) {
+  auto var = std::make_shared<Var>();
+  var->kind = kind;
+  var->name = name;
+  var->dims = std::move(dims);
+  var->meta_value = meta_value;
+  var->ordinal = ordinals_[kind]++;
+  vars_.push_back(var);
+  return ExprNode::MakeVarRef(var);
+}
+
+Expr Algo::Model(const std::string& name, std::vector<uint32_t> dims) {
+  return Declare(VarKind::kModel, name, std::move(dims), 0.0);
+}
+
+Expr Algo::Input(const std::string& name, std::vector<uint32_t> dims) {
+  return Declare(VarKind::kInput, name, std::move(dims), 0.0);
+}
+
+Expr Algo::Output(const std::string& name, std::vector<uint32_t> dims) {
+  return Declare(VarKind::kOutput, name, std::move(dims), 0.0);
+}
+
+Expr Algo::Meta(const std::string& name, double value) {
+  return Declare(VarKind::kMeta, name, {}, value);
+}
+
+Expr Algo::Merge(Expr x, uint32_t coef, OpKind combine) {
+  merge_coef_ = std::max(merge_coef_, coef);
+  return ExprNode::MakeMerge(std::move(x), coef, combine);
+}
+
+Status Algo::SetModel(const Expr& model_ref, Expr update) {
+  if (!model_ref || model_ref->op() != OpKind::kVarRef ||
+      model_ref->var()->kind != VarKind::kModel) {
+    return Status::InvalidArgument(
+        "setModel: first argument must be a dana.model variable");
+  }
+  for (const auto& mu : model_updates_) {
+    if (mu.model == model_ref->var()) {
+      return Status::AlreadyExists("setModel: model '" + mu.model->name +
+                                   "' already bound");
+    }
+  }
+  model_updates_.push_back({model_ref->var(), std::move(update)});
+  return Status::OK();
+}
+
+Status Algo::Validate() const {
+  if (model_updates_.empty()) {
+    return Status::FailedPrecondition("algo '" + name_ +
+                                      "': no setModel binding");
+  }
+  for (const auto& v : vars_) {
+    for (uint32_t d : v->dims) {
+      if (d == 0) {
+        return Status::InvalidArgument("variable '" + v->name +
+                                       "' has a zero dimension");
+      }
+    }
+    if (v->dims.size() > 3) {
+      return Status::Unimplemented("variable '" + v->name +
+                                   "': rank > 3 not supported");
+    }
+  }
+  if (convergence_.max_epochs == 0) {
+    return Status::InvalidArgument("epoch budget must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace dana::dsl

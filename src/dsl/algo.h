@@ -1,0 +1,111 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dsl/expr.h"
+
+namespace dana::dsl {
+
+/// Convergence specification: either a fixed epoch budget or a boolean
+/// DSL expression evaluated once per epoch (paper §4.2 built-ins).
+struct Convergence {
+  /// Maximum epochs (setEpochs). Always bounds the run.
+  uint32_t max_epochs = 1;
+  /// Optional boolean condition (setConvergence); training stops early when
+  /// it evaluates non-zero at the end of an epoch. Null when unset.
+  Expr condition;
+};
+
+/// One model-update binding: after processing a tuple (and merging), the
+/// model variable takes the value of `update`.
+struct ModelUpdate {
+  std::shared_ptr<Var> model;
+  Expr update;
+};
+
+/// An instance of a learning algorithm: the `dana.algo` component.
+///
+/// Algo is the DSL entry point: it owns variable declarations, the update
+/// rule (expressed through ModelUpdate bindings), the merge function, and
+/// the convergence criterion. A completed Algo is handed to the translator
+/// (hdfg/translator.h) which turns it into a hierarchical dataflow graph.
+///
+/// Usage mirrors the paper's linear-regression example (§4.3):
+///
+///   Algo algo("linearR");
+///   auto mo  = algo.Model("mo", {10});
+///   auto in  = algo.Input("in", {10});
+///   auto out = algo.Output("out");
+///   auto lr  = algo.Meta("lr", 0.3);
+///   auto s     = Sigma(mo * in, 0);
+///   auto er    = s - out;
+///   auto grad  = algo.Merge(er * in, 8, OpKind::kAdd);
+///   algo.SetModel(mo, mo - lr * grad);
+///   algo.SetEpochs(100);
+class Algo {
+ public:
+  explicit Algo(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// @name Data declarations (dana.model / dana.input / dana.output /
+  /// dana.meta). Each returns a VarRef expression usable in arithmetic.
+  ///@{
+  Expr Model(const std::string& name, std::vector<uint32_t> dims);
+  Expr Input(const std::string& name, std::vector<uint32_t> dims);
+  /// Scalar output (label); multi-dimensional outputs pass dims.
+  Expr Output(const std::string& name, std::vector<uint32_t> dims = {});
+  Expr Meta(const std::string& name, double value);
+  ///@}
+
+  /// Wraps `x` in a merge node: `coef` parallel threads each compute `x`
+  /// for their own tuple and the results are combined with `combine`
+  /// (paper's merge(x, int, "op")).
+  Expr Merge(Expr x, uint32_t coef, OpKind combine = OpKind::kAdd);
+
+  /// Binds the updated value of a model variable (paper's setModel). The
+  /// first argument must be an expression returned by Model().
+  dana::Status SetModel(const Expr& model_ref, Expr update);
+
+  /// Sets the epoch budget (paper's setEpochs).
+  void SetEpochs(uint32_t epochs) { convergence_.max_epochs = epochs; }
+
+  /// Sets an early-termination condition (paper's setConvergence).
+  void SetConvergence(Expr condition) {
+    convergence_.condition = std::move(condition);
+  }
+
+  /// @name Introspection for the translator
+  ///@{
+  const std::vector<std::shared_ptr<Var>>& vars() const { return vars_; }
+  const std::vector<ModelUpdate>& model_updates() const {
+    return model_updates_;
+  }
+  const Convergence& convergence() const { return convergence_; }
+  /// Largest merge coefficient used anywhere in the update rule (1 when no
+  /// merge was declared): the max thread count for the hardware generator.
+  uint32_t MergeCoefficient() const { return merge_coef_; }
+  ///@}
+
+  /// Structural validation: at least one model update, every model bound at
+  /// most once, declared dims non-zero.
+  dana::Status Validate() const;
+
+ private:
+  Expr Declare(VarKind kind, const std::string& name,
+               std::vector<uint32_t> dims, double meta_value);
+
+  std::string name_;
+  std::vector<std::shared_ptr<Var>> vars_;
+  std::vector<ModelUpdate> model_updates_;
+  Convergence convergence_;
+  uint32_t merge_coef_ = 1;
+  std::map<VarKind, uint32_t> ordinals_;
+};
+
+}  // namespace dana::dsl

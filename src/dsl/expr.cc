@@ -1,0 +1,196 @@
+#include "dsl/expr.h"
+
+namespace dana::dsl {
+
+bool IsBinaryOp(OpKind op) {
+  switch (op) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kLt:
+    case OpKind::kGt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNonLinearOp(OpKind op) {
+  switch (op) {
+    case OpKind::kSigmoid:
+    case OpKind::kGaussian:
+    case OpKind::kSqrt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsGroupOp(OpKind op) {
+  switch (op) {
+    case OpKind::kSigma:
+    case OpKind::kPi:
+    case OpKind::kNorm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kVarRef:
+      return "var";
+    case OpKind::kConst:
+      return "const";
+    case OpKind::kAdd:
+      return "+";
+    case OpKind::kSub:
+      return "-";
+    case OpKind::kMul:
+      return "*";
+    case OpKind::kDiv:
+      return "/";
+    case OpKind::kLt:
+      return "<";
+    case OpKind::kGt:
+      return ">";
+    case OpKind::kSigmoid:
+      return "sigmoid";
+    case OpKind::kGaussian:
+      return "gaussian";
+    case OpKind::kSqrt:
+      return "sqrt";
+    case OpKind::kSigma:
+      return "sigma";
+    case OpKind::kPi:
+      return "pi";
+    case OpKind::kNorm:
+      return "norm";
+    case OpKind::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+std::string VarKindName(VarKind kind) {
+  switch (kind) {
+    case VarKind::kInput:
+      return "input";
+    case VarKind::kOutput:
+      return "output";
+    case VarKind::kModel:
+      return "model";
+    case VarKind::kMeta:
+      return "meta";
+    case VarKind::kInter:
+      return "inter";
+  }
+  return "?";
+}
+
+Expr ExprNode::MakeVarRef(std::shared_ptr<Var> var) {
+  struct Access : ExprNode {};
+  auto n = std::make_shared<Access>();
+  n->op_ = OpKind::kVarRef;
+  n->var_ = std::move(var);
+  return n;
+}
+
+Expr ExprNode::MakeConst(double value) {
+  struct Access : ExprNode {};
+  auto n = std::make_shared<Access>();
+  n->op_ = OpKind::kConst;
+  n->constant_ = value;
+  return n;
+}
+
+Expr ExprNode::MakeBinary(OpKind op, Expr lhs, Expr rhs) {
+  struct Access : ExprNode {};
+  auto n = std::make_shared<Access>();
+  n->op_ = op;
+  n->inputs_ = {std::move(lhs), std::move(rhs)};
+  return n;
+}
+
+Expr ExprNode::MakeNonLinear(OpKind op, Expr in) {
+  struct Access : ExprNode {};
+  auto n = std::make_shared<Access>();
+  n->op_ = op;
+  n->inputs_ = {std::move(in)};
+  return n;
+}
+
+Expr ExprNode::MakeGroup(OpKind op, Expr in, uint32_t axis) {
+  struct Access : ExprNode {};
+  auto n = std::make_shared<Access>();
+  n->op_ = op;
+  n->inputs_ = {std::move(in)};
+  n->axis_ = axis;
+  return n;
+}
+
+Expr ExprNode::MakeMerge(Expr in, uint32_t coef, OpKind combine) {
+  struct Access : ExprNode {};
+  auto n = std::make_shared<Access>();
+  n->op_ = OpKind::kMerge;
+  n->inputs_ = {std::move(in)};
+  n->merge_coef_ = coef;
+  n->merge_op_ = combine;
+  return n;
+}
+
+Expr operator+(Expr a, Expr b) {
+  return ExprNode::MakeBinary(OpKind::kAdd, std::move(a), std::move(b));
+}
+Expr operator-(Expr a, Expr b) {
+  return ExprNode::MakeBinary(OpKind::kSub, std::move(a), std::move(b));
+}
+Expr operator*(Expr a, Expr b) {
+  return ExprNode::MakeBinary(OpKind::kMul, std::move(a), std::move(b));
+}
+Expr operator/(Expr a, Expr b) {
+  return ExprNode::MakeBinary(OpKind::kDiv, std::move(a), std::move(b));
+}
+Expr operator<(Expr a, Expr b) {
+  return ExprNode::MakeBinary(OpKind::kLt, std::move(a), std::move(b));
+}
+Expr operator>(Expr a, Expr b) {
+  return ExprNode::MakeBinary(OpKind::kGt, std::move(a), std::move(b));
+}
+
+Expr operator+(Expr a, double b) { return std::move(a) + ExprNode::MakeConst(b); }
+Expr operator-(Expr a, double b) { return std::move(a) - ExprNode::MakeConst(b); }
+Expr operator*(Expr a, double b) { return std::move(a) * ExprNode::MakeConst(b); }
+Expr operator/(Expr a, double b) { return std::move(a) / ExprNode::MakeConst(b); }
+Expr operator+(double a, Expr b) { return ExprNode::MakeConst(a) + std::move(b); }
+Expr operator-(double a, Expr b) { return ExprNode::MakeConst(a) - std::move(b); }
+Expr operator*(double a, Expr b) { return ExprNode::MakeConst(a) * std::move(b); }
+Expr operator/(double a, Expr b) { return ExprNode::MakeConst(a) / std::move(b); }
+Expr operator<(Expr a, double b) { return std::move(a) < ExprNode::MakeConst(b); }
+Expr operator>(Expr a, double b) { return std::move(a) > ExprNode::MakeConst(b); }
+Expr operator<(double a, Expr b) { return ExprNode::MakeConst(a) < std::move(b); }
+Expr operator>(double a, Expr b) { return ExprNode::MakeConst(a) > std::move(b); }
+
+Expr Sigmoid(Expr x) {
+  return ExprNode::MakeNonLinear(OpKind::kSigmoid, std::move(x));
+}
+Expr Gaussian(Expr x) {
+  return ExprNode::MakeNonLinear(OpKind::kGaussian, std::move(x));
+}
+Expr Sqrt(Expr x) {
+  return ExprNode::MakeNonLinear(OpKind::kSqrt, std::move(x));
+}
+
+Expr Sigma(Expr x, uint32_t axis) {
+  return ExprNode::MakeGroup(OpKind::kSigma, std::move(x), axis);
+}
+Expr Pi(Expr x, uint32_t axis) {
+  return ExprNode::MakeGroup(OpKind::kPi, std::move(x), axis);
+}
+Expr Norm(Expr x, uint32_t axis) {
+  return ExprNode::MakeGroup(OpKind::kNorm, std::move(x), axis);
+}
+
+}  // namespace dana::dsl

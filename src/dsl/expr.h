@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dana::dsl {
+
+/// Operation kinds of the DSL (paper Table 1).
+///
+/// Primary ops are elementwise (with broadcasting), non-linear ops are
+/// unary elementwise, group ops reduce along an axis, and kMerge marks the
+/// thread-combination boundary (§4.3).
+enum class OpKind : uint8_t {
+  // Leaves.
+  kVarRef,
+  kConst,
+  // Primary binary operations.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLt,
+  kGt,
+  // Non-linear unary operations.
+  kSigmoid,
+  kGaussian,
+  kSqrt,
+  // Group operations (reduce along `axis`).
+  kSigma,
+  kPi,
+  kNorm,
+  // Thread-merge boundary.
+  kMerge,
+};
+
+/// True for kAdd..kGt.
+bool IsBinaryOp(OpKind op);
+/// True for kSigmoid..kSqrt.
+bool IsNonLinearOp(OpKind op);
+/// True for kSigma..kNorm.
+bool IsGroupOp(OpKind op);
+/// Name for diagnostics ("sigma", "+", ...).
+std::string OpKindName(OpKind op);
+
+/// Role of a declared DSL variable (paper Table 1 data declarations).
+enum class VarKind : uint8_t {
+  kInput,   ///< one training-tuple feature vector
+  kOutput,  ///< one training-tuple label
+  kModel,   ///< the learned model; persists across tuples
+  kMeta,    ///< constant hyper-parameter, shipped to the FPGA up front
+  kInter,   ///< untyped intermediate, inferred by the translator
+};
+
+/// Name for diagnostics ("model", ...).
+std::string VarKindName(VarKind kind);
+
+class ExprNode;
+/// Expressions are immutable shared DAG nodes.
+using Expr = std::shared_ptr<const ExprNode>;
+
+/// Declared variable: kind, name, and declared dimensions (empty == scalar).
+struct Var {
+  VarKind kind = VarKind::kInter;
+  std::string name;
+  std::vector<uint32_t> dims;
+  /// Constant value for kMeta variables.
+  double meta_value = 0.0;
+  /// Declaration order within its kind; used for memory layout.
+  uint32_t ordinal = 0;
+};
+
+/// One node of a DSL expression DAG.
+///
+/// ExprNodes are created through the Algo factory methods and the free
+/// operator overloads below; they are never mutated after construction.
+class ExprNode : public std::enable_shared_from_this<ExprNode> {
+ public:
+  OpKind op() const { return op_; }
+  const std::vector<Expr>& inputs() const { return inputs_; }
+
+  /// Variable for kVarRef nodes.
+  const std::shared_ptr<Var>& var() const { return var_; }
+  /// Literal value for kConst nodes.
+  double constant() const { return constant_; }
+  /// Reduction axis for group ops.
+  uint32_t axis() const { return axis_; }
+  /// Merge fan-in (batch size) for kMerge nodes.
+  uint32_t merge_coef() const { return merge_coef_; }
+  /// Combining operation for kMerge nodes (kAdd etc).
+  OpKind merge_op() const { return merge_op_; }
+
+  /// @name Factories
+  ///@{
+  static Expr MakeVarRef(std::shared_ptr<Var> var);
+  static Expr MakeConst(double value);
+  static Expr MakeBinary(OpKind op, Expr lhs, Expr rhs);
+  static Expr MakeNonLinear(OpKind op, Expr in);
+  static Expr MakeGroup(OpKind op, Expr in, uint32_t axis);
+  static Expr MakeMerge(Expr in, uint32_t coef, OpKind combine);
+  ///@}
+
+ private:
+  ExprNode() = default;
+
+  OpKind op_ = OpKind::kConst;
+  std::vector<Expr> inputs_;
+  std::shared_ptr<Var> var_;
+  double constant_ = 0.0;
+  uint32_t axis_ = 0;
+  uint32_t merge_coef_ = 1;
+  OpKind merge_op_ = OpKind::kAdd;
+};
+
+/// @name Expression-building operators
+/// These mirror the Python DSL's arithmetic surface. Mixed Expr/double
+/// overloads wrap the double in a kConst node.
+///@{
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator/(Expr a, Expr b);
+Expr operator<(Expr a, Expr b);
+Expr operator>(Expr a, Expr b);
+Expr operator+(Expr a, double b);
+Expr operator-(Expr a, double b);
+Expr operator*(Expr a, double b);
+Expr operator/(Expr a, double b);
+Expr operator+(double a, Expr b);
+Expr operator-(double a, Expr b);
+Expr operator*(double a, Expr b);
+Expr operator/(double a, Expr b);
+Expr operator<(Expr a, double b);
+Expr operator>(Expr a, double b);
+Expr operator<(double a, Expr b);
+Expr operator>(double a, Expr b);
+///@}
+
+/// Non-linear elementwise functions (paper Table 1).
+Expr Sigmoid(Expr x);
+Expr Gaussian(Expr x);
+Expr Sqrt(Expr x);
+
+/// Group operations: reduce `x` along `axis` (paper Table 1). Sigma sums,
+/// Pi multiplies, Norm is the Euclidean norm along the axis.
+Expr Sigma(Expr x, uint32_t axis = 0);
+Expr Pi(Expr x, uint32_t axis = 0);
+Expr Norm(Expr x, uint32_t axis = 0);
+
+}  // namespace dana::dsl

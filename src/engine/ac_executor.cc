@@ -1,0 +1,166 @@
+#include "engine/ac_executor.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "engine/evaluator.h"
+
+namespace dana::engine {
+
+namespace {
+
+/// Rebuilds the (ac, start_cycle) -> op list grouping the code generator
+/// used, in issue order per cluster.
+std::vector<std::map<uint32_t, std::vector<uint32_t>>> GroupByCluster(
+    const compiler::Schedule& schedule, size_t num_acs) {
+  std::vector<std::map<uint32_t, std::vector<uint32_t>>> by_ac(num_acs);
+  for (uint32_t i = 0; i < schedule.placements.size(); ++i) {
+    const compiler::OpPlacement& p = schedule.placements[i];
+    if (p.ac < num_acs) by_ac[p.ac][p.start_cycle].push_back(i);
+  }
+  return by_ac;
+}
+
+}  // namespace
+
+Status AcProgramExecutor::VerifyLane(uint32_t op_id,
+                                     const engine::AcInstruction& instr,
+                                     uint32_t ac) const {
+  const compiler::OpPlacement& p = schedule_.placements[op_id];
+  const AuMicroOp& lane = instr.lanes[p.au];
+
+  if (!(instr.active_mask & (1u << p.au))) {
+    return Status::Corruption("lane " + std::to_string(p.au) +
+                              " inactive but op scheduled there");
+  }
+  if (lane.op != instr.op) {
+    return Status::Corruption("lane opcode differs from cluster opcode");
+  }
+
+  // Source-kind consistency with the schedule.
+  const compiler::ValueRef* refs[2] = {&ops_[op_id].a, &ops_[op_id].b};
+  const SrcRef* srcs[2] = {&lane.src1, &lane.src2};
+  for (int k = 0; k < 2; ++k) {
+    const compiler::ValueRef& ref = *refs[k];
+    const SrcRef& src = *srcs[k];
+    switch (ref.kind) {
+      case compiler::ValueRef::Kind::kNone:
+        if (src.kind != SrcKind::kNone) {
+          return Status::Corruption("absent operand has a source");
+        }
+        break;
+      case compiler::ValueRef::Kind::kConst:
+      case compiler::ValueRef::Kind::kMeta:
+        if (src.kind != SrcKind::kImmediate) {
+          return Status::Corruption("constant operand not an immediate");
+        }
+        break;
+      case compiler::ValueRef::Kind::kSub: {
+        if (ref.region != region_) {
+          // Cross-region values spill into the leaf scratch region.
+          if (src.kind != SrcKind::kScratch) {
+            return Status::Corruption("cross-region operand not a "
+                                      "scratchpad read");
+          }
+          break;
+        }
+        const compiler::OpPlacement& prod = schedule_.placements[ref.index];
+        SrcKind expect;
+        if (prod.ac == p.ac && prod.au == p.au) {
+          expect = SrcKind::kScratch;
+        } else if (prod.ac == p.ac && prod.au + 1 == p.au) {
+          expect = SrcKind::kLeft;
+        } else if (prod.ac == p.ac && p.au + 1 == prod.au) {
+          expect = SrcKind::kRight;
+        } else {
+          expect = SrcKind::kBus;
+        }
+        if (src.kind != expect) {
+          return Status::Corruption(
+              "sub-operand source kind mismatch: op " +
+              std::to_string(op_id) + " expected " +
+              std::to_string(static_cast<int>(expect)) + " got " +
+              std::to_string(static_cast<int>(src.kind)));
+        }
+        break;
+      }
+      default:
+        // Model/input/output live in the leaf scratch region.
+        if (src.kind != SrcKind::kScratch) {
+          return Status::Corruption("leaf operand not a scratchpad read");
+        }
+        break;
+    }
+  }
+  (void)ac;
+  return Status::OK();
+}
+
+Status AcProgramExecutor::Verify() const {
+  if (schedule_.placements.size() != ops_.size()) {
+    return Status::InvalidArgument("schedule/op-list size mismatch");
+  }
+  const auto by_ac = GroupByCluster(schedule_, programs_.size());
+
+  for (uint32_t ac = 0; ac < programs_.size(); ++ac) {
+    const auto& groups = by_ac[ac];
+    const auto& stream = programs_[ac].instructions;
+    if (groups.size() != stream.size()) {
+      return Status::Corruption(
+          "cluster " + std::to_string(ac) + " has " +
+          std::to_string(stream.size()) + " instructions, schedule implies " +
+          std::to_string(groups.size()));
+    }
+    size_t idx = 0;
+    for (const auto& [cycle, members] : groups) {
+      const engine::AcInstruction& instr = stream[idx++];
+      uint8_t expect_mask = 0;
+      for (uint32_t op_id : members) {
+        expect_mask |= static_cast<uint8_t>(
+            1u << schedule_.placements[op_id].au);
+        DANA_RETURN_NOT_OK(VerifyLane(op_id, instr, ac));
+      }
+      if (expect_mask != instr.active_mask) {
+        return Status::Corruption("active mask mismatch at cluster " +
+                                  std::to_string(ac) + " cycle " +
+                                  std::to_string(cycle));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<float>> AcProgramExecutor::Run(
+    const LeafResolver& leaf) const {
+  DANA_RETURN_NOT_OK(Verify());
+
+  // Execute in global issue order (cycle-major) so dependencies resolve.
+  std::vector<uint32_t> order(ops_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (schedule_.placements[a].start_cycle !=
+        schedule_.placements[b].start_cycle) {
+      return schedule_.placements[a].start_cycle <
+             schedule_.placements[b].start_cycle;
+    }
+    return a < b;
+  });
+
+  std::vector<float> values(ops_.size(), 0.0f);
+  auto resolve = [&](const compiler::ValueRef& ref) -> float {
+    if (ref.kind == compiler::ValueRef::Kind::kSub &&
+        ref.region == region_) {
+      return values[ref.index];
+    }
+    if (ref.kind == compiler::ValueRef::Kind::kNone) return 0.0f;
+    return leaf(ref);
+  };
+  for (uint32_t op_id : order) {
+    values[op_id] = ApplyAluOp(ops_[op_id].op, resolve(ops_[op_id].a),
+                               resolve(ops_[op_id].b));
+  }
+  return values;
+}
+
+}  // namespace dana::engine

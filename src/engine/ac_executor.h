@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/scalar_program.h"
+#include "compiler/scheduler.h"
+#include "engine/isa.h"
+
+namespace dana::engine {
+
+/// Verifying executor for emitted AC instruction streams.
+///
+/// EmitAcPrograms lowers a scheduled region into per-cluster selective-SIMD
+/// instruction streams; this executor replays those streams cycle-group by
+/// cycle-group and cross-checks every field against the schedule it was
+/// generated from:
+///
+///  - instructions are ordered by issue cycle within each cluster,
+///  - the active-lane mask matches the scheduled placements,
+///  - every lane's opcode equals the cluster opcode (selective SIMD),
+///  - every operand's source kind is consistent with where the schedule
+///    placed its producer (own scratchpad / neighbor register / bus FIFO),
+///
+/// and then executes each lane in fp32, routing operand values through the
+/// schedule. The resulting value per scalar op must equal what the
+/// ScalarEvaluator computes for the same region, proving the generated
+/// binary is a faithful encoding of the schedule.
+class AcProgramExecutor {
+ public:
+  /// Resolves a non-sub operand (model/input/meta/const) to its value.
+  using LeafResolver = std::function<float(const compiler::ValueRef&)>;
+
+  AcProgramExecutor(const std::vector<compiler::ScalarOp>& ops,
+                    const compiler::Schedule& schedule,
+                    const std::vector<engine::AcProgram>& programs,
+                    compiler::ValueRegion region =
+                        compiler::ValueRegion::kTuple)
+      : ops_(ops), schedule_(schedule), programs_(programs),
+        region_(region) {}
+
+  /// Verifies and executes; returns one value per scalar op, or the first
+  /// structural inconsistency found.
+  dana::Result<std::vector<float>> Run(const LeafResolver& leaf) const;
+
+  /// Structural verification only (no execution).
+  dana::Status Verify() const;
+
+ private:
+  dana::Status VerifyLane(uint32_t op_id, const engine::AcInstruction& instr,
+                          uint32_t ac) const;
+
+  const std::vector<compiler::ScalarOp>& ops_;
+  const compiler::Schedule& schedule_;
+  const std::vector<engine::AcProgram>& programs_;
+  compiler::ValueRegion region_;
+};
+
+}  // namespace dana::engine

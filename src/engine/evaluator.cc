@@ -1,0 +1,154 @@
+#include "engine/evaluator.h"
+
+#include <cmath>
+#include <string>
+
+#include "hdfg/graph.h"
+
+namespace dana::engine {
+
+float ApplyAluOp(AluOp op, float a, float b) {
+  switch (op) {
+    case AluOp::kNop:
+    case AluOp::kMov:
+      return a;
+    case AluOp::kAdd:
+      return a + b;
+    case AluOp::kSub:
+      return a - b;
+    case AluOp::kMul:
+      return a * b;
+    case AluOp::kDiv:
+      return a / b;
+    case AluOp::kLt:
+      return a < b ? 1.0f : 0.0f;
+    case AluOp::kGt:
+      return a > b ? 1.0f : 0.0f;
+    case AluOp::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-a));
+    case AluOp::kGaussian:
+      return std::exp(-a * a);
+    case AluOp::kSqrt:
+      return std::sqrt(a);
+  }
+  return 0.0f;
+}
+
+ScalarEvaluator::ScalarEvaluator(const compiler::ScalarProgram& prog)
+    : prog_(prog) {
+  model_.resize(prog.model_vars.size());
+  for (size_t i = 0; i < prog.model_vars.size(); ++i) {
+    model_[i].assign(hdfg::NumElements(prog.model_vars[i]->dims), 0.0f);
+  }
+  tuple_slots_.resize(prog.tuple_ops.size());
+  batch_slots_.resize(prog.batch_ops.size());
+  epoch_slots_.resize(prog.epoch_ops.size());
+  merge_vals_.resize(prog.merge_slots.size());
+}
+
+Status ScalarEvaluator::SetModel(uint32_t model_var,
+                                 std::span<const float> values) {
+  if (model_var >= model_.size()) {
+    return Status::OutOfRange("model var " + std::to_string(model_var) +
+                              " out of range");
+  }
+  if (values.size() != model_[model_var].size()) {
+    return Status::InvalidArgument("model value size mismatch");
+  }
+  model_[model_var].assign(values.begin(), values.end());
+  return Status::OK();
+}
+
+float ScalarEvaluator::Resolve(const compiler::ValueRef& ref,
+                               const TupleData* tuple) const {
+  using K = compiler::ValueRef::Kind;
+  switch (ref.kind) {
+    case K::kNone:
+      return 0.0f;
+    case K::kSub:
+      switch (ref.region) {
+        case compiler::ValueRegion::kTuple:
+          return tuple_slots_[ref.index];
+        case compiler::ValueRegion::kBatch:
+          return batch_slots_[ref.index];
+        case compiler::ValueRegion::kEpoch:
+          return epoch_slots_[ref.index];
+      }
+      return 0.0f;
+    case K::kModel:
+      return model_[ref.var_id][ref.index];
+    case K::kInput:
+      return tuple ? tuple->inputs[ref.var_id][ref.index] : 0.0f;
+    case K::kOutput:
+      return tuple ? tuple->outputs[ref.var_id][ref.index] : 0.0f;
+    case K::kMeta:
+      return static_cast<float>(prog_.meta_vars[ref.var_id]->meta_value);
+    case K::kConst:
+      return static_cast<float>(ref.constant);
+    case K::kMergeOut:
+      return merge_vals_[ref.index];
+  }
+  return 0.0f;
+}
+
+Status ScalarEvaluator::RunOps(const std::vector<compiler::ScalarOp>& ops,
+                               std::vector<float>* slots,
+                               const TupleData* tuple) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const float a = Resolve(ops[i].a, tuple);
+    const float b = Resolve(ops[i].b, tuple);
+    (*slots)[i] = ApplyAluOp(ops[i].op, a, b);
+  }
+  ops_executed_ += ops.size();
+  return Status::OK();
+}
+
+Status ScalarEvaluator::EvalBatch(std::span<const TupleData> batch) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("EvalBatch: empty batch");
+  }
+  for (const TupleData& t : batch) {
+    if (t.inputs.size() != prog_.input_vars.size() ||
+        t.outputs.size() != prog_.output_vars.size()) {
+      return Status::InvalidArgument("tuple variable count mismatch");
+    }
+  }
+
+  last_tuple_ = batch.back();  // kept for per-batch/per-epoch references
+  for (size_t t = 0; t < batch.size(); ++t) {
+    DANA_RETURN_NOT_OK(RunOps(prog_.tuple_ops, &tuple_slots_, &batch[t]));
+    for (size_t m = 0; m < prog_.merge_slots.size(); ++m) {
+      const float v = Resolve(prog_.merge_slots[m].src, &batch[t]);
+      if (t == 0) {
+        merge_vals_[m] = v;
+      } else {
+        merge_vals_[m] =
+            ApplyAluOp(prog_.merge_slots[m].combine, merge_vals_[m], v);
+      }
+    }
+  }
+
+  DANA_RETURN_NOT_OK(RunOps(prog_.batch_ops, &batch_slots_, &last_tuple_));
+
+  // Stage then apply model writes (updates may read the old model).
+  std::vector<std::vector<float>> staged(prog_.model_writes.size());
+  for (size_t w = 0; w < prog_.model_writes.size(); ++w) {
+    const auto& write = prog_.model_writes[w];
+    staged[w].resize(write.elems.size());
+    for (size_t e = 0; e < write.elems.size(); ++e) {
+      staged[w][e] = Resolve(write.elems[e], &last_tuple_);
+    }
+  }
+  for (size_t w = 0; w < prog_.model_writes.size(); ++w) {
+    model_[prog_.model_writes[w].model_var] = std::move(staged[w]);
+  }
+  return Status::OK();
+}
+
+Result<bool> ScalarEvaluator::EvalConvergence() {
+  if (!prog_.has_convergence) return false;
+  DANA_RETURN_NOT_OK(RunOps(prog_.epoch_ops, &epoch_slots_, &last_tuple_));
+  return Resolve(prog_.convergence, &last_tuple_) != 0.0f;
+}
+
+}  // namespace dana::engine

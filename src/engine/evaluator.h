@@ -1,0 +1,68 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/scalar_program.h"
+
+namespace dana::engine {
+
+/// One training tuple as the execution engine sees it: flattened fp32
+/// element vectors, one per input/output variable of the ScalarProgram.
+struct TupleData {
+  std::vector<std::vector<float>> inputs;
+  std::vector<std::vector<float>> outputs;
+};
+
+/// Functional model of the execution engine: executes the lowered scalar
+/// program in IEEE fp32, the arithmetic the synthesized AUs perform.
+///
+/// This is the semantics half of the engine simulator (the timing half is
+/// the static Schedule); tests validate it against hdfg::Interpreter's
+/// float64 reference, and the accelerator uses it to actually train models.
+class ScalarEvaluator {
+ public:
+  explicit ScalarEvaluator(const compiler::ScalarProgram& prog);
+
+  /// Overrides a model variable's current value (initialization).
+  dana::Status SetModel(uint32_t model_var, std::span<const float> values);
+
+  /// Current value of a model variable (flattened, row-major).
+  const std::vector<float>& Model(uint32_t model_var) const {
+    return model_[model_var];
+  }
+
+  /// Runs one batch: per-tuple ops for each tuple, merge combination,
+  /// per-batch ops, and model write-back. Plain-SGD programs (merge_coef
+  /// 1) pass single-tuple batches.
+  dana::Status EvalBatch(std::span<const TupleData> batch);
+
+  /// Evaluates the per-epoch convergence ops; true == stop. Always false
+  /// without a convergence condition.
+  dana::Result<bool> EvalConvergence();
+
+  /// Scalar-op executions so far (dynamic instruction count).
+  uint64_t ops_executed() const { return ops_executed_; }
+
+ private:
+  float Resolve(const compiler::ValueRef& ref, const TupleData* tuple) const;
+  dana::Status RunOps(const std::vector<compiler::ScalarOp>& ops,
+                      std::vector<float>* slots, const TupleData* tuple);
+
+  const compiler::ScalarProgram& prog_;
+  std::vector<std::vector<float>> model_;
+  std::vector<float> tuple_slots_;
+  std::vector<float> batch_slots_;
+  std::vector<float> epoch_slots_;
+  std::vector<float> merge_vals_;
+  /// Copy of the batch's last tuple, for per-batch/per-epoch ops that
+  /// reference unmerged tuple values (documented last-tuple semantics).
+  TupleData last_tuple_;
+  uint64_t ops_executed_ = 0;
+};
+
+/// Applies one ALU op in fp32 (shared with tests).
+float ApplyAluOp(AluOp op, float a, float b);
+
+}  // namespace dana::engine

@@ -1,0 +1,148 @@
+#include "engine/isa.h"
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace dana::engine {
+
+std::string AluOpName(AluOp op) {
+  switch (op) {
+    case AluOp::kNop:
+      return "nop";
+    case AluOp::kAdd:
+      return "add";
+    case AluOp::kSub:
+      return "sub";
+    case AluOp::kMul:
+      return "mul";
+    case AluOp::kDiv:
+      return "div";
+    case AluOp::kLt:
+      return "lt";
+    case AluOp::kGt:
+      return "gt";
+    case AluOp::kSigmoid:
+      return "sigmoid";
+    case AluOp::kGaussian:
+      return "gaussian";
+    case AluOp::kSqrt:
+      return "sqrt";
+    case AluOp::kMov:
+      return "mov";
+  }
+  return "?";
+}
+
+uint32_t AluOpLatency(AluOp op) {
+  switch (op) {
+    case AluOp::kNop:
+    case AluOp::kMov:
+    case AluOp::kAdd:
+    case AluOp::kSub:
+    case AluOp::kLt:
+    case AluOp::kGt:
+      return 1;
+    case AluOp::kMul:
+      return 2;  // DSP48 pipelined multiply
+    case AluOp::kDiv:
+      return 8;  // iterative divider
+    case AluOp::kSigmoid:
+    case AluOp::kGaussian:
+      return 4;  // piecewise-linear LUT evaluation
+    case AluOp::kSqrt:
+      return 6;  // iterative square root
+  }
+  return 1;
+}
+
+uint64_t AuMicroOp::Encode() const {
+  uint64_t w = 0;
+  w |= static_cast<uint64_t>(op) & 0x3F;
+  w |= (static_cast<uint64_t>(src1.kind) & 0x7) << 6;
+  w |= (static_cast<uint64_t>(src1.addr) & 0xFFF) << 9;
+  w |= (static_cast<uint64_t>(src2.kind) & 0x7) << 21;
+  w |= (static_cast<uint64_t>(src2.addr) & 0xFFF) << 24;
+  w |= (static_cast<uint64_t>(dst) & 0x7) << 36;
+  w |= (static_cast<uint64_t>(dst_addr) & 0x1FF) << 39;
+  return w;
+}
+
+Result<AuMicroOp> AuMicroOp::Decode(uint64_t w) {
+  if (w >> 48) {
+    return Status::Corruption("AU micro-op word has bits above bit 47");
+  }
+  const uint64_t opcode = w & 0x3F;
+  if (opcode > static_cast<uint64_t>(AluOp::kMov)) {
+    return Status::Corruption("invalid AU opcode " + std::to_string(opcode));
+  }
+  AuMicroOp op;
+  op.op = static_cast<AluOp>(opcode);
+  op.src1.kind = static_cast<SrcKind>((w >> 6) & 0x7);
+  op.src1.addr = static_cast<uint16_t>((w >> 9) & 0xFFF);
+  op.src2.kind = static_cast<SrcKind>((w >> 21) & 0x7);
+  op.src2.addr = static_cast<uint16_t>((w >> 24) & 0xFFF);
+  op.dst = static_cast<DstKind>((w >> 36) & 0x7);
+  op.dst_addr = static_cast<uint16_t>((w >> 39) & 0x1FF);
+  return op;
+}
+
+namespace {
+std::string SrcToString(const SrcRef& s) {
+  switch (s.kind) {
+    case SrcKind::kNone:
+      return "-";
+    case SrcKind::kScratch:
+      return "m[" + std::to_string(s.addr) + "]";
+    case SrcKind::kLeft:
+      return "left";
+    case SrcKind::kRight:
+      return "right";
+    case SrcKind::kBus:
+      return "bus";
+    case SrcKind::kImmediate:
+      return "imm[" + std::to_string(s.addr) + "]";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string AuMicroOp::ToString() const {
+  std::ostringstream os;
+  os << AluOpName(op) << " " << SrcToString(src1) << ", " << SrcToString(src2)
+     << " -> ";
+  switch (dst) {
+    case DstKind::kNone:
+      os << "-";
+      break;
+    case DstKind::kScratch:
+      os << "m[" << dst_addr << "]";
+      break;
+    case DstKind::kNeighbors:
+      os << "neighbors";
+      break;
+    case DstKind::kBus:
+      os << "bus";
+      break;
+    case DstKind::kInterAc:
+      os << "inter-ac";
+      break;
+  }
+  return os.str();
+}
+
+std::string AcInstruction::ToString() const {
+  std::ostringstream os;
+  os << AluOpName(op) << " mask=";
+  for (int i = kAusPerAc - 1; i >= 0; --i) {
+    os << ((active_mask >> i) & 1);
+  }
+  for (uint32_t i = 0; i < kAusPerAc; ++i) {
+    if ((active_mask >> i) & 1) {
+      os << "\n    au" << i << ": " << lanes[i].ToString();
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dana::engine

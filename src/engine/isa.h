@@ -1,0 +1,98 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dana::engine {
+
+/// ALU operations of an Analytic Unit (paper §5.2). The ALU is customized
+/// per accelerator: only the ops the hDFG needs are synthesized.
+enum class AluOp : uint8_t {
+  kNop = 0,
+  kAdd = 1,
+  kSub = 2,
+  kMul = 3,
+  kDiv = 4,
+  kLt = 5,
+  kGt = 6,
+  kSigmoid = 7,
+  kGaussian = 8,
+  kSqrt = 9,
+  kMov = 10,  ///< data movement (neighbor/bus transfer without compute)
+};
+
+/// Mnemonic ("add", "sigmoid", ...).
+std::string AluOpName(AluOp op);
+
+/// Pipeline latency of an op in cycles on the 150 MHz VU9P design.
+/// Multipliers map to DSP slices (2-stage); divide and the non-linear ops
+/// are iterative/LUT-based multi-cycle units.
+uint32_t AluOpLatency(AluOp op);
+
+/// Where an AU operand comes from (paper Figure 7b): its own scratchpad,
+/// a neighbor's output register, the cluster bus FIFO, or an immediate.
+enum class SrcKind : uint8_t {
+  kNone = 0,
+  kScratch = 1,    ///< AU-local data memory, field = address
+  kLeft = 2,       ///< left neighbor's last result
+  kRight = 3,      ///< right neighbor's last result
+  kBus = 4,        ///< intra-AC bus FIFO head
+  kImmediate = 5,  ///< small constant from the immediate table, field = index
+};
+
+/// Where an AU result goes: scratchpad, the neighbor links, the AC bus,
+/// or the inter-AC / tree bus toward other clusters and the merge network.
+enum class DstKind : uint8_t {
+  kNone = 0,
+  kScratch = 1,
+  kNeighbors = 2,
+  kBus = 3,
+  kInterAc = 4,
+};
+
+/// One operand reference.
+struct SrcRef {
+  SrcKind kind = SrcKind::kNone;
+  uint16_t addr = 0;
+};
+
+/// One AU micro-instruction: the per-AU half of the selective-SIMD scheme —
+/// the AC broadcasts the opcode, each AU keeps "finer details about the
+/// source type, source operands, and destination" locally (§5.2).
+struct AuMicroOp {
+  AluOp op = AluOp::kNop;
+  SrcRef src1, src2;
+  DstKind dst = DstKind::kNone;
+  uint16_t dst_addr = 0;
+
+  /// Packs into 48 bits: op(6) | s1k(3) s1a(12) | s2k(3) s2a(12) |
+  /// dk(3) da(9). Stored 8 bytes per op in the catalog blob.
+  uint64_t Encode() const;
+  static dana::Result<AuMicroOp> Decode(uint64_t word);
+  std::string ToString() const;
+};
+
+/// Number of AUs per analytic cluster; fixed at 8 for timing closure
+/// (paper §5.2).
+inline constexpr uint32_t kAusPerAc = 8;
+
+/// One AC instruction: the cluster-level opcode plus the active-AU mask
+/// (selective SIMD) and the per-AU micro-ops for active lanes.
+struct AcInstruction {
+  AluOp op = AluOp::kNop;
+  uint8_t active_mask = 0;  ///< bit i == AU i executes; 0 == cluster NOP
+  std::array<AuMicroOp, kAusPerAc> lanes = {};
+
+  std::string ToString() const;
+};
+
+/// The instruction stream of one AC for one schedule region.
+struct AcProgram {
+  std::vector<AcInstruction> instructions;
+};
+
+}  // namespace dana::engine

@@ -1,0 +1,84 @@
+#include "hdfg/broadcast.h"
+
+namespace dana::hdfg {
+
+namespace {
+
+bool IsSuffix(const std::vector<uint32_t>& small,
+              const std::vector<uint32_t>& big) {
+  if (small.size() > big.size()) return false;
+  const size_t off = big.size() - small.size();
+  for (size_t i = 0; i < small.size(); ++i) {
+    if (small[i] != big[off + i]) return false;
+  }
+  return true;
+}
+
+bool IsPrefix(const std::vector<uint32_t>& small,
+              const std::vector<uint32_t>& big) {
+  if (small.size() > big.size()) return false;
+  for (size_t i = 0; i < small.size(); ++i) {
+    if (small[i] != big[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BroadcastIndexer::BroadcastIndexer(const std::vector<uint32_t>& a_dims,
+                                   const std::vector<uint32_t>& b_dims) {
+  const uint64_t a_n = NumElements(a_dims);
+  const uint64_t b_n = NumElements(b_dims);
+  if (a_dims == b_dims) {
+    mode_ = Mode::kSame;
+  } else if (a_dims.empty() || b_dims.empty()) {
+    mode_ = Mode::kScalar;
+    scalar_is_a_ = a_dims.empty();
+  } else if (a_dims.size() != b_dims.size() &&
+             IsSuffix(a_dims.size() < b_dims.size() ? a_dims : b_dims,
+                      a_dims.size() < b_dims.size() ? b_dims : a_dims)) {
+    mode_ = Mode::kSuffix;
+    small_is_a_ = a_dims.size() < b_dims.size();
+    small_n_ = small_is_a_ ? a_n : b_n;
+  } else if (a_dims.size() != b_dims.size() &&
+             IsPrefix(a_dims.size() < b_dims.size() ? a_dims : b_dims,
+                      a_dims.size() < b_dims.size() ? b_dims : a_dims)) {
+    mode_ = Mode::kPrefix;
+    small_is_a_ = a_dims.size() < b_dims.size();
+    small_n_ = small_is_a_ ? a_n : b_n;
+    const uint64_t big_n = small_is_a_ ? b_n : a_n;
+    rep_ = big_n / small_n_;
+  } else if (a_dims.size() >= 2 && b_dims.size() >= 2 &&
+             a_dims.back() == b_dims.back()) {
+    mode_ = Mode::kCross;
+    t_ = a_dims.back();
+    b_lead_ = b_n / t_;
+  } else {
+    mode_ = Mode::kOuter;
+    k_ = b_dims.empty() ? 1 : b_dims[0];
+  }
+}
+
+uint64_t BroadcastIndexer::Index(bool pick_a, uint64_t out_idx) const {
+  switch (mode_) {
+    case Mode::kSame:
+      return out_idx;
+    case Mode::kScalar:
+      return (pick_a == scalar_is_a_) ? 0 : out_idx;
+    case Mode::kSuffix:
+      return (pick_a == small_is_a_) ? out_idx % small_n_ : out_idx;
+    case Mode::kPrefix:
+      return (pick_a == small_is_a_) ? out_idx / rep_ : out_idx;
+    case Mode::kCross: {
+      const uint64_t it = out_idx % t_;
+      const uint64_t ib = (out_idx / t_) % b_lead_;
+      const uint64_t ia = out_idx / (t_ * b_lead_);
+      return pick_a ? ia * t_ + it : ib * t_ + it;
+    }
+    case Mode::kOuter:
+      return pick_a ? out_idx / k_ : out_idx % k_;
+  }
+  return 0;
+}
+
+}  // namespace dana::hdfg

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdfg/graph.h"
+
+namespace dana::hdfg {
+
+/// Maps an output linear index to an operand's linear index under DAnA's
+/// broadcast rules (see InferBinaryDims in translator.h). Shared by the
+/// functional interpreter and the backend's scalar lowering so both agree
+/// on element routing bit-for-bit.
+class BroadcastIndexer {
+ public:
+  BroadcastIndexer(const std::vector<uint32_t>& a_dims,
+                   const std::vector<uint32_t>& b_dims);
+
+  /// Linear index into operand A (pick_a) or B for output element out_idx.
+  uint64_t Index(bool pick_a, uint64_t out_idx) const;
+
+ private:
+  enum class Mode { kSame, kScalar, kSuffix, kPrefix, kCross, kOuter };
+  Mode mode_ = Mode::kSame;
+  bool scalar_is_a_ = false;
+  bool small_is_a_ = false;
+  uint64_t small_n_ = 1;
+  uint64_t rep_ = 1;
+  uint64_t t_ = 1;
+  uint64_t b_lead_ = 1;
+  uint64_t k_ = 1;
+};
+
+}  // namespace dana::hdfg

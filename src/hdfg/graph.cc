@@ -1,0 +1,108 @@
+#include "hdfg/graph.h"
+
+#include <sstream>
+
+namespace dana::hdfg {
+
+std::string RegionName(Region r) {
+  switch (r) {
+    case Region::kLeaf:
+      return "leaf";
+    case Region::kPerTuple:
+      return "per-tuple";
+    case Region::kPerBatch:
+      return "per-batch";
+    case Region::kPerEpoch:
+      return "per-epoch";
+  }
+  return "?";
+}
+
+uint64_t NumElements(const std::vector<uint32_t>& dims) {
+  uint64_t n = 1;
+  for (uint32_t d : dims) n *= d;
+  return n;
+}
+
+std::string DimsToString(const std::vector<uint32_t>& dims) {
+  if (dims.empty()) return "scalar";
+  std::string s;
+  for (uint32_t d : dims) {
+    s += "[" + std::to_string(d) + "]";
+  }
+  return s;
+}
+
+uint64_t Graph::SubNodeCount(NodeId id) const {
+  const Node& n = nodes[id];
+  switch (n.op) {
+    case dsl::OpKind::kVarRef:
+    case dsl::OpKind::kConst:
+      return 0;
+    case dsl::OpKind::kSigma:
+    case dsl::OpKind::kPi: {
+      // Tree-reduce every input element into the output shape: one combine
+      // per input element beyond each output element.
+      const uint64_t in = NumElements(nodes[n.inputs[0]].dims);
+      const uint64_t out = NumElements(n.dims);
+      return in > out ? in - out : 0;
+    }
+    case dsl::OpKind::kNorm: {
+      // Square every input element, tree-add, then sqrt per output element.
+      const uint64_t in = NumElements(nodes[n.inputs[0]].dims);
+      const uint64_t out = NumElements(n.dims);
+      return in + (in > out ? in - out : 0) + out;
+    }
+    case dsl::OpKind::kMerge: {
+      // (coef - 1) combines per element, executed on the tree bus.
+      return NumElements(n.dims) * (n.merge_coef > 0 ? n.merge_coef - 1 : 0);
+    }
+    default:
+      return NumElements(n.dims);
+  }
+}
+
+uint64_t Graph::TotalSubNodes(Region region) const {
+  uint64_t total = 0;
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].region == region) total += SubNodeCount(i);
+  }
+  return total;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    os << "%" << i << " = " << dsl::OpKindName(n.op);
+    if (n.op == dsl::OpKind::kVarRef) {
+      os << "(" << dsl::VarKindName(n.var->kind) << " " << n.var->name << ")";
+    } else if (n.op == dsl::OpKind::kConst) {
+      os << "(" << n.constant << ")";
+    } else {
+      os << "(";
+      for (size_t k = 0; k < n.inputs.size(); ++k) {
+        os << (k ? ", " : "") << "%" << n.inputs[k];
+      }
+      if (dsl::IsGroupOp(n.op)) os << ", axis=" << n.axis;
+      if (n.op == dsl::OpKind::kMerge) {
+        os << ", coef=" << n.merge_coef << ", op="
+           << dsl::OpKindName(n.merge_op);
+      }
+      os << ")";
+    }
+    os << " : " << DimsToString(n.dims) << " " << RegionName(n.region)
+       << "\n";
+  }
+  for (size_t i = 0; i < model_vars.size(); ++i) {
+    os << "update " << model_vars[i]->name << " <- %" << update_roots[i]
+       << "\n";
+  }
+  if (convergence_root != kInvalidNode) {
+    os << "converge when %" << convergence_root << "\n";
+  }
+  os << "epochs " << max_epochs << ", merge_coef " << merge_coef << "\n";
+  return os.str();
+}
+
+}  // namespace dana::hdfg

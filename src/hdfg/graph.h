@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/expr.h"
+
+namespace dana::hdfg {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Execution region of an hDFG node (when/how often it runs).
+enum class Region : uint8_t {
+  kLeaf,      ///< variable or constant; no computation
+  kPerTuple,  ///< inside the update rule: once per training tuple, per thread
+  kPerBatch,  ///< after the merge boundary: once per batch of tuples
+  kPerEpoch,  ///< convergence check: once per epoch
+};
+
+/// Name for diagnostics.
+std::string RegionName(Region r);
+
+/// One node of the hierarchical DataFlow Graph.
+///
+/// A node is a multi-dimensional operation (paper §4.4); it decomposes into
+/// `SubNodeCount()` atomic scalar operations that the backend schedules onto
+/// analytic units individually.
+struct Node {
+  dsl::OpKind op = dsl::OpKind::kConst;
+  std::vector<NodeId> inputs;
+  /// Inferred dimensions of this node's output (empty == scalar).
+  std::vector<uint32_t> dims;
+  /// Execution region.
+  Region region = Region::kPerTuple;
+  /// Source variable for kVarRef leaves.
+  std::shared_ptr<dsl::Var> var;
+  /// Literal for kConst leaves.
+  double constant = 0.0;
+  /// Reduction axis for group ops (0-indexed; note the paper's examples
+  /// count axes from 1 in places).
+  uint32_t axis = 0;
+  /// Merge fan-in and combiner for kMerge nodes.
+  uint32_t merge_coef = 1;
+  dsl::OpKind merge_op = dsl::OpKind::kAdd;
+};
+
+/// Number of scalar elements in a shape (1 for scalars).
+uint64_t NumElements(const std::vector<uint32_t>& dims);
+
+/// Renders a shape as "[5][2]" ("scalar" when empty).
+std::string DimsToString(const std::vector<uint32_t>& dims);
+
+/// The translated program: a topologically ordered node list plus the roots
+/// the runtime needs (model updates and the optional convergence condition).
+struct Graph {
+  std::vector<Node> nodes;
+
+  /// Model-update bindings: after a batch, model `model_vars[i]` takes the
+  /// value of node `update_roots[i]`.
+  std::vector<std::shared_ptr<dsl::Var>> model_vars;
+  std::vector<NodeId> update_roots;
+
+  /// Convergence condition root (kInvalidNode when training runs a fixed
+  /// epoch count), and the epoch budget.
+  NodeId convergence_root = kInvalidNode;
+  uint32_t max_epochs = 1;
+
+  /// Largest merge coefficient in the graph (1 == no merge declared).
+  uint32_t merge_coef = 1;
+
+  const Node& node(NodeId id) const { return nodes[id]; }
+
+  /// Atomic scalar-operation count of one node (its sub-nodes, §4.4):
+  /// elementwise ops count one per output element; group ops count one
+  /// combine per reduced input element (plus the final sqrt for norm).
+  uint64_t SubNodeCount(NodeId id) const;
+
+  /// Total sub-nodes in a region; the backend's work estimate.
+  uint64_t TotalSubNodes(Region region) const;
+
+  /// Human-readable dump for debugging and golden tests.
+  std::string ToString() const;
+};
+
+}  // namespace dana::hdfg

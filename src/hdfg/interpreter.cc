@@ -1,0 +1,227 @@
+#include "hdfg/interpreter.h"
+
+#include <cmath>
+#include <string>
+
+#include "hdfg/broadcast.h"
+
+namespace dana::hdfg {
+
+namespace {
+
+double ApplyScalarOp(dsl::OpKind op, double x, double y) {
+  switch (op) {
+    case dsl::OpKind::kAdd:
+      return x + y;
+    case dsl::OpKind::kSub:
+      return x - y;
+    case dsl::OpKind::kMul:
+      return x * y;
+    case dsl::OpKind::kDiv:
+      return x / y;
+    case dsl::OpKind::kLt:
+      return x < y ? 1.0 : 0.0;
+    case dsl::OpKind::kGt:
+      return x > y ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+Status EvalBinary(dsl::OpKind op, const Tensor& a, const Tensor& b,
+                  const std::vector<uint32_t>& out_dims, Tensor* out) {
+  out->dims = out_dims;
+  out->data.resize(NumElements(out_dims));
+  const BroadcastIndexer idx(a.dims, b.dims);
+  for (uint64_t i = 0; i < out->data.size(); ++i) {
+    const double x = a.data[idx.Index(true, i)];
+    const double y = b.data[idx.Index(false, i)];
+    out->data[i] = ApplyScalarOp(op, x, y);
+  }
+  return Status::OK();
+}
+
+Interpreter::Interpreter(const Graph& graph)
+    : graph_(graph), vals_(graph.nodes.size()) {
+  zero_ = Tensor::Scalar(0.0);
+}
+
+void Interpreter::SetModelValue(const dsl::Var* var, Tensor value) {
+  model_values_[var] = std::move(value);
+}
+
+const Tensor& Interpreter::ModelValue(const dsl::Var* var) const {
+  auto it = model_values_.find(var);
+  if (it == model_values_.end()) return zero_;
+  return it->second;
+}
+
+Status Interpreter::EvalNode(NodeId id, const TupleBinding* binding) {
+  const Node& n = graph_.nodes[id];
+  Tensor& out = vals_[id];
+  switch (n.op) {
+    case dsl::OpKind::kVarRef: {
+      const dsl::Var* var = n.var.get();
+      switch (var->kind) {
+        case dsl::VarKind::kModel: {
+          auto it = model_values_.find(var);
+          if (it == model_values_.end()) {
+            out = Tensor(var->dims);  // zero-initialized model
+            model_values_[var] = out;
+          } else {
+            out = it->second;
+          }
+          break;
+        }
+        case dsl::VarKind::kMeta:
+          out = Tensor::Scalar(var->meta_value);
+          break;
+        case dsl::VarKind::kInput:
+        case dsl::VarKind::kOutput: {
+          if (binding == nullptr) break;  // keep previous value
+          auto it = binding->find(var);
+          if (it == binding->end()) {
+            return Status::InvalidArgument("tuple binding missing variable '" +
+                                           var->name + "'");
+          }
+          out = it->second;
+          break;
+        }
+        case dsl::VarKind::kInter:
+          return Status::Internal("inter variable appears as a leaf");
+      }
+      break;
+    }
+    case dsl::OpKind::kConst:
+      out = Tensor::Scalar(n.constant);
+      break;
+    case dsl::OpKind::kSigmoid:
+    case dsl::OpKind::kGaussian:
+    case dsl::OpKind::kSqrt: {
+      const Tensor& in = vals_[n.inputs[0]];
+      out.dims = in.dims;
+      out.data.resize(in.data.size());
+      for (uint64_t i = 0; i < in.data.size(); ++i) {
+        const double x = in.data[i];
+        if (n.op == dsl::OpKind::kSigmoid) {
+          out.data[i] = 1.0 / (1.0 + std::exp(-x));
+        } else if (n.op == dsl::OpKind::kGaussian) {
+          out.data[i] = std::exp(-x * x);
+        } else {
+          out.data[i] = std::sqrt(x);
+        }
+      }
+      break;
+    }
+    case dsl::OpKind::kSigma:
+    case dsl::OpKind::kPi:
+    case dsl::OpKind::kNorm: {
+      const Tensor& in = vals_[n.inputs[0]];
+      out.dims = n.dims;
+      out.data.assign(NumElements(n.dims),
+                      n.op == dsl::OpKind::kPi ? 1.0 : 0.0);
+      // Decompose each input index into (lead, axis, trail) coordinates.
+      const auto& in_dims = in.dims;
+      uint64_t trail = 1;
+      for (size_t i = n.axis + 1; i < in_dims.size(); ++i) trail *= in_dims[i];
+      const uint64_t axis_n = in_dims[n.axis];
+      const uint64_t lead = in.data.size() / (trail * axis_n);
+      for (uint64_t l = 0; l < lead; ++l) {
+        for (uint64_t a = 0; a < axis_n; ++a) {
+          for (uint64_t t = 0; t < trail; ++t) {
+            const double v = in.data[(l * axis_n + a) * trail + t];
+            double& acc = out.data[l * trail + t];
+            if (n.op == dsl::OpKind::kPi) {
+              acc *= v;
+            } else if (n.op == dsl::OpKind::kNorm) {
+              acc += v * v;
+            } else {
+              acc += v;
+            }
+          }
+        }
+      }
+      if (n.op == dsl::OpKind::kNorm) {
+        for (double& v : out.data) v = std::sqrt(v);
+      }
+      break;
+    }
+    case dsl::OpKind::kMerge:
+      // Combined by EvalBatch; nothing to do per evaluation.
+      break;
+    default: {
+      const Tensor& a = vals_[n.inputs[0]];
+      const Tensor& b = vals_[n.inputs[1]];
+      DANA_RETURN_NOT_OK(EvalBinary(n.op, a, b, n.dims, &out));
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Interpreter::EvalBatch(std::span<const TupleBinding> batch) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("EvalBatch: empty batch");
+  }
+
+  // Identify merge nodes and prepare accumulators.
+  std::vector<NodeId> merge_nodes;
+  for (NodeId i = 0; i < graph_.nodes.size(); ++i) {
+    if (graph_.nodes[i].op == dsl::OpKind::kMerge) merge_nodes.push_back(i);
+  }
+  std::vector<Tensor> merge_acc(merge_nodes.size());
+
+  // Per-tuple phase.
+  for (size_t t = 0; t < batch.size(); ++t) {
+    for (NodeId i = 0; i < graph_.nodes.size(); ++i) {
+      const Region r = graph_.nodes[i].region;
+      if (r == Region::kLeaf || r == Region::kPerTuple) {
+        DANA_RETURN_NOT_OK(EvalNode(i, &batch[t]));
+      }
+    }
+    for (size_t m = 0; m < merge_nodes.size(); ++m) {
+      const Node& mn = graph_.nodes[merge_nodes[m]];
+      const Tensor& v = vals_[mn.inputs[0]];
+      if (t == 0) {
+        merge_acc[m] = v;
+      } else {
+        Tensor combined;
+        DANA_RETURN_NOT_OK(
+            EvalBinary(mn.merge_op, merge_acc[m], v, v.dims, &combined));
+        merge_acc[m] = std::move(combined);
+      }
+    }
+  }
+
+  // Per-batch phase: install merged values, then evaluate downstream nodes.
+  for (size_t m = 0; m < merge_nodes.size(); ++m) {
+    vals_[merge_nodes[m]] = std::move(merge_acc[m]);
+  }
+  for (NodeId i = 0; i < graph_.nodes.size(); ++i) {
+    const Node& n = graph_.nodes[i];
+    if (n.region == Region::kPerBatch && n.op != dsl::OpKind::kMerge) {
+      DANA_RETURN_NOT_OK(EvalNode(i, nullptr));
+    }
+  }
+
+  // Apply model updates.
+  for (size_t u = 0; u < graph_.update_roots.size(); ++u) {
+    model_values_[graph_.model_vars[u].get()] =
+        vals_[graph_.update_roots[u]];
+  }
+  return Status::OK();
+}
+
+Result<bool> Interpreter::EvalConvergence() {
+  if (graph_.convergence_root == kInvalidNode) return false;
+  for (NodeId i = 0; i < graph_.nodes.size(); ++i) {
+    if (graph_.nodes[i].region == Region::kPerEpoch) {
+      DANA_RETURN_NOT_OK(EvalNode(i, nullptr));
+    }
+  }
+  return vals_[graph_.convergence_root].scalar() != 0.0;
+}
+
+}  // namespace dana::hdfg

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "hdfg/graph.h"
+
+namespace dana::hdfg {
+
+/// Dense row-major tensor of doubles; the interpreter's value type.
+struct Tensor {
+  std::vector<uint32_t> dims;
+  std::vector<double> data;
+
+  Tensor() = default;
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<uint32_t> d)
+      : dims(std::move(d)), data(NumElements(dims), 0.0) {}
+  /// Scalar tensor.
+  static Tensor Scalar(double v) {
+    Tensor t;
+    t.data = {v};
+    return t;
+  }
+  double scalar() const { return data.empty() ? 0.0 : data[0]; }
+  uint64_t size() const { return data.size(); }
+};
+
+/// Applies one elementwise binary op with DAnA broadcasting (the rules of
+/// InferBinaryDims) to produce a tensor of shape `out_dims`.
+dana::Status EvalBinary(dsl::OpKind op, const Tensor& a, const Tensor& b,
+                        const std::vector<uint32_t>& out_dims, Tensor* out);
+
+/// Per-tuple variable bindings: values for input/output variables.
+using TupleBinding = std::map<const dsl::Var*, Tensor>;
+
+/// Functional (non-timed) evaluator of an hDFG.
+///
+/// This is the reference semantics of a translated UDF. The MADlib-style
+/// CPU baselines execute through it, and the cycle-level accelerator
+/// simulator is validated against it (same graph, same data => same model).
+class Interpreter {
+ public:
+  explicit Interpreter(const Graph& graph);
+
+  /// Sets the current value of a model variable (initialization).
+  void SetModelValue(const dsl::Var* var, Tensor value);
+
+  /// Current value of a model variable; zeros if never set.
+  const Tensor& ModelValue(const dsl::Var* var) const;
+
+  /// Processes one batch of tuples through the update rule:
+  /// evaluates the per-tuple region once per tuple, combines merge nodes
+  /// across the batch, evaluates the per-batch region once, and applies
+  /// the model updates. With no merge in the graph, pass batches of one
+  /// tuple for plain SGD semantics.
+  dana::Status EvalBatch(std::span<const TupleBinding> batch);
+
+  /// Evaluates the per-epoch convergence region using the values left by
+  /// the last EvalBatch; returns true when training should stop. Always
+  /// false when the graph has no convergence condition.
+  dana::Result<bool> EvalConvergence();
+
+  /// Value of an arbitrary node after the last EvalBatch (for tests).
+  const Tensor& NodeValue(NodeId id) const { return vals_[id]; }
+
+ private:
+  dana::Status EvalNode(NodeId id, const TupleBinding* binding);
+
+  const Graph& graph_;
+  std::vector<Tensor> vals_;
+  std::map<const dsl::Var*, Tensor> model_values_;
+  Tensor zero_;
+};
+
+}  // namespace dana::hdfg

@@ -1,0 +1,251 @@
+#include "hdfg/translator.h"
+
+#include <map>
+#include <string>
+
+namespace dana::hdfg {
+
+namespace {
+
+bool IsSuffix(const std::vector<uint32_t>& small,
+              const std::vector<uint32_t>& big) {
+  if (small.size() > big.size()) return false;
+  const size_t off = big.size() - small.size();
+  for (size_t i = 0; i < small.size(); ++i) {
+    if (small[i] != big[off + i]) return false;
+  }
+  return true;
+}
+
+bool IsPrefix(const std::vector<uint32_t>& small,
+              const std::vector<uint32_t>& big) {
+  if (small.size() > big.size()) return false;
+  for (size_t i = 0; i < small.size(); ++i) {
+    if (small[i] != big[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> InferBinaryDims(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  // Rule 1: equal shapes.
+  if (a == b) return a;
+  // Rule 2: scalar broadcast.
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  // Rules 3/4: one operand replicated across the other.
+  const std::vector<uint32_t>& small = a.size() <= b.size() ? a : b;
+  const std::vector<uint32_t>& big = a.size() <= b.size() ? b : a;
+  if (small.size() < big.size()) {
+    if (IsSuffix(small, big)) return big;
+    if (IsPrefix(small, big)) return big;
+  }
+  // Rule 5: trailing-dimension cross join.
+  if (a.size() >= 2 && b.size() >= 2 && a.back() == b.back()) {
+    std::vector<uint32_t> out(a.begin(), a.end() - 1);
+    out.insert(out.end(), b.begin(), b.end() - 1);
+    out.push_back(a.back());
+    return out;
+  }
+  // Rule 6: vector outer product.
+  if (a.size() == 1 && b.size() == 1) {
+    return std::vector<uint32_t>{a[0], b[0]};
+  }
+  return Status::InvalidArgument("shapes " + DimsToString(a) + " and " +
+                                 DimsToString(b) + " are not broadcastable");
+}
+
+Result<std::vector<uint32_t>> InferGroupDims(const std::vector<uint32_t>& in,
+                                             uint32_t axis) {
+  if (in.empty()) {
+    return Status::InvalidArgument("group operation on a scalar");
+  }
+  if (axis >= in.size()) {
+    return Status::InvalidArgument(
+        "group axis " + std::to_string(axis) + " out of range for shape " +
+        DimsToString(in));
+  }
+  std::vector<uint32_t> out;
+  out.reserve(in.size() - 1);
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (i != axis) out.push_back(in[i]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Builder holding the in-progress graph plus the expr -> node memo table.
+class GraphBuilder {
+ public:
+  Result<NodeId> Lower(const dsl::Expr& e) {
+    auto it = memo_.find(e.get());
+    if (it != memo_.end()) return it->second;
+
+    Node node;
+    node.op = e->op();
+    switch (e->op()) {
+      case dsl::OpKind::kVarRef: {
+        node.var = e->var();
+        node.dims = e->var()->dims;
+        node.region = Region::kLeaf;
+        break;
+      }
+      case dsl::OpKind::kConst: {
+        node.constant = e->constant();
+        node.region = Region::kLeaf;
+        break;
+      }
+      case dsl::OpKind::kMerge: {
+        DANA_ASSIGN_OR_RETURN(NodeId in, Lower(e->inputs()[0]));
+        node.inputs = {in};
+        node.dims = graph_.nodes[in].dims;
+        node.merge_coef = e->merge_coef();
+        node.merge_op = e->merge_op();
+        node.region = Region::kPerBatch;
+        has_merge_ = true;
+        if (e->merge_coef() == 0) {
+          return Status::InvalidArgument("merge coefficient must be >= 1");
+        }
+        if (e->merge_op() != dsl::OpKind::kAdd &&
+            e->merge_op() != dsl::OpKind::kMul) {
+          return Status::Unimplemented(
+              "merge combiner must be '+' or '*', got " +
+              dsl::OpKindName(e->merge_op()));
+        }
+        break;
+      }
+      default: {
+        for (const auto& in_expr : e->inputs()) {
+          DANA_ASSIGN_OR_RETURN(NodeId in, Lower(in_expr));
+          node.inputs.push_back(in);
+        }
+        if (dsl::IsBinaryOp(e->op())) {
+          DANA_ASSIGN_OR_RETURN(
+              node.dims, InferBinaryDims(graph_.nodes[node.inputs[0]].dims,
+                                         graph_.nodes[node.inputs[1]].dims));
+        } else if (dsl::IsNonLinearOp(e->op())) {
+          node.dims = graph_.nodes[node.inputs[0]].dims;
+        } else if (dsl::IsGroupOp(e->op())) {
+          node.axis = e->axis();
+          DANA_ASSIGN_OR_RETURN(
+              node.dims,
+              InferGroupDims(graph_.nodes[node.inputs[0]].dims, e->axis()));
+        } else {
+          return Status::Internal("unhandled op " + dsl::OpKindName(e->op()));
+        }
+        // Region: per-batch as soon as any input crossed a merge boundary.
+        node.region = Region::kPerTuple;
+        for (NodeId in : node.inputs) {
+          const Region r = graph_.nodes[in].region;
+          if (r == Region::kPerBatch) node.region = Region::kPerBatch;
+        }
+        break;
+      }
+    }
+
+    const NodeId id = static_cast<NodeId>(graph_.nodes.size());
+    graph_.nodes.push_back(std::move(node));
+    memo_[e.get()] = id;
+    return id;
+  }
+
+  Graph&& Take() { return std::move(graph_); }
+  Graph& graph() { return graph_; }
+  bool has_merge() const { return has_merge_; }
+
+ private:
+  Graph graph_;
+  std::map<const dsl::ExprNode*, NodeId> memo_;
+  bool has_merge_ = false;
+};
+
+/// Recursively re-tags `id` and its ancestors as per-epoch. Leaves stay
+/// leaves; per-batch/per-tuple nodes reachable only from the convergence
+/// root become per-epoch.
+void MarkConvergenceRegion(Graph* g, NodeId id,
+                           const std::vector<uint32_t>& use_count_outside) {
+  Node& n = g->nodes[id];
+  if (n.region == Region::kLeaf || n.region == Region::kPerEpoch) return;
+  if (use_count_outside[id] > 0) return;  // shared with the update rule
+  n.region = Region::kPerEpoch;
+  for (NodeId in : n.inputs) {
+    MarkConvergenceRegion(g, in, use_count_outside);
+  }
+}
+
+}  // namespace
+
+Result<Graph> Translator::Translate(const dsl::Algo& algo) {
+  DANA_RETURN_NOT_OK(algo.Validate());
+
+  GraphBuilder builder;
+  Graph& g = builder.graph();
+
+  for (const auto& mu : algo.model_updates()) {
+    DANA_ASSIGN_OR_RETURN(NodeId root, builder.Lower(mu.update));
+    // The updated value must have the model's declared shape.
+    if (g.nodes[root].dims != mu.model->dims) {
+      return Status::InvalidArgument(
+          "setModel(" + mu.model->name + "): update has shape " +
+          DimsToString(g.nodes[root].dims) + " but the model is " +
+          DimsToString(mu.model->dims));
+    }
+    g.model_vars.push_back(mu.model);
+    g.update_roots.push_back(root);
+  }
+
+  if (algo.convergence().condition) {
+    DANA_ASSIGN_OR_RETURN(NodeId conv,
+                          builder.Lower(algo.convergence().condition));
+    if (!g.nodes[conv].dims.empty()) {
+      return Status::InvalidArgument(
+          "setConvergence: condition must be scalar, got " +
+          DimsToString(g.nodes[conv].dims));
+    }
+    g.convergence_root = conv;
+  }
+  g.max_epochs = algo.convergence().max_epochs;
+  g.merge_coef = algo.MergeCoefficient();
+
+  // Count uses of each node from the update-rule roots so convergence-only
+  // nodes can be re-tagged per-epoch.
+  std::vector<uint32_t> uses(g.nodes.size(), 0);
+  {
+    std::vector<NodeId> stack(g.update_roots.begin(), g.update_roots.end());
+    std::vector<bool> seen(g.nodes.size(), false);
+    while (!stack.empty()) {
+      NodeId id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = true;
+      ++uses[id];
+      for (NodeId in : g.nodes[id].inputs) {
+        ++uses[in];
+        if (!seen[in]) stack.push_back(in);
+      }
+    }
+  }
+  if (g.convergence_root != kInvalidNode) {
+    MarkConvergenceRegion(&g, g.convergence_root, uses);
+  }
+
+  // A model update that consumes per-tuple values without any merge is a
+  // pure SGD rule; with a merge, updates must be per-batch so each batch
+  // applies one combined update.
+  if (builder.has_merge()) {
+    for (NodeId root : g.update_roots) {
+      if (g.nodes[root].region == Region::kPerTuple) {
+        return Status::InvalidArgument(
+            "update rule mixes merged and unmerged tuple-dependent values; "
+            "route the update through the merge function");
+      }
+    }
+  }
+
+  return builder.Take();
+}
+
+}  // namespace dana::hdfg

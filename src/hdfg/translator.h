@@ -1,0 +1,47 @@
+#pragma once
+
+#include "common/result.h"
+#include "dsl/algo.h"
+#include "hdfg/graph.h"
+
+namespace dana::hdfg {
+
+/// Broadcast/dimension-inference result for a binary operation.
+///
+/// Implements §4.4's rules, generalized to the shapes the paper's examples
+/// use:
+///  1. equal shapes            -> elementwise, same shape
+///  2. one side scalar         -> replicate the scalar
+///  3. suffix match            -> smaller operand replicated along the
+///                                larger's leading dims ([k] op [d][k] -> [d][k])
+///  4. prefix match            -> smaller operand replicated along the
+///                                larger's trailing dims ([d] op [d][k] -> [d][k])
+///  5. trailing-dim cross join -> [a..][t] op [b..][t] -> [a..][b..][t]
+///                                (the paper's sigma(mo*in, 2) example with
+///                                mo=[5][10], in=[2][10] -> [5][2][10])
+///  6. vector outer product    -> [d] op [k] -> [d][k]
+dana::Result<std::vector<uint32_t>> InferBinaryDims(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b);
+
+/// Dimensions of a group op reducing `in` along `axis`.
+dana::Result<std::vector<uint32_t>> InferGroupDims(
+    const std::vector<uint32_t>& in, uint32_t axis);
+
+/// DAnA's translator (paper §4.4): converts a completed DSL Algo into the
+/// hierarchical DataFlow Graph consumed by the backend.
+///
+/// The translator
+///  - deduplicates shared sub-expressions (the DSL builds DAGs),
+///  - infers the dimensions of every node and edge,
+///  - marks execution regions: nodes feeding a merge node are per-tuple
+///    (parallel across threads), nodes consuming merged values are
+///    per-batch, and the convergence condition is per-epoch,
+///  - validates the result (axis bounds, broadcastability, region rules).
+class Translator {
+ public:
+  /// Translates `algo` into an hDFG, or an error describing the first
+  /// ill-formed construct encountered.
+  static dana::Result<Graph> Translate(const dsl::Algo& algo);
+};
+
+}  // namespace dana::hdfg

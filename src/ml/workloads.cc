@@ -1,0 +1,216 @@
+#include "ml/workloads.h"
+
+#include "hdfg/graph.h"
+
+namespace dana::ml {
+
+DatasetSpec Workload::dataset_spec() const {
+  DatasetSpec spec;
+  spec.kind = kind;
+  spec.dims = params.dims;
+  spec.rank = params.rank;
+  spec.tuples = tuples;
+  spec.seed = 0x5EED0000ull + std::hash<std::string>()(id);
+  return spec;
+}
+
+uint32_t Workload::TuplePayloadBytes() const {
+  const bool has_label = kind != AlgoKind::kLowRankMF;
+  return 4 * (params.dims + (has_label ? 1 : 0));
+}
+
+namespace {
+
+Workload Make(std::string id, std::string name, WorkloadGroup group,
+              AlgoKind kind, uint32_t dims, uint32_t rank, double lr,
+              uint32_t merge_coef, uint64_t scaled_tuples,
+              uint32_t madlib_epochs, uint32_t dana_epochs, double gp8,
+              PaperNumbers paper, uint32_t paper_dims = 0) {
+  Workload w;
+  w.id = std::move(id);
+  w.display_name = std::move(name);
+  w.group = group;
+  w.kind = kind;
+  w.params.dims = dims;
+  w.params.rank = rank;
+  w.params.learning_rate = lr;
+  w.params.merge_coef = merge_coef;
+  w.params.epochs = dana_epochs;
+  w.tuples = scaled_tuples;
+  w.paper_dims = paper_dims ? paper_dims : dims;
+  // Element-based virtual scale: tuple count ratio times width ratio.
+  w.scale = (static_cast<double>(paper.tuples) * w.paper_dims) /
+            (static_cast<double>(scaled_tuples) * dims);
+  w.assumed_epochs = madlib_epochs;
+  w.dana_epochs = dana_epochs;
+  w.gp_speedup_8seg = gp8;
+  w.paper = paper;
+  return w;
+}
+
+std::vector<Workload> BuildAll() {
+  std::vector<Workload> all;
+  using G = WorkloadGroup;
+  using A = AlgoKind;
+
+  // ----- Publicly available datasets (Table 3, unshaded rows) -------------
+  all.push_back(Make(
+      "rs_lr", "Remote Sensing LR", G::kPublic, A::kLogisticRegression,
+      /*dims=*/54, /*rank=*/10, /*lr=*/1.0, /*merge=*/64,
+      /*scaled_tuples=*/24000, /*madlib_epochs=*/1, /*dana_epochs=*/2,
+      /*gp8=*/3.4,
+      {.tuples = 581102, .pages_32k = 4924, .size_mb = 154,
+       .pg_runtime_s = 3.6, .gp_runtime_s = 1.1, .dana_runtime_s = 0.1,
+       .gp_speedup_warm = 3.4, .gp_speedup_cold = 3.2,
+       .dana_speedup_warm = 28.2, .dana_speedup_cold = 4.89,
+       .dana_wo_strider = 4.0, .tabla_compute_ratio = 10.35}));
+  all.push_back(Make(
+      "wlan", "WLAN", G::kPublic, A::kLogisticRegression,
+      520, 10, 1.0, 64, 2500, 1, 20, 1.0,
+      {.tuples = 19937, .pages_32k = 1330, .size_mb = 42,
+       .pg_runtime_s = 14.0, .gp_runtime_s = 14.0, .dana_runtime_s = 0.61,
+       .gp_speedup_warm = 1.0, .gp_speedup_cold = 1.0,
+       .dana_speedup_warm = 18.42, .dana_speedup_cold = 14.58,
+       .dana_wo_strider = 12.21, .tabla_compute_ratio = 0.79}));
+  all.push_back(Make(
+      "rs_svm", "Remote Sensing SVM", G::kPublic, A::kSvm,
+      54, 10, 0.2, 64, 24000, 1, 1, 2.7,
+      {.tuples = 581102, .pages_32k = 4924, .size_mb = 154,
+       .pg_runtime_s = 1.7, .gp_runtime_s = 0.6, .dana_runtime_s = 0.09,
+       .gp_speedup_warm = 2.7, .gp_speedup_cold = 2.4,
+       .dana_speedup_warm = 15.1, .dana_speedup_cold = 8.61,
+       .dana_wo_strider = 1.93, .tabla_compute_ratio = 12.33}));
+  all.push_back(Make(
+      "netflix", "Netflix", G::kPublic, A::kLowRankMF,
+      /*dims=items*/ 396, /*rank=*/10, 0.5, 4, /*users*/ 604, 10, 7, 0.9,
+      {.tuples = 6040, .pages_32k = 3068, .size_mb = 96,
+       .pg_runtime_s = 62.3, .gp_runtime_s = 69.2, .dana_runtime_s = 7.89,
+       .gp_speedup_warm = 0.9, .gp_speedup_cold = 0.9,
+       .dana_speedup_warm = 6.32, .dana_speedup_cold = 6.01,
+       .dana_wo_strider = 0.58, .tabla_compute_ratio = 8.13},
+      /*paper_dims=*/3952));
+  all.push_back(Make(
+      "patient", "Patient", G::kPublic, A::kLinearRegression,
+      384, 10, 0.3, 64, 2700, 1, 18, 3.0,
+      {.tuples = 53500, .pages_32k = 1941, .size_mb = 61,
+       .pg_runtime_s = 2.8, .gp_runtime_s = 0.9, .dana_runtime_s = 1.18,
+       .gp_speedup_warm = 3.0, .gp_speedup_cold = 2.4,
+       .dana_speedup_warm = 3.65, .dana_speedup_cold = 2.23,
+       .dana_wo_strider = 0.76, .tabla_compute_ratio = 4.05}));
+  all.push_back(Make(
+      "blog", "Blog Feedback", G::kPublic, A::kLinearRegression,
+      280, 10, 0.3, 64, 2600, 1, 18, 3.1,
+      {.tuples = 52397, .pages_32k = 2675, .size_mb = 84,
+       .pg_runtime_s = 1.6, .gp_runtime_s = 0.5, .dana_runtime_s = 0.34,
+       .gp_speedup_warm = 3.1, .gp_speedup_cold = 2.6,
+       .dana_speedup_warm = 1.86, .dana_speedup_cold = 1.48,
+       .dana_wo_strider = 1.14, .tabla_compute_ratio = 5.43}));
+
+  // ----- Synthetic nominal (S/N) -------------------------------------------
+  all.push_back(Make(
+      "sn_logistic", "S/N Logistic", G::kSynthetic, A::kLogisticRegression,
+      2000, 10, 1.0, 64, 3880, 1, 100, 1.1,
+      {.tuples = 387944, .pages_32k = 96986, .size_mb = 3031,
+       .pg_runtime_s = 3292, .gp_runtime_s = 2993, .dana_runtime_s = 131,
+       .gp_speedup_warm = 1.1, .gp_speedup_cold = 1.1,
+       .dana_speedup_warm = 20.16, .dana_speedup_cold = 10.05,
+       .dana_wo_strider = 19.0, .tabla_compute_ratio = 1.01}));
+  all.push_back(Make(
+      "sn_svm", "S/N SVM", G::kSynthetic, A::kSvm,
+      1740, 10, 0.2, 64, 6780, 100, 120, 4.4,
+      {.tuples = 678392, .pages_32k = 169598, .size_mb = 5300,
+       .pg_runtime_s = 3386, .gp_runtime_s = 770, .dana_runtime_s = 244,
+       .gp_speedup_warm = 4.4, .gp_speedup_cold = 5.5,
+       .dana_speedup_warm = 8.7, .dana_speedup_cold = 6.47,
+       .dana_wo_strider = 2.25, .tabla_compute_ratio = 1.13}));
+  all.push_back(Make(
+      "sn_lrmf", "S/N LRMF", G::kSynthetic, A::kLowRankMF,
+      497, 10, 0.5, 4, 1988, 1, 1, 7.99,
+      {.tuples = 19880, .pages_32k = 50784, .size_mb = 1587,
+       .pg_runtime_s = 23, .gp_runtime_s = 3, .dana_runtime_s = 2,
+       .gp_speedup_warm = 7.99, .gp_speedup_cold = 7.78,
+       .dana_speedup_warm = 4.17, .dana_speedup_cold = 4.36,
+       .dana_wo_strider = 0.85, .tabla_compute_ratio = 4.96},
+      /*paper_dims=*/19880));
+  all.push_back(Make(
+      "sn_linear", "S/N Linear", G::kSynthetic, A::kLinearRegression,
+      8000, 10, 0.3, 64, 1300, 1, 32, 1.2,
+      {.tuples = 130503, .pages_32k = 130503, .size_mb = 4078,
+       .pg_runtime_s = 1747, .gp_runtime_s = 1456, .dana_runtime_s = 335,
+       .gp_speedup_warm = 1.2, .gp_speedup_cold = 1.2,
+       .dana_speedup_warm = 41.81, .dana_speedup_cold = 28.74,
+       .dana_wo_strider = 6.28, .tabla_compute_ratio = 5.90}));
+
+  // ----- Synthetic extensive (S/E) -----------------------------------------
+  all.push_back(Make(
+      "se_logistic", "S/E Logistic", G::kExtensive, A::kLogisticRegression,
+      6033, 10, 1.0, 64, 2088, 3, 16, 7.85,
+      {.tuples = 1044024, .pages_32k = 809339, .size_mb = 25292,
+       .pg_runtime_s = 240300, .gp_runtime_s = 30600, .dana_runtime_s = 684,
+       .gp_speedup_warm = 7.85, .gp_speedup_cold = 7.83,
+       .dana_speedup_warm = 278.24, .dana_speedup_cold = 243.78,
+       .dana_wo_strider = 2.91, .tabla_compute_ratio = 0}));
+  all.push_back(Make(
+      "se_svm", "S/E SVM", G::kExtensive, A::kSvm,
+      7129, 10, 0.2, 64, 2713, 1, 1, 1.11,
+      {.tuples = 1356784, .pages_32k = 1242871, .size_mb = 38840,
+       .pg_runtime_s = 360, .gp_runtime_s = 324, .dana_runtime_s = 72,
+       .gp_speedup_warm = 1.11, .gp_speedup_cold = 0.77,
+       .dana_speedup_warm = 4.71, .dana_speedup_cold = 4.35,
+       .dana_wo_strider = 1.76, .tabla_compute_ratio = 0}));
+  all.push_back(Make(
+      "se_lrmf", "S/E LRMF", G::kExtensive, A::kLowRankMF,
+      450, 10, 0.5, 4, 2800, 10, 40, 2.08,
+      {.tuples = 45064, .pages_32k = 162146, .size_mb = 5067,
+       .pg_runtime_s = 3276, .gp_runtime_s = 1584, .dana_runtime_s = 2340,
+       .gp_speedup_warm = 2.08, .gp_speedup_cold = 1.13,
+       .dana_speedup_warm = 1.12, .dana_speedup_cold = 1.12,
+       .dana_wo_strider = 0.29, .tabla_compute_ratio = 0},
+      /*paper_dims=*/28002));
+  all.push_back(Make(
+      "se_linear", "S/E Linear", G::kExtensive, A::kLinearRegression,
+      8000, 10, 0.3, 64, 2000, 1, 30, 1.23,
+      {.tuples = 1000000, .pages_32k = 1027961, .size_mb = 32124,
+       .pg_runtime_s = 23796, .gp_runtime_s = 19332, .dana_runtime_s = 1008,
+       .gp_speedup_warm = 1.23, .gp_speedup_cold = 1.23,
+       .dana_speedup_warm = 19.01, .dana_speedup_cold = 17.02,
+       .dana_wo_strider = 6.63, .tabla_compute_ratio = 0}));
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Workload>& AllWorkloads() {
+  static const std::vector<Workload>* all = new std::vector<Workload>(
+      BuildAll());
+  return *all;
+}
+
+const Workload* FindWorkload(const std::string& id) {
+  for (const auto& w : AllWorkloads()) {
+    if (w.id == id) return &w;
+  }
+  return nullptr;
+}
+
+namespace {
+std::vector<Workload> ByGroup(WorkloadGroup g) {
+  std::vector<Workload> out;
+  for (const auto& w : AllWorkloads()) {
+    if (w.group == g) out.push_back(w);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<Workload> PublicWorkloads() {
+  return ByGroup(WorkloadGroup::kPublic);
+}
+std::vector<Workload> SyntheticNominalWorkloads() {
+  return ByGroup(WorkloadGroup::kSynthetic);
+}
+std::vector<Workload> SyntheticExtensiveWorkloads() {
+  return ByGroup(WorkloadGroup::kExtensive);
+}
+
+}  // namespace dana::ml

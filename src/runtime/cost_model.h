@@ -1,0 +1,114 @@
+#pragma once
+
+#include "common/sim_time.h"
+#include "ml/algorithms.h"
+
+namespace dana::runtime {
+
+/// Timing model of the evaluation machine's CPU side (paper §7: four-core
+/// i7-6700 @ 3.4 GHz, 32 GB RAM, MADlib v1.12).
+///
+/// All constants are calibrated against Table 5's absolute runtimes and the
+/// figure speedups; EXPERIMENTS.md records the calibration. The structure
+/// (per-tuple overhead + per-flop cost differentiated by algorithm) follows
+/// the paper's own explanations: linear regression "has high CPU
+/// vectorization potential" (small DAnA gains on Blog Feedback) while
+/// logistic's transcendentals and MADlib's array handling are slow.
+struct CpuCostModel {
+  double freq_hz = 3.4e9;
+
+  /// Per-tuple UDF invocation + tuple deform overhead in MADlib/PostgreSQL.
+  dana::SimTime madlib_tuple_overhead = dana::SimTime::Micros(1.5);
+
+  /// Floating-point work MADlib performs per tuple per pass. MADlib's
+  /// training methods differ fundamentally from the streaming SGD the
+  /// accelerator runs: logregr uses IRLS (Newton) which accumulates a
+  /// d x d information matrix per tuple, linregr accumulates the (upper-
+  /// triangular) X^T X, while SVM (IGD) and LRMF touch O(d) / O(d*k).
+  /// This asymmetry is what produces the paper's largest speedups on the
+  /// wide logistic/linear workloads.
+  static double MadlibFlopsPerTuple(ml::AlgoKind kind,
+                                    const ml::AlgoParams& params) {
+    const double d = params.dims;
+    const double k = params.rank;
+    switch (kind) {
+      case ml::AlgoKind::kLogisticRegression:
+        return d * d + 5 * d;  // IRLS: x x^T accumulation + gradient
+      case ml::AlgoKind::kLinearRegression:
+        return d * d / 2 + 3 * d;  // normal equations, symmetric X^T X
+      case ml::AlgoKind::kSvm:
+        return 7 * d;  // incremental gradient descent
+      case ml::AlgoKind::kLowRankMF:
+        return 7 * d * k;  // factor-row updates
+    }
+    return 5 * d;
+  }
+
+  /// MADlib cost per floating-point operation (implementation efficiency).
+  double MadlibNsPerFlop(ml::AlgoKind kind) const {
+    switch (kind) {
+      case ml::AlgoKind::kLogisticRegression:
+        return 2.0;   // dense rank-1 updates, some transcendental
+      case ml::AlgoKind::kLinearRegression:
+        return 0.62;  // vectorizes well
+      case ml::AlgoKind::kSvm:
+        return 3.7;   // per-element UDF array handling
+      case ml::AlgoKind::kLowRankMF:
+        return 3.7;
+    }
+    return 2.0;
+  }
+
+  /// MADlib+PostgreSQL compute time for one tuple of one pass.
+  dana::SimTime MadlibTupleTime(ml::AlgoKind kind,
+                                const ml::AlgoParams& params) const {
+    return madlib_tuple_overhead +
+           dana::SimTime::Nanos(MadlibFlopsPerTuple(kind, params) *
+                                MadlibNsPerFlop(kind));
+  }
+
+  /// Query parse/plan/startup overheads.
+  dana::SimTime pg_query_overhead = dana::SimTime::Millis(15);
+  dana::SimTime gp_query_overhead = dana::SimTime::Millis(300);
+  /// DAnA adds configuration-FSM programming and DMA setup on top of the
+  /// PostgreSQL query machinery.
+  dana::SimTime dana_query_overhead = dana::SimTime::Millis(10);
+  /// Host-side per-epoch orchestration: restarting the page stream,
+  /// reading back the model, and the convergence handshake.
+  dana::SimTime dana_epoch_overhead = dana::SimTime::Millis(8);
+
+  /// CPU-side tuple extraction+transform rate used by the strider-bypass
+  /// ablation and the TABLA comparison.
+  dana::SimTime cpu_extract_per_tuple = dana::SimTime::Micros(0.35);
+
+  /// External-library (Fig 15) phase rates: exporting via COPY TO + text
+  /// parsing, then reformatting into the library's layout.
+  double export_bytes_per_sec = 25e6;
+  double transform_bytes_per_sec = 700e6;
+};
+
+/// Greenplum scaling model: the 8-segment speedup is taken per workload
+/// from the paper (it folds in MADlib/Greenplum implementation behaviour);
+/// other segment counts scale it by the paper's Figure 13 curve.
+struct GreenplumModel {
+  uint32_t segments = 8;
+
+  /// Relative performance vs the 8-segment configuration (Figure 13
+  /// geomeans: 4 segments 0.96x, 8 segments 1.00x, 16 segments 0.89x).
+  static double SegmentCurve(uint32_t segments) {
+    switch (segments) {
+      case 4:
+        return 0.96;
+      case 8:
+        return 1.0;
+      case 16:
+        return 0.89;
+      default:
+        // Mild diminishing-returns interpolation for other counts.
+        return segments < 8 ? 0.9 + 0.0125 * segments
+                            : 1.0 - 0.011 * (segments - 8);
+    }
+  }
+};
+
+}  // namespace dana::runtime

@@ -1,0 +1,144 @@
+#include "runtime/query.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "compiler/serialization.h"
+
+namespace dana::runtime {
+
+namespace {
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+size_t SkipSpace(const std::string& s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+bool ConsumeWord(const std::string& s, size_t* i, const std::string& word) {
+  *i = SkipSpace(s, *i);
+  if (Lower(s.substr(*i, word.size())) != word) return false;
+  *i += word.size();
+  return true;
+}
+}  // namespace
+
+Result<UdfQuery> ParseUdfQuery(const std::string& sql) {
+  size_t i = 0;
+  if (!ConsumeWord(sql, &i, "select")) {
+    return Status::InvalidArgument("expected SELECT");
+  }
+  if (!ConsumeWord(sql, &i, "*")) {
+    return Status::InvalidArgument("expected '*' projection");
+  }
+  if (!ConsumeWord(sql, &i, "from")) {
+    return Status::InvalidArgument("expected FROM");
+  }
+  if (!ConsumeWord(sql, &i, "dana.")) {
+    return Status::InvalidArgument("expected dana.<udf>(...)");
+  }
+  i = SkipSpace(sql, i);
+  UdfQuery q;
+  while (i < sql.size() &&
+         (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) {
+    q.udf_name += sql[i++];
+  }
+  if (q.udf_name.empty()) {
+    return Status::InvalidArgument("missing UDF name");
+  }
+  i = SkipSpace(sql, i);
+  if (i >= sql.size() || sql[i] != '(') {
+    return Status::InvalidArgument("expected '(' after UDF name");
+  }
+  i = SkipSpace(sql, i + 1);
+  if (i >= sql.size() || (sql[i] != '\'' && sql[i] != '"')) {
+    return Status::InvalidArgument("expected quoted table name");
+  }
+  const char quote = sql[i++];
+  while (i < sql.size() && sql[i] != quote) q.table_name += sql[i++];
+  if (i >= sql.size()) {
+    return Status::InvalidArgument("unterminated table name");
+  }
+  i = SkipSpace(sql, i + 1);
+  if (i >= sql.size() || sql[i] != ')') {
+    return Status::InvalidArgument("expected ')'");
+  }
+  if (q.table_name.empty()) {
+    return Status::InvalidArgument("empty table name");
+  }
+  return q;
+}
+
+Session::Session(DanaSystem::Options options) : options_(std::move(options)) {
+  storage::DiskModel disk;
+  pool_ = std::make_unique<storage::BufferPool>(256ull << 20, 32 * 1024,
+                                                disk);
+}
+
+Session::Session() : Session([] {
+  DanaSystem::Options o;
+  o.fpga = DefaultFpga();
+  return o;
+}()) {}
+
+Status Session::RegisterUdf(std::unique_ptr<dsl::Algo> algo) {
+  DANA_RETURN_NOT_OK(algo->Validate());
+  const std::string name = algo->name();
+  if (udfs_.count(name)) {
+    return Status::AlreadyExists("UDF '" + name + "' already registered");
+  }
+  udfs_[name] = std::move(algo);
+  return Status::OK();
+}
+
+Result<accel::RunReport> Session::ExecuteQuery(const std::string& sql) {
+  DANA_ASSIGN_OR_RETURN(UdfQuery q, ParseUdfQuery(sql));
+  auto udf_it = udfs_.find(q.udf_name);
+  if (udf_it == udfs_.end()) {
+    return Status::NotFound("UDF '" + q.udf_name + "' not registered");
+  }
+  DANA_ASSIGN_OR_RETURN(storage::Table * table,
+                        catalog_.GetTable(q.table_name));
+  if (table->layout().page_size != pool_->page_size()) {
+    return Status::InvalidArgument("table page size differs from pool");
+  }
+
+  // Compile on first use; the design + instruction streams land in the
+  // catalog, as in Figure 2.
+  auto compiled_it = compiled_.find(q.udf_name);
+  if (compiled_it == compiled_.end()) {
+    compiler::WorkloadShape shape;
+    shape.num_tuples = table->num_tuples();
+    shape.num_pages = table->num_pages();
+    shape.tuples_per_page = table->TuplesOnPage(0);
+    shape.tuple_payload_bytes = table->schema().RowBytes();
+
+    compiler::UdfCompiler udf_compiler(options_.fpga, options_.hw);
+    DANA_ASSIGN_OR_RETURN(
+        auto compiled,
+        udf_compiler.Compile(*udf_it->second, table->layout(), shape));
+    auto owned = std::make_unique<compiler::CompiledUdf>(std::move(compiled));
+    // The catalog entry is the loadable binary design (paper Figure 2);
+    // another session can deserialize and run it without recompiling.
+    catalog_.PutUdfMetadata(q.udf_name, compiler::SerializeUdf(*owned));
+    compiled_it = compiled_.emplace(q.udf_name, std::move(owned)).first;
+  }
+
+  accel::Accelerator accelerator(*compiled_it->second);
+  return accelerator.Train(*table, pool_.get(), options_.run);
+}
+
+Result<const compiler::CompiledUdf*> Session::GetCompiled(
+    const std::string& udf_name) const {
+  auto it = compiled_.find(udf_name);
+  if (it == compiled_.end()) {
+    return Status::NotFound("UDF '" + udf_name + "' not compiled yet");
+  }
+  return static_cast<const compiler::CompiledUdf*>(it->second.get());
+}
+
+}  // namespace dana::runtime

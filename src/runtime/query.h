@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "dsl/algo.h"
+#include "runtime/systems.h"
+#include "storage/catalog.h"
+
+namespace dana::runtime {
+
+/// A parsed DAnA UDF invocation.
+struct UdfQuery {
+  std::string udf_name;    ///< e.g. "linearR"
+  std::string table_name;  ///< training-data table
+};
+
+/// Parses the paper's query form:
+///   SELECT * FROM dana.<udf>('<table>');
+/// Whitespace-insensitive; single or double quotes accepted.
+dana::Result<UdfQuery> ParseUdfQuery(const std::string& sql);
+
+/// The DAnA session: owns the catalog, registered UDFs, and the execution
+/// path from a SQL string to a trained model (paper Figure 2's flow).
+class Session {
+ public:
+  explicit Session(DanaSystem::Options options);
+  Session();
+
+  storage::Catalog* catalog() { return &catalog_; }
+
+  /// Registers a UDF (the analyst's DSL program). Compilation is deferred
+  /// to the first query so the page layout and table shape are known; the
+  /// compiled design is then stored in the catalog.
+  dana::Status RegisterUdf(std::unique_ptr<dsl::Algo> algo);
+
+  /// Executes "SELECT * FROM dana.<udf>('<table>')": parses, compiles on
+  /// first use, trains on the table through a buffer pool, and returns the
+  /// run report with the trained model.
+  dana::Result<accel::RunReport> ExecuteQuery(const std::string& sql);
+
+  /// The compiled design for a UDF after its first query (for inspection).
+  dana::Result<const compiler::CompiledUdf*> GetCompiled(
+      const std::string& udf_name) const;
+
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+
+ private:
+  DanaSystem::Options options_;
+  storage::Catalog catalog_;
+  std::map<std::string, std::unique_ptr<dsl::Algo>> udfs_;
+  std::map<std::string, std::unique_ptr<compiler::CompiledUdf>> compiled_;
+  std::unique_ptr<storage::BufferPool> pool_;
+};
+
+}  // namespace dana::runtime

@@ -1,0 +1,294 @@
+#include "runtime/systems.h"
+
+#include <cmath>
+
+#include "ml/datasets.h"
+
+namespace dana::runtime {
+
+compiler::FpgaSpec DefaultFpga() {
+  compiler::FpgaSpec fpga;
+  // Effective host-link streaming rate from the buffer pool to the FPGA's
+  // page buffers (PCIe Gen3 with DMA overheads, as observed end-to-end).
+  fpga.axi_bytes_per_sec = 2e9;
+  return fpga;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadInstance
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WorkloadInstance>> WorkloadInstance::Create(
+    const ml::Workload& workload, uint32_t page_size) {
+  auto instance =
+      std::unique_ptr<WorkloadInstance>(new WorkloadInstance(workload));
+  instance->dataset_ = ml::GenerateDataset(workload.dataset_spec());
+
+  storage::PageLayout layout;
+  layout.page_size = page_size;
+  DANA_ASSIGN_OR_RETURN(
+      instance->table_,
+      ml::BuildTable(workload.id, instance->dataset_, layout));
+
+  // Pool and OS page cache scaled so their proportions against the table
+  // match the paper's 8 GB shared_buffers and 32 GB RAM against Table 3.
+  const double pool_bytes = 8.0 * (1ull << 30) / workload.scale;
+  const double os_cache_bytes = 24.0 * (1ull << 30) / workload.scale;
+  const uint64_t min_bytes = 8ull * page_size;
+  storage::DiskModel disk;
+  disk.seq_read_bw = 200e6;  // effective SATA-SSD heap-scan rate
+  instance->pool_ = std::make_unique<storage::BufferPool>(
+      std::max<uint64_t>(static_cast<uint64_t>(pool_bytes), min_bytes),
+      page_size, disk,
+      std::max<uint64_t>(static_cast<uint64_t>(os_cache_bytes), min_bytes));
+  return instance;
+}
+
+void WorkloadInstance::PrepareCache(CacheState state) {
+  pool_->Clear();
+  pool_->ResetStats();
+  if (state == CacheState::kWarm) {
+    pool_->Prewarm(*table_);
+    pool_->ResetStats();
+  }
+}
+
+namespace {
+
+/// Charges one full scan of the table through the pool and returns the
+/// accumulated I/O time (at generated scale).
+Result<dana::SimTime> ScanEpochIo(WorkloadInstance* instance) {
+  const dana::SimTime before = instance->pool()->stats().io_time;
+  const storage::Table& table = instance->table();
+  for (uint64_t p = 0; p < table.num_pages(); ++p) {
+    DANA_RETURN_NOT_OK(instance->pool()->FetchPage(table, p).status());
+  }
+  return instance->pool()->stats().io_time - before;
+}
+
+/// Trains the double-precision reference and fills model/loss.
+Status TrainReference(const WorkloadInstance& instance, SystemResult* out) {
+  const ml::Workload& w = instance.workload();
+  ml::ReferenceTrainer trainer(w.kind, w.params);
+  DANA_ASSIGN_OR_RETURN(out->model, trainer.Train(instance.dataset(),
+                                                  w.assumed_epochs));
+  out->loss = trainer.Loss(instance.dataset(), out->model);
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MADlib + PostgreSQL
+// ---------------------------------------------------------------------------
+
+Result<SystemResult> MadlibPostgres::Run(WorkloadInstance* instance,
+                                         CacheState cache,
+                                         bool train_model) const {
+  const ml::Workload& w = instance->workload();
+  SystemResult r;
+  r.system = "MADlib+PostgreSQL";
+  r.epochs = w.assumed_epochs;
+
+  instance->PrepareCache(cache);
+  dana::SimTime io;
+  for (uint32_t e = 0; e < w.assumed_epochs; ++e) {
+    DANA_ASSIGN_OR_RETURN(dana::SimTime epoch_io, ScanEpochIo(instance));
+    io += epoch_io;
+  }
+  r.io = io * instance->scale();
+
+  const dana::SimTime per_tuple = cost_.MadlibTupleTime(w.kind, w.params);
+  const double virtual_tuples = static_cast<double>(w.tuples) * w.scale;
+  r.compute =
+      per_tuple * virtual_tuples * static_cast<double>(w.assumed_epochs);
+  r.overhead = cost_.pg_query_overhead;
+  // Single-threaded PostgreSQL executes the scan and the UDF in one
+  // process: I/O and compute serialize.
+  r.total = r.overhead + r.io + r.compute;
+
+  if (train_model) {
+    DANA_RETURN_NOT_OK(TrainReference(*instance, &r));
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// MADlib + Greenplum
+// ---------------------------------------------------------------------------
+
+Result<SystemResult> MadlibGreenplum::Run(WorkloadInstance* instance,
+                                          CacheState cache,
+                                          bool train_model) const {
+  const ml::Workload& w = instance->workload();
+  SystemResult r;
+  r.system = "MADlib+Greenplum(" + std::to_string(segments_) + ")";
+  r.epochs = w.assumed_epochs;
+
+  instance->PrepareCache(cache);
+  dana::SimTime io;
+  for (uint32_t e = 0; e < w.assumed_epochs; ++e) {
+    DANA_ASSIGN_OR_RETURN(dana::SimTime epoch_io, ScanEpochIo(instance));
+    io += epoch_io;
+  }
+  // Segments issue I/O concurrently but share one device; modest overlap.
+  r.io = io * instance->scale() / 1.5;
+
+  const double gp_speedup =
+      w.gp_speedup_8seg * GreenplumModel::SegmentCurve(segments_);
+  const dana::SimTime per_tuple = cost_.MadlibTupleTime(w.kind, w.params);
+  const double virtual_tuples = static_cast<double>(w.tuples) * w.scale;
+  r.compute = per_tuple * virtual_tuples *
+              static_cast<double>(w.assumed_epochs) / gp_speedup;
+  r.overhead = cost_.gp_query_overhead;
+  r.total = r.overhead + r.io + r.compute;
+
+  if (train_model) {
+    DANA_RETURN_NOT_OK(TrainReference(*instance, &r));
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// DAnA + PostgreSQL
+// ---------------------------------------------------------------------------
+
+DanaSystem::DanaSystem(CpuCostModel cost) : cost_(cost) {
+  options_.fpga = DefaultFpga();
+}
+
+Result<compiler::CompiledUdf> DanaSystem::Compile(
+    const WorkloadInstance& instance) const {
+  const ml::Workload& w = instance.workload();
+  DANA_ASSIGN_OR_RETURN(auto algo, ml::BuildAlgo(w.kind, w.params));
+
+  compiler::WorkloadShape shape;
+  shape.num_tuples = instance.table().num_tuples();
+  shape.num_pages = instance.table().num_pages();
+  shape.tuples_per_page = instance.table().TuplesOnPage(0);
+  shape.tuple_payload_bytes = w.TuplePayloadBytes();
+
+  compiler::UdfCompiler udf_compiler(options_.fpga, options_.hw);
+  return udf_compiler.Compile(*algo, instance.table().layout(), shape);
+}
+
+Result<SystemResult> DanaSystem::Run(WorkloadInstance* instance,
+                                     CacheState cache) const {
+  DANA_ASSIGN_OR_RETURN(auto udf, Compile(*instance));
+  return RunCompiled(udf, instance, cache);
+}
+
+Result<SystemResult> DanaSystem::RunCompiled(const compiler::CompiledUdf& udf,
+                                             WorkloadInstance* instance,
+                                             CacheState cache) const {
+  const ml::Workload& w = instance->workload();
+  SystemResult r;
+  r.system = "DAnA+PostgreSQL";
+
+  instance->PrepareCache(cache);
+  accel::RunOptions run = options_.run;
+  if (run.initial_models.empty()) {
+    run.initial_models = {ml::InitialModel(w.kind, w.params)};
+  }
+  const uint32_t budget =
+      run.max_epochs_override ? run.max_epochs_override : w.dana_epochs;
+  uint32_t run_epochs = budget;
+  if (options_.functional_epoch_cap != 0 &&
+      budget > options_.functional_epoch_cap) {
+    run_epochs = std::max<uint32_t>(2, options_.functional_epoch_cap);
+  }
+  run.max_epochs_override = run_epochs;
+  run.cpu_extract_per_tuple = cost_.cpu_extract_per_tuple;
+
+  accel::Accelerator accelerator(udf);
+  DANA_ASSIGN_OR_RETURN(
+      accel::RunReport report,
+      accelerator.Train(instance->table(), instance->pool(), run));
+
+  dana::SimTime wall = report.total_time;
+  dana::SimTime io = report.io_time;
+  dana::SimTime fpga = report.fpga_time;
+  r.epochs = report.epochs_run;
+  if (report.epochs_run == run_epochs && run_epochs < budget &&
+      !report.converged) {
+    // Extrapolate: first epoch (cold I/O) + steady state for the rest.
+    const accel::EpochBreakdown& first = report.epochs.front();
+    const accel::EpochBreakdown& steady = report.epochs.back();
+    const double rest = static_cast<double>(budget - 1);
+    wall = first.wall + steady.wall * rest;
+    io = first.io + steady.io * rest;
+    fpga = fpga * (static_cast<double>(budget) / report.epochs_run);
+    r.epochs = budget;
+  }
+  r.io = io * instance->scale();
+  r.compute = fpga * instance->scale();
+  // Fixed (unscaled) costs: query startup plus per-epoch orchestration.
+  r.overhead = cost_.pg_query_overhead + cost_.dana_query_overhead +
+               cost_.dana_epoch_overhead * static_cast<double>(r.epochs);
+  r.total = r.overhead + wall * instance->scale();
+
+  r.model.assign(report.final_models[0].begin(),
+                 report.final_models[0].end());
+  ml::ReferenceTrainer trainer(w.kind, w.params);
+  r.loss = trainer.Loss(instance->dataset(), r.model);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// External libraries (Fig 15)
+// ---------------------------------------------------------------------------
+
+Result<ExternalLibrary::Phases> ExternalLibrary::Run(
+    WorkloadInstance* instance) const {
+  const ml::Workload& w = instance->workload();
+  const double bytes =
+      static_cast<double>(instance->table().SizeBytes()) * instance->scale();
+  Phases p;
+  p.export_time = dana::SimTime::Seconds(bytes / cost_.export_bytes_per_sec);
+  p.transform_time =
+      dana::SimTime::Seconds(bytes / cost_.transform_bytes_per_sec);
+  const dana::SimTime madlib_compute =
+      cost_.MadlibTupleTime(w.kind, w.params) *
+      (static_cast<double>(w.tuples) * w.scale) *
+      static_cast<double>(w.assumed_epochs);
+  p.compute_time = madlib_compute / compute_speedup_;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// TABLA (Fig 16)
+// ---------------------------------------------------------------------------
+
+Result<dana::SimTime> TablaSystem::ComputeTimePerEpoch(
+    WorkloadInstance* instance) const {
+  const ml::Workload& w = instance->workload();
+  DANA_ASSIGN_OR_RETURN(auto algo, ml::BuildAlgo(w.kind, w.params));
+
+  compiler::WorkloadShape shape;
+  shape.num_tuples = instance->table().num_tuples();
+  shape.num_pages = instance->table().num_pages();
+  shape.tuples_per_page = instance->table().TuplesOnPage(0);
+  shape.tuple_payload_bytes = w.TuplePayloadBytes();
+
+  compiler::HardwareGenerator::Options hw;
+  hw.force_threads = 1;  // TABLA offers single-threaded acceleration
+  compiler::UdfCompiler udf_compiler(fpga_, hw);
+  DANA_ASSIGN_OR_RETURN(auto udf,
+                        udf_compiler.Compile(*algo, instance->table().layout(),
+                                             shape));
+
+  instance->PrepareCache(CacheState::kWarm);
+  accel::RunOptions run;
+  run.strider_bypass = true;  // no Striders: CPU feeds the engines
+  run.max_epochs_override = std::min<uint32_t>(w.dana_epochs, 2);
+  run.cpu_extract_per_tuple = cost_.cpu_extract_per_tuple;
+
+  accel::Accelerator accelerator(udf);
+  DANA_ASSIGN_OR_RETURN(
+      accel::RunReport report,
+      accelerator.Train(instance->table(), instance->pool(), run));
+  return report.total_time * instance->scale() /
+         std::max<uint32_t>(report.epochs_run, 1);
+}
+
+}  // namespace dana::runtime

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/table.h"
+
+namespace dana::storage {
+
+/// Hit/miss statistics of a BufferPool.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Accumulated simulated disk time spent servicing misses.
+  dana::SimTime io_time;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Fixed-capacity page cache with clock (second-chance) replacement.
+///
+/// This is the structure Striders interface with in the paper (Figure 2):
+/// the RDBMS executor fills the pool from disk and the FPGA reads resident
+/// pages directly. All systems in the reproduction (MADlib CPU engines and
+/// the DAnA accelerator) fetch pages through the same pool so that I/O time
+/// and warm/cold behaviour are identical across systems.
+class BufferPool {
+ public:
+  /// Pool of `capacity_bytes / page_size` frames; `disk` supplies miss
+  /// costs. Misses for pages previously read (and still within
+  /// `os_cache_bytes` of distinct pages) are served at the OS-page-cache
+  /// rate instead of disk speed, modeling the kernel cache above the pool.
+  BufferPool(uint64_t capacity_bytes, uint32_t page_size, DiskModel disk,
+             uint64_t os_cache_bytes = UINT64_MAX);
+
+  /// Returns the frame holding page `page_no` of `table`, fetching it from
+  /// the (modeled) disk on a miss. The returned pointer is valid until the
+  /// next Fetch that evicts it; callers in this single-threaded simulator
+  /// consume it immediately.
+  dana::Result<const uint8_t*> FetchPage(const Table& table, uint64_t page_no);
+
+  /// Loads pages of `table` until the table ends or the pool is full,
+  /// without charging I/O time (models a previously-run query having
+  /// warmed the cache). Also marks the table OS-cache resident.
+  void Prewarm(const Table& table);
+
+  /// Marks `table`'s pages resident in the OS page cache (up to the cache
+  /// capacity) without touching the pool: a prior query streamed them.
+  void MarkOsCached(const Table& table);
+
+  /// Fraction of `table` currently resident.
+  double ResidentFraction(const Table& table) const;
+
+  /// Drops all cached pages and (optionally) statistics.
+  void Clear();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+  uint64_t num_frames() const { return frames_.size(); }
+  uint32_t page_size() const { return page_size_; }
+  const DiskModel& disk() const { return disk_; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    const Table* table = nullptr;
+    uint64_t page_no = 0;
+    bool valid = false;
+    bool referenced = false;
+  };
+  struct Key {
+    const Table* table;
+    uint64_t page_no;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<const void*>()(k.table) ^
+             std::hash<uint64_t>()(k.page_no * 0x9E3779B97F4A7C15ull);
+    }
+  };
+
+  /// Picks a victim frame via the clock hand and returns its index.
+  size_t EvictOne();
+
+  /// Copies the page image into frame `idx` and indexes it.
+  void Install(size_t idx, const Table& table, uint64_t page_no);
+
+  uint32_t page_size_;
+  DiskModel disk_;
+  std::vector<Frame> frames_;
+  std::unordered_map<Key, size_t, KeyHash> map_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+  /// Pages currently held by the (modeled) OS page cache.
+  std::unordered_set<Key, KeyHash> os_cached_;
+  uint64_t os_cache_pages_ = UINT64_MAX;
+};
+
+}  // namespace dana::storage

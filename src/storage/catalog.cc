@@ -1,0 +1,56 @@
+#include "storage/catalog.h"
+
+namespace dana::storage {
+
+Status Catalog::RegisterTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+void Catalog::PutUdfMetadata(const std::string& udf_name, std::string blob) {
+  udf_metadata_[udf_name] = std::move(blob);
+}
+
+Result<std::string> Catalog::GetUdfMetadata(
+    const std::string& udf_name) const {
+  auto it = udf_metadata_.find(udf_name);
+  if (it == udf_metadata_.end()) {
+    return Status::NotFound("UDF '" + udf_name + "' not in catalog");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::UdfNames() const {
+  std::vector<std::string> names;
+  names.reserve(udf_metadata_.size());
+  for (const auto& [name, _] : udf_metadata_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dana::storage

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace dana::storage {
+
+/// System catalog: table registry plus accelerator metadata.
+///
+/// The paper stores the generated accelerator design, its schedule, operation
+/// map, and Strider/engine instruction streams in the RDBMS catalog (§6.2);
+/// query execution looks the UDF up here. Accelerator metadata is stored as
+/// an opaque blob keyed by UDF name so that the storage layer stays
+/// independent of the compiler layer.
+class Catalog {
+ public:
+  /// Registers `table` under its name. Fails on duplicate names.
+  dana::Status RegisterTable(std::unique_ptr<Table> table);
+
+  /// Looks a table up by name.
+  dana::Result<Table*> GetTable(const std::string& name) const;
+
+  /// True iff a table with this name exists.
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Removes a table; NotFound if absent.
+  dana::Status DropTable(const std::string& name);
+
+  /// Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Stores accelerator metadata (serialized design + instruction streams)
+  /// under a UDF name, replacing any previous entry.
+  void PutUdfMetadata(const std::string& udf_name, std::string blob);
+
+  /// Fetches UDF metadata; NotFound if the UDF was never registered.
+  dana::Result<std::string> GetUdfMetadata(const std::string& udf_name) const;
+
+  /// Registered UDF names, sorted.
+  std::vector<std::string> UdfNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::string> udf_metadata_;
+};
+
+}  // namespace dana::storage

@@ -1,0 +1,163 @@
+#include "strider/assembler.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace dana::strider {
+
+namespace {
+
+void StripComment(std::string* line) {
+  for (const char* marker : {"\\\\", "//", "#", ";"}) {
+    const size_t pos = line->find(marker);
+    if (pos != std::string::npos) line->resize(pos);
+  }
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) {
+        tokens.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  return tokens;
+}
+
+Result<Operand> ParseOperand(const std::string& tok) {
+  if (tok.empty()) return Status::InvalidArgument("empty operand");
+  if (tok[0] == '%') {
+    if (tok.rfind("%cr", 0) == 0) {
+      const int idx = std::atoi(tok.c_str() + 3);
+      if (idx < 0 || idx >= static_cast<int>(kNumConfigRegisters)) {
+        return Status::InvalidArgument("bad config register '" + tok + "'");
+      }
+      return Operand::Reg(static_cast<uint8_t>(idx));
+    }
+    if (tok.rfind("%t", 0) == 0) {
+      const int idx = std::atoi(tok.c_str() + 2);
+      if (idx < 0 || idx >= 16) {
+        return Status::InvalidArgument("bad temp register '" + tok + "'");
+      }
+      return Operand::Reg(static_cast<uint8_t>(kNumConfigRegisters + idx));
+    }
+    return Status::InvalidArgument("bad register '" + tok + "'");
+  }
+  char* end = nullptr;
+  const long v = std::strtol(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad immediate '" + tok + "'");
+  }
+  if (v < 0 || v > 31) {
+    return Status::OutOfRange("immediate " + tok +
+                              " does not fit 5 bits (use ins for 12-bit "
+                              "immediates or a config register)");
+  }
+  return Operand::Imm(static_cast<uint8_t>(v));
+}
+
+}  // namespace
+
+Result<StriderProgram> Assemble(const std::string& text) {
+  StriderProgram program;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  int loop_depth = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    StripComment(&line);
+    const auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+
+    auto opcode = OpcodeFromName(tokens[0]);
+    if (!opcode.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + opcode.status().message());
+    }
+    Instruction ins;
+    ins.op = *opcode;
+
+    const size_t argc = tokens.size() - 1;
+    switch (ins.op) {
+      case Opcode::kBentr:
+        if (argc != 0) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": bentr takes no operands");
+        }
+        ++loop_depth;
+        break;
+      case Opcode::kIns: {
+        if (argc != 2) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": ins takes 2 operands");
+        }
+        DANA_ASSIGN_OR_RETURN(Operand dst, ParseOperand(tokens[1]));
+        if (!dst.is_reg) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": ins destination must be a "
+                                         "register");
+        }
+        char* end = nullptr;
+        const long imm = std::strtol(tokens[2].c_str(), &end, 10);
+        if (end == tokens[2].c_str() || *end != '\0' || imm < 0 ||
+            imm > 4095) {
+          return Status::OutOfRange("line " + std::to_string(line_no) +
+                                    ": ins immediate must be 0..4095");
+        }
+        ins = Instruction::MakeIns(dst.value, static_cast<uint32_t>(imm));
+        break;
+      }
+      case Opcode::kBexit: {
+        if (argc != 3) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": bexit takes 3 operands");
+        }
+        if (loop_depth == 0) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": bexit without matching bentr");
+        }
+        --loop_depth;
+        DANA_ASSIGN_OR_RETURN(ins.f1, ParseOperand(tokens[1]));
+        DANA_ASSIGN_OR_RETURN(ins.f2, ParseOperand(tokens[2]));
+        DANA_ASSIGN_OR_RETURN(ins.f3, ParseOperand(tokens[3]));
+        break;
+      }
+      default: {
+        if (argc != 3) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_no) + ": " + tokens[0] +
+              " takes 3 operands");
+        }
+        DANA_ASSIGN_OR_RETURN(ins.f1, ParseOperand(tokens[1]));
+        DANA_ASSIGN_OR_RETURN(ins.f2, ParseOperand(tokens[2]));
+        DANA_ASSIGN_OR_RETURN(ins.f3, ParseOperand(tokens[3]));
+        break;
+      }
+    }
+    program.code.push_back(ins);
+  }
+  if (loop_depth != 0) {
+    return Status::InvalidArgument("unterminated bentr loop");
+  }
+  return program;
+}
+
+std::string Disassemble(const StriderProgram& program) {
+  std::string out;
+  for (const auto& ins : program.code) {
+    out += ins.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dana::strider

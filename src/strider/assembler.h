@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "strider/isa.h"
+
+namespace dana::strider {
+
+/// Two-pass text assembler for the Strider ISA.
+///
+/// Accepted syntax (one instruction per line):
+///
+///   \\ comment                 ; also "//" and "#" comments
+///   readB %t0, 12, 2
+///   ins   %t3, 1103
+///   bentr
+///   bexit 1, %t6, %t0
+///
+/// Operands are registers (%cr0..%cr15, %t0..%t15) or decimal immediates.
+/// Immediates other than kIns's must fit 5 bits; kIns takes 12 bits.
+dana::Result<StriderProgram> Assemble(const std::string& text);
+
+/// Disassembles a program back to text that Assemble() round-trips.
+std::string Disassemble(const StriderProgram& program);
+
+}  // namespace dana::strider

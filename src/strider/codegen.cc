@@ -1,0 +1,75 @@
+#include "strider/codegen.h"
+
+namespace dana::strider {
+
+namespace {
+constexpr uint8_t kCr0 = 0, kCr1 = 1, kCr2 = 2, kCr3 = 3, kCr4 = 4, kCr5 = 5;
+// Temporaries (register file indices 16+).
+constexpr uint8_t kT0 = 16;  // lower (line-pointer array end)
+constexpr uint8_t kT2 = 18;  // packed line pointer
+constexpr uint8_t kT4 = 20;  // tuple offset
+constexpr uint8_t kT5 = 21;  // tuple length (header + payload)
+constexpr uint8_t kT6 = 22;  // line-pointer cursor
+
+Instruction Make3(Opcode op, Operand a, Operand b, Operand c) {
+  Instruction ins;
+  ins.op = op;
+  ins.f1 = a;
+  ins.f2 = b;
+  ins.f3 = c;
+  return ins;
+}
+}  // namespace
+
+Result<StriderProgram> BuildPageWalkProgram(
+    const storage::PageLayout& layout) {
+  if (layout.header_size < 16) {
+    return Status::InvalidArgument("page header too small for this layout");
+  }
+  StriderProgram p;
+  p.config[kCr0] = layout.header_size;
+  p.config[kCr1] = layout.item_id_size;
+  p.config[kCr2] = layout.tuple_header_size;
+  p.config[kCr3] = PackBitSpec(0, 15);   // ItemId offset field
+  p.config[kCr4] = PackBitSpec(17, 15);  // ItemId length field
+  p.config[kCr5] = layout.lower_offset;
+
+  using Op = Opcode;
+  auto reg = [](uint8_t r) { return Operand::Reg(r); };
+  auto imm = [](uint8_t v) { return Operand::Imm(v); };
+
+  // Page-header processing.
+  p.code.push_back(Make3(Op::kReadB, reg(kT0), reg(kCr5), imm(2)));  // lower
+  // Line-pointer cursor starts at the first ItemId.
+  p.code.push_back(Make3(Op::kAd, reg(kT6), reg(kCr0), imm(0)));
+
+  // Tuple extraction loop: one iteration per line pointer.
+  p.code.push_back(Make3(Op::kBentr, {}, {}, {}));
+  //   Read and unpack the line pointer.
+  p.code.push_back(Make3(Op::kReadB, reg(kT2), reg(kT6), imm(4)));
+  p.code.push_back(Make3(Op::kExtrBi, reg(kT4), reg(kT2), reg(kCr3)));
+  p.code.push_back(Make3(Op::kExtrBi, reg(kT5), reg(kT2), reg(kCr4)));
+  //   Emit the payload (skip the tuple header).
+  p.code.push_back(Make3(Op::kCln, reg(kT4), reg(kT5), reg(kCr2)));
+  //   Advance the cursor; exit once it reaches `lower`.
+  p.code.push_back(Make3(Op::kAd, reg(kT6), reg(kT6), reg(kCr1)));
+  p.code.push_back(Make3(Op::kBexit,
+                         imm(static_cast<uint8_t>(BexitCond::kGe)),
+                         reg(kT6), reg(kT0)));
+  return p;
+}
+
+uint64_t EstimatePageWalkCycles(const storage::PageLayout& layout,
+                                uint32_t tuples, uint32_t payload_bytes,
+                                uint32_t emit_width_bytes) {
+  (void)layout;
+  // Header processing + cursor init: 2 instructions. Loop: bentr once;
+  // 6 instructions per iteration plus payload emission.
+  const uint64_t per_tuple =
+      6 + (payload_bytes + emit_width_bytes - 1) / emit_width_bytes;
+  // An empty page still runs one guard iteration.
+  const uint64_t iters = tuples == 0 ? 1 : tuples;
+  return 3 + iters * per_tuple;
+}
+
+}  // namespace dana::strider

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "common/result.h"
+#include "storage/page_layout.h"
+#include "strider/isa.h"
+
+namespace dana::strider {
+
+/// Generates the Strider page-walk program for a page layout (paper §5.1.2).
+///
+/// The generated program mirrors the paper's assembly sketch:
+///  1. page-header processing: read `lower` (end of the line-pointer
+///     array) and `special` into registers;
+///  2. first-tuple-pointer processing: unpack the first line pointer to
+///     learn the (uniform) tuple length;
+///  3. a bentr/bexit loop that walks every line pointer, unpacks the tuple
+///     offset, and cln-emits the tuple payload with its header stripped.
+///
+/// Constants wider than 5-bit immediates (page-layout offsets, bit-field
+/// specs) are placed in configuration registers / loaded with ins, exactly
+/// the role the paper gives config data.
+///
+/// Config register map of the generated program:
+///   %cr0 = page header size (first line-pointer address)
+///   %cr1 = line-pointer size
+///   %cr2 = tuple header size (cln skip)
+///   %cr3 = extrBi spec for ItemId offset field  (bits 0..14)
+///   %cr4 = extrBi spec for ItemId length field  (bits 17..31)
+///   %cr5 = `lower` field address within the page header
+dana::Result<StriderProgram> BuildPageWalkProgram(
+    const storage::PageLayout& layout);
+
+/// Static cycle estimate for one page holding `tuples` tuples of
+/// `payload_bytes` each, matching StriderSim's timing model. Used by the
+/// hardware generator's performance estimator (§6.1).
+uint64_t EstimatePageWalkCycles(const storage::PageLayout& layout,
+                                uint32_t tuples, uint32_t payload_bytes,
+                                uint32_t emit_width_bytes = 8);
+
+}  // namespace dana::strider

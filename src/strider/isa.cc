@@ -1,0 +1,126 @@
+#include "strider/isa.h"
+
+#include <sstream>
+
+namespace dana::strider {
+
+std::string OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kReadB:
+      return "readB";
+    case Opcode::kExtrB:
+      return "extrB";
+    case Opcode::kWriteB:
+      return "writeB";
+    case Opcode::kExtrBi:
+      return "extrBi";
+    case Opcode::kCln:
+      return "cln";
+    case Opcode::kIns:
+      return "ins";
+    case Opcode::kAd:
+      return "ad";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kMul:
+      return "mul";
+    case Opcode::kBentr:
+      return "bentr";
+    case Opcode::kBexit:
+      return "bexit";
+  }
+  return "?";
+}
+
+Result<Opcode> OpcodeFromName(const std::string& name) {
+  for (int i = 0; i <= 10; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    if (OpcodeName(op) == name) return op;
+  }
+  return Status::NotFound("unknown Strider mnemonic '" + name + "'");
+}
+
+std::string Operand::ToString() const {
+  if (!is_reg) return std::to_string(static_cast<int>(value));
+  if (value < kNumConfigRegisters) {
+    return "%cr" + std::to_string(static_cast<int>(value));
+  }
+  return "%t" + std::to_string(static_cast<int>(value - kNumConfigRegisters));
+}
+
+namespace {
+uint32_t EncodeField(const Operand& o) {
+  return (o.is_reg ? 0x20u : 0u) | (o.value & 0x1Fu);
+}
+Operand DecodeField(uint32_t bits) {
+  Operand o;
+  o.is_reg = (bits & 0x20u) != 0;
+  o.value = static_cast<uint8_t>(bits & 0x1Fu);
+  return o;
+}
+}  // namespace
+
+uint32_t Instruction::Imm12() const {
+  return (EncodeField(f2) << 6) | EncodeField(f3);
+}
+
+Instruction Instruction::MakeIns(uint8_t dst_reg, uint32_t imm12) {
+  Instruction ins;
+  ins.op = Opcode::kIns;
+  ins.f1 = Operand::Reg(dst_reg);
+  // Split the immediate across the raw bits of f2/f3.
+  ins.f2.is_reg = ((imm12 >> 6) & 0x20u) != 0;
+  ins.f2.value = static_cast<uint8_t>((imm12 >> 6) & 0x1Fu);
+  ins.f3.is_reg = (imm12 & 0x20u) != 0;
+  ins.f3.value = static_cast<uint8_t>(imm12 & 0x1Fu);
+  return ins;
+}
+
+uint32_t Instruction::Encode() const {
+  return (static_cast<uint32_t>(op) << 18) | (EncodeField(f1) << 12) |
+         (EncodeField(f2) << 6) | EncodeField(f3);
+}
+
+Result<Instruction> Instruction::Decode(uint32_t word) {
+  if (word >> 22) {
+    return Status::Corruption("Strider word has bits above bit 21");
+  }
+  const uint32_t opcode = word >> 18;
+  if (opcode > 10) {
+    return Status::Corruption("invalid Strider opcode " +
+                              std::to_string(opcode));
+  }
+  Instruction ins;
+  ins.op = static_cast<Opcode>(opcode);
+  ins.f1 = DecodeField((word >> 12) & 0x3Fu);
+  ins.f2 = DecodeField((word >> 6) & 0x3Fu);
+  ins.f3 = DecodeField(word & 0x3Fu);
+  return ins;
+}
+
+std::string Instruction::ToString() const {
+  std::ostringstream os;
+  os << OpcodeName(op);
+  switch (op) {
+    case Opcode::kBentr:
+      break;
+    case Opcode::kIns:
+      os << " " << f1.ToString() << ", " << Imm12();
+      break;
+    default:
+      os << " " << f1.ToString() << ", " << f2.ToString() << ", "
+         << f3.ToString();
+      break;
+  }
+  return os.str();
+}
+
+std::string StriderProgram::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < code.size(); ++i) {
+    os << i << ": " << code[i].ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dana::strider

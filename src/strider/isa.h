@@ -1,0 +1,107 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dana::strider {
+
+/// Strider opcodes (paper Table 2).
+enum class Opcode : uint8_t {
+  kReadB = 0,   ///< readB  dst, addr, nbytes : dst = LE int of page[addr..+n)
+  kExtrB = 1,   ///< extrB  dst, src, spec    : extract bytes from a register
+  kWriteB = 2,  ///< writeB addr, src, nbytes : write register to page buffer
+  kExtrBi = 3,  ///< extrBi dst, src, spec    : extract a bit field
+  kCln = 4,     ///< cln    addr, len, skip   : emit page[addr+skip..addr+len)
+  kIns = 5,     ///< ins    dst, imm12        : load an immediate / insert bits
+  kAd = 6,      ///< ad     dst, a, b         : dst = a + b
+  kSub = 7,     ///< sub    dst, a, b         : dst = a - b
+  kMul = 8,     ///< mul    dst, a, b         : dst = a * b
+  kBentr = 9,   ///< bentr                    : loop start marker
+  kBexit = 10,  ///< bexit  cond, a, b        : loop back, or exit on cond
+};
+
+/// Mnemonic for an opcode ("readB", ...).
+std::string OpcodeName(Opcode op);
+
+/// Parses a mnemonic; NotFound for unknown names.
+dana::Result<Opcode> OpcodeFromName(const std::string& name);
+
+/// Number of Strider registers. Registers 0..15 are configuration registers
+/// (%cr0..%cr15, preset by the runtime's configuration FSM before the
+/// program runs); 16..31 are temporaries (%t0..%t15).
+inline constexpr uint32_t kNumRegisters = 32;
+inline constexpr uint32_t kNumConfigRegisters = 16;
+
+/// One 6-bit operand field: either a register reference (bit 5 set,
+/// low 5 bits = register index) or a 5-bit immediate.
+struct Operand {
+  bool is_reg = false;
+  uint8_t value = 0;  // register index 0..31, or immediate 0..31
+
+  static Operand Reg(uint8_t index) { return {true, index}; }
+  static Operand Imm(uint8_t value) { return {false, value}; }
+  /// Renders as "%cr3", "%t7", or a decimal immediate.
+  std::string ToString() const;
+};
+
+/// Bexit condition codes: exit the loop when the comparison holds,
+/// otherwise jump back to the matching bentr.
+enum class BexitCond : uint8_t {
+  kEq = 0,   ///< exit when a == b
+  kGe = 1,   ///< exit when a >= b (the paper's free-space check)
+  kLt = 2,   ///< exit when a <  b
+};
+
+/// One decoded Strider instruction.
+///
+/// Encoding (22 bits): opcode in [21:18], fields f1/f2/f3 in [17:12],
+/// [11:6], [5:0]. For kIns, f2 and f3 concatenate into a 12-bit immediate.
+/// Field meaning is positional per opcode, as listed with each Opcode.
+struct Instruction {
+  Opcode op = Opcode::kReadB;
+  Operand f1, f2, f3;
+
+  /// 12-bit immediate view for kIns (f2:f3 raw bits).
+  uint32_t Imm12() const;
+  static Instruction MakeIns(uint8_t dst_reg, uint32_t imm12);
+
+  /// Packs into the low 22 bits of a word.
+  uint32_t Encode() const;
+  /// Unpacks; Corruption if the opcode is invalid.
+  static dana::Result<Instruction> Decode(uint32_t word);
+  /// Assembly rendering, e.g. "readB %t0, 12, 2".
+  std::string ToString() const;
+};
+
+/// Bit-field spec packing for extrBi: offset in bits [11:6], length in
+/// bits [5:0] of a 12-bit value (register-held or kIns-loaded).
+inline constexpr uint32_t PackBitSpec(uint32_t bit_offset, uint32_t len) {
+  return (bit_offset << 6) | (len & 0x3Fu);
+}
+/// Byte-field spec packing for extrB: offset*8 and len*8 of PackBitSpec.
+inline constexpr uint32_t PackByteSpec(uint32_t byte_offset, uint32_t len) {
+  return PackBitSpec(byte_offset * 8, len * 8);
+}
+
+/// A complete Strider program: instruction stream plus the configuration
+/// register image the runtime loads before execution (page-layout constants
+/// too wide for 5-bit immediates travel here, matching the paper's
+/// "configuration registers").
+struct StriderProgram {
+  std::vector<Instruction> code;
+  std::array<uint32_t, kNumConfigRegisters> config = {};
+
+  /// Size of the encoded instruction stream in bytes (22 bits per
+  /// instruction, padded to 3 bytes as stored in the catalog blob).
+  uint64_t EncodedBytes() const { return code.size() * 3; }
+
+  /// Full assembly listing.
+  std::string ToString() const;
+};
+
+}  // namespace dana::strider

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "strider/isa.h"
+
+namespace dana::strider {
+
+/// Outcome of running a Strider program over one page buffer.
+struct StriderRunResult {
+  /// Extracted tuple payloads, in page order, headers stripped by cln.
+  std::vector<std::vector<uint8_t>> tuples;
+  /// Total cycles consumed (1 per instruction plus cln emission cycles).
+  uint64_t cycles = 0;
+  /// Dynamic instruction count.
+  uint64_t instructions = 0;
+};
+
+/// Cycle-level interpreter for Strider programs.
+///
+/// One Strider owns one page buffer (paper Figure 5); Run() models a full
+/// walk of that buffer: header parsing, tuple-pointer chasing, and payload
+/// emission toward the execution engine. Timing: every instruction costs
+/// one cycle; cln additionally costs ceil(len/emit_width) cycles to stream
+/// the payload through the shifter (the BRAM read port emits emit_width
+/// bytes per cycle).
+class StriderSim {
+ public:
+  /// `emit_width_bytes`: bytes the Strider can push per cycle (BRAM read
+  /// width after the shifter; 8 on the VU9P configuration).
+  explicit StriderSim(uint32_t emit_width_bytes = 8)
+      : emit_width_(emit_width_bytes) {}
+
+  /// Executes `program` against `page` (one page image). Fails on invalid
+  /// register/page accesses or when `max_cycles` is exceeded (runaway
+  /// loop protection).
+  dana::Result<StriderRunResult> Run(const StriderProgram& program,
+                                     std::span<const uint8_t> page,
+                                     uint64_t max_cycles = 1u << 24) const;
+
+ private:
+  uint32_t emit_width_;
+};
+
+}  // namespace dana::strider

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "dsl/algo.h"
+#include "dsl/expr.h"
+#include "hdfg/graph.h"
+#include "hdfg/translator.h"
+
+namespace dana {
+namespace {
+
+using dsl::Algo;
+using dsl::Expr;
+using dsl::OpKind;
+using hdfg::Graph;
+using hdfg::InferBinaryDims;
+using hdfg::InferGroupDims;
+using hdfg::Region;
+using hdfg::Translator;
+
+// ---------------------------------------------------------------------------
+// DSL construction
+// ---------------------------------------------------------------------------
+
+TEST(DslTest, DeclarationsCarryKindAndDims) {
+  Algo algo("a");
+  auto mo = algo.Model("mo", {5, 2});
+  EXPECT_EQ(mo->op(), OpKind::kVarRef);
+  EXPECT_EQ(mo->var()->kind, dsl::VarKind::kModel);
+  EXPECT_EQ(mo->var()->dims, (std::vector<uint32_t>{5, 2}));
+  auto m = algo.Meta("lr", 0.25);
+  EXPECT_DOUBLE_EQ(m->var()->meta_value, 0.25);
+  EXPECT_EQ(algo.vars().size(), 2u);
+}
+
+TEST(DslTest, OperatorOverloadsBuildNodes) {
+  Algo algo("a");
+  auto x = algo.Input("x", {4});
+  auto e = (x + 1.0) * 2.0 - x / x;
+  EXPECT_EQ(e->op(), OpKind::kSub);
+  EXPECT_EQ(e->inputs()[0]->op(), OpKind::kMul);
+  EXPECT_EQ(e->inputs()[1]->op(), OpKind::kDiv);
+  auto c = 1.0 < x;  // double op Expr
+  EXPECT_EQ(c->op(), OpKind::kLt);
+  EXPECT_EQ(c->inputs()[0]->op(), OpKind::kConst);
+}
+
+TEST(DslTest, NonLinearAndGroupBuilders) {
+  Algo algo("a");
+  auto x = algo.Input("x", {4});
+  EXPECT_EQ(dsl::Sigmoid(x)->op(), OpKind::kSigmoid);
+  EXPECT_EQ(dsl::Gaussian(x)->op(), OpKind::kGaussian);
+  EXPECT_EQ(dsl::Sqrt(x)->op(), OpKind::kSqrt);
+  auto s = dsl::Sigma(x, 0);
+  EXPECT_EQ(s->op(), OpKind::kSigma);
+  EXPECT_EQ(s->axis(), 0u);
+  EXPECT_EQ(dsl::Pi(x, 0)->op(), OpKind::kPi);
+  EXPECT_EQ(dsl::Norm(x, 0)->op(), OpKind::kNorm);
+}
+
+TEST(DslTest, MergeRecordsCoefficient) {
+  Algo algo("a");
+  auto x = algo.Input("x", {4});
+  auto m = algo.Merge(x, 16, OpKind::kAdd);
+  EXPECT_EQ(m->op(), OpKind::kMerge);
+  EXPECT_EQ(m->merge_coef(), 16u);
+  EXPECT_EQ(algo.MergeCoefficient(), 16u);
+}
+
+TEST(DslTest, SetModelRejectsNonModel) {
+  Algo algo("a");
+  auto x = algo.Input("x", {4});
+  EXPECT_TRUE(algo.SetModel(x, x).IsInvalidArgument());
+}
+
+TEST(DslTest, SetModelRejectsDoubleBinding) {
+  Algo algo("a");
+  auto mo = algo.Model("mo", {4});
+  ASSERT_TRUE(algo.SetModel(mo, mo + 1.0).ok());
+  EXPECT_TRUE(algo.SetModel(mo, mo).IsAlreadyExists());
+}
+
+TEST(DslTest, ValidateRequiresModelUpdate) {
+  Algo algo("a");
+  algo.Model("mo", {4});
+  EXPECT_TRUE(algo.Validate().IsFailedPrecondition());
+}
+
+TEST(DslTest, ValidateRejectsZeroDim) {
+  Algo algo("a");
+  auto mo = algo.Model("mo", {0});
+  ASSERT_TRUE(algo.SetModel(mo, mo).ok());
+  EXPECT_TRUE(algo.Validate().IsInvalidArgument());
+}
+
+TEST(DslTest, ValidateRejectsRank4) {
+  Algo algo("a");
+  auto mo = algo.Model("mo", {2, 2, 2, 2});
+  ASSERT_TRUE(algo.SetModel(mo, mo).ok());
+  EXPECT_TRUE(algo.Validate().IsUnimplemented());
+}
+
+// ---------------------------------------------------------------------------
+// Dimension inference (paper §4.4 rules)
+// ---------------------------------------------------------------------------
+
+struct DimCase {
+  std::vector<uint32_t> a, b, expect;
+};
+
+class InferBinaryTest : public ::testing::TestWithParam<DimCase> {};
+
+TEST_P(InferBinaryTest, InfersDocumentedShape) {
+  const auto& c = GetParam();
+  auto r = InferBinaryDims(c.a, c.b);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, c.expect);
+  // Broadcasting is symmetric in shape.
+  auto r2 = InferBinaryDims(c.b, c.a);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(hdfg::NumElements(*r2), hdfg::NumElements(c.expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, InferBinaryTest,
+    ::testing::Values(
+        DimCase{{10}, {10}, {10}},           // elementwise
+        DimCase{{}, {7}, {7}},               // scalar broadcast
+        DimCase{{5, 2}, {}, {5, 2}},         // scalar broadcast (rhs)
+        DimCase{{10}, {5, 10}, {5, 10}},     // suffix replication
+        DimCase{{5}, {5, 10}, {5, 10}},      // prefix replication
+        DimCase{{5, 10}, {2, 10}, {5, 2, 10}},  // paper's cross join
+        DimCase{{3}, {4}, {3, 4}}));         // vector outer product
+
+TEST(InferBinaryTest, RejectsIncompatibleMatrices) {
+  EXPECT_TRUE(InferBinaryDims({3, 4}, {5, 6}).status().IsInvalidArgument());
+}
+
+TEST(InferGroupTest, RemovesAxis) {
+  auto r = InferGroupDims({5, 2, 10}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<uint32_t>{5, 2}));
+  auto v = InferGroupDims({10}, 0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->empty());
+}
+
+TEST(InferGroupTest, RejectsBadAxisAndScalar) {
+  EXPECT_TRUE(InferGroupDims({10}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(InferGroupDims({}, 0).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Translator
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Algo> LinearRegression(uint32_t d, uint32_t coef) {
+  auto algo = std::make_unique<Algo>("linearR");
+  auto mo = algo->Model("mo", {d});
+  auto in = algo->Input("in", {d});
+  auto out = algo->Output("out");
+  auto lr = algo->Meta("lr", 0.1);
+  auto s = dsl::Sigma(mo * in, 0);
+  auto grad = (s - out) * in;
+  auto g = algo->Merge(grad, coef, OpKind::kAdd);
+  EXPECT_TRUE(algo->SetModel(mo, mo - lr * g).ok());
+  algo->SetEpochs(3);
+  return algo;
+}
+
+TEST(TranslatorTest, LinearRegressionGraphShape) {
+  auto algo = LinearRegression(10, 8);
+  auto g = Translator::Translate(*algo);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->model_vars.size(), 1u);
+  EXPECT_EQ(g->merge_coef, 8u);
+  EXPECT_EQ(g->max_epochs, 3u);
+  // The update root has the model's shape.
+  EXPECT_EQ(g->node(g->update_roots[0]).dims, (std::vector<uint32_t>{10}));
+}
+
+TEST(TranslatorTest, RegionsSplitAtMergeBoundary) {
+  auto algo = LinearRegression(10, 8);
+  auto g = Translator::Translate(*algo);
+  ASSERT_TRUE(g.ok());
+  bool saw_tuple = false, saw_batch = false;
+  for (const auto& n : g->nodes) {
+    if (n.op == OpKind::kMerge) {
+      EXPECT_EQ(n.region, Region::kPerBatch);
+    } else if (n.op == OpKind::kSigma) {
+      EXPECT_EQ(n.region, Region::kPerTuple);
+      saw_tuple = true;
+    } else if (n.op == OpKind::kSub && n.dims.size() == 1) {
+      // mo - lr*g consumes the merged value: per batch.
+      if (n.region == Region::kPerBatch) saw_batch = true;
+    }
+  }
+  EXPECT_TRUE(saw_tuple);
+  EXPECT_TRUE(saw_batch);
+}
+
+TEST(TranslatorTest, SharedSubExpressionsDeduplicated) {
+  Algo algo("a");
+  auto mo = algo.Model("mo", {4});
+  auto in = algo.Input("in", {4});
+  auto prod = mo * in;           // used twice below
+  auto e = prod + prod;
+  ASSERT_TRUE(algo.SetModel(mo, e).ok());
+  auto g = Translator::Translate(algo);
+  ASSERT_TRUE(g.ok());
+  int muls = 0;
+  for (const auto& n : g->nodes) {
+    if (n.op == OpKind::kMul) ++muls;
+  }
+  EXPECT_EQ(muls, 1);  // the DAG shares the product node
+}
+
+TEST(TranslatorTest, ConvergenceRegionIsPerEpoch) {
+  auto algo = std::make_unique<Algo>("c");
+  auto mo = algo->Model("mo", {4});
+  auto in = algo->Input("in", {4});
+  auto out = algo->Output("out");
+  auto grad = (dsl::Sigma(mo * in, 0) - out) * in;
+  auto g = algo->Merge(grad, 4, OpKind::kAdd);
+  ASSERT_TRUE(algo->SetModel(mo, mo - g).ok());
+  auto cf = algo->Meta("cf", 0.01);
+  algo->SetConvergence(dsl::Norm(g, 0) < cf);
+  algo->SetEpochs(10);
+  auto graph = Translator::Translate(*algo);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ASSERT_NE(graph->convergence_root, hdfg::kInvalidNode);
+  EXPECT_EQ(graph->node(graph->convergence_root).region, Region::kPerEpoch);
+}
+
+TEST(TranslatorTest, RejectsShapeMismatchedModelUpdate) {
+  Algo algo("a");
+  auto mo = algo.Model("mo", {4});
+  auto in = algo.Input("in", {5});
+  ASSERT_TRUE(algo.SetModel(mo, in).ok());  // shape checked at translate
+  EXPECT_TRUE(Translator::Translate(algo).status().IsInvalidArgument());
+}
+
+TEST(TranslatorTest, RejectsNonScalarConvergence) {
+  Algo algo("a");
+  auto mo = algo.Model("mo", {4});
+  ASSERT_TRUE(algo.SetModel(mo, mo).ok());
+  algo.SetConvergence(mo > 0.0);  // vector condition
+  EXPECT_TRUE(Translator::Translate(algo).status().IsInvalidArgument());
+}
+
+TEST(TranslatorTest, RejectsUnmergedUpdateWhenMergeExists) {
+  // Model A goes through the merge boundary but model B consumes a raw
+  // per-tuple value: with threads running in parallel, B's update is
+  // ill-defined and must be rejected.
+  Algo algo("a");
+  auto ma = algo.Model("ma", {4});
+  auto mb = algo.Model("mb", {4});
+  auto in = algo.Input("in", {4});
+  auto merged = algo.Merge(ma * in, 4, OpKind::kAdd);
+  ASSERT_TRUE(algo.SetModel(ma, ma - merged).ok());
+  ASSERT_TRUE(algo.SetModel(mb, mb - mb * in).ok());
+  EXPECT_TRUE(Translator::Translate(algo).status().IsInvalidArgument());
+}
+
+TEST(TranslatorTest, RejectsBadGroupAxis) {
+  Algo algo("a");
+  auto mo = algo.Model("mo", {4});
+  ASSERT_TRUE(algo.SetModel(mo, dsl::Sigma(mo, 3) * mo).ok());
+  EXPECT_FALSE(Translator::Translate(algo).ok());
+}
+
+TEST(TranslatorTest, SubNodeCounts) {
+  auto algo = LinearRegression(16, 1);
+  auto g = Translator::Translate(*algo);
+  ASSERT_TRUE(g.ok());
+  for (hdfg::NodeId i = 0; i < g->nodes.size(); ++i) {
+    const auto& n = g->node(i);
+    if (n.op == OpKind::kMul && n.dims == std::vector<uint32_t>{16}) {
+      EXPECT_EQ(g->SubNodeCount(i), 16u);
+    }
+    if (n.op == OpKind::kSigma) {
+      EXPECT_EQ(g->SubNodeCount(i), 15u);  // 16 -> 1 tree reduction
+    }
+  }
+  EXPECT_GT(g->TotalSubNodes(Region::kPerTuple), 0u);
+}
+
+TEST(TranslatorTest, GraphDumpMentionsUpdate) {
+  auto algo = LinearRegression(4, 2);
+  auto g = Translator::Translate(*algo);
+  ASSERT_TRUE(g.ok());
+  const std::string dump = g->ToString();
+  EXPECT_NE(dump.find("update mo"), std::string::npos);
+  EXPECT_NE(dump.find("merge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dana

@@ -1,0 +1,395 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/accelerator.h"
+#include "compiler/compiler.h"
+#include "engine/evaluator.h"
+#include "hdfg/interpreter.h"
+#include "hdfg/translator.h"
+#include "ml/algorithms.h"
+#include "ml/datasets.h"
+#include "ml/reference.h"
+#include "storage/buffer_pool.h"
+
+namespace dana {
+namespace {
+
+using compiler::ScalarProgram;
+using engine::ScalarEvaluator;
+using engine::TupleData;
+
+ml::AlgoParams Params(uint32_t dims, uint32_t coef, ml::AlgoKind kind) {
+  ml::AlgoParams p;
+  p.dims = dims;
+  p.rank = 4;
+  p.merge_coef = coef;
+  p.epochs = 3;
+  p.learning_rate = kind == ml::AlgoKind::kLowRankMF ? 0.5 : 0.3;
+  return p;
+}
+
+ScalarProgram Lower(ml::AlgoKind kind, const ml::AlgoParams& p) {
+  auto algo = std::move(ml::BuildAlgo(kind, p)).ValueOrDie();
+  auto graph = std::move(hdfg::Translator::Translate(*algo)).ValueOrDie();
+  return std::move(compiler::LowerGraph(graph)).ValueOrDie();
+}
+
+TupleData MakeTuple(const ScalarProgram& prog,
+                    const std::vector<double>& row) {
+  TupleData t;
+  t.inputs.resize(prog.input_vars.size());
+  t.outputs.resize(prog.output_vars.size());
+  const uint64_t d = hdfg::NumElements(prog.input_vars[0]->dims);
+  t.inputs[0].assign(row.begin(), row.begin() + d);
+  if (!prog.output_vars.empty()) {
+    t.outputs[0] = {static_cast<float>(row[d])};
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// ALU semantics
+// ---------------------------------------------------------------------------
+
+TEST(AluTest, OpSemantics) {
+  using engine::AluOp;
+  using engine::ApplyAluOp;
+  EXPECT_FLOAT_EQ(ApplyAluOp(AluOp::kAdd, 2, 3), 5);
+  EXPECT_FLOAT_EQ(ApplyAluOp(AluOp::kSub, 2, 3), -1);
+  EXPECT_FLOAT_EQ(ApplyAluOp(AluOp::kMul, 2, 3), 6);
+  EXPECT_FLOAT_EQ(ApplyAluOp(AluOp::kDiv, 3, 2), 1.5);
+  EXPECT_FLOAT_EQ(ApplyAluOp(AluOp::kLt, 1, 2), 1.0f);
+  EXPECT_FLOAT_EQ(ApplyAluOp(AluOp::kGt, 1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(ApplyAluOp(AluOp::kSigmoid, 0, 0), 0.5f);
+  EXPECT_NEAR(ApplyAluOp(AluOp::kGaussian, 1, 0), std::exp(-1.0f), 1e-6);
+  EXPECT_FLOAT_EQ(ApplyAluOp(AluOp::kSqrt, 9, 0), 3.0f);
+}
+
+TEST(AluTest, LatenciesPositiveAndOrdered) {
+  using engine::AluOp;
+  using engine::AluOpLatency;
+  EXPECT_EQ(AluOpLatency(AluOp::kAdd), 1u);
+  EXPECT_GT(AluOpLatency(AluOp::kMul), AluOpLatency(AluOp::kAdd));
+  EXPECT_GT(AluOpLatency(AluOp::kDiv), AluOpLatency(AluOp::kMul));
+  EXPECT_GT(AluOpLatency(AluOp::kSigmoid), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ScalarEvaluator vs the double-precision interpreter
+// ---------------------------------------------------------------------------
+
+class EvaluatorVsInterpreter : public ::testing::TestWithParam<ml::AlgoKind> {
+};
+
+TEST_P(EvaluatorVsInterpreter, BatchesProduceSameModel) {
+  const ml::AlgoKind kind = GetParam();
+  ml::AlgoParams p = Params(12, 4, kind);
+  auto algo = std::move(ml::BuildAlgo(kind, p)).ValueOrDie();
+  auto graph = std::move(hdfg::Translator::Translate(*algo)).ValueOrDie();
+  auto prog = std::move(compiler::LowerGraph(graph)).ValueOrDie();
+
+  ml::DatasetSpec spec;
+  spec.kind = kind;
+  spec.dims = p.dims;
+  spec.rank = p.rank;
+  spec.tuples = 64;
+  ml::Dataset data = ml::GenerateDataset(spec);
+
+  ScalarEvaluator evaluator(prog);
+  hdfg::Interpreter interpreter(graph);
+
+  // Both engines start from the shared deterministic initial model.
+  const std::vector<float> init = ml::InitialModel(kind, p);
+  ASSERT_TRUE(evaluator.SetModel(0, init).ok());
+  hdfg::Tensor init64;
+  init64.dims = prog.model_vars[0]->dims;
+  init64.data.assign(init.begin(), init.end());
+  interpreter.SetModelValue(prog.model_vars[0].get(), std::move(init64));
+
+  // Find the DSL input/output vars for interpreter bindings.
+  const dsl::Var* in_var = prog.input_vars[0].get();
+  const dsl::Var* out_var =
+      prog.output_vars.empty() ? nullptr : prog.output_vars[0].get();
+
+  std::vector<TupleData> batch;
+  std::vector<hdfg::TupleBinding> bindings;
+  for (const auto& row : data.rows) {
+    batch.push_back(MakeTuple(prog, row));
+    hdfg::TupleBinding b;
+    hdfg::Tensor in;
+    in.dims = in_var->dims;
+    in.data.assign(row.begin(), row.begin() + p.dims);
+    b[in_var] = in;
+    if (out_var) b[out_var] = hdfg::Tensor::Scalar(row[p.dims]);
+    bindings.push_back(std::move(b));
+    if (batch.size() == p.merge_coef) {
+      ASSERT_TRUE(evaluator.EvalBatch(batch).ok());
+      ASSERT_TRUE(interpreter.EvalBatch(bindings).ok());
+      batch.clear();
+      bindings.clear();
+    }
+  }
+
+  const auto& m32 = evaluator.Model(0);
+  const auto& m64 = interpreter.ModelValue(prog.model_vars[0].get()).data;
+  ASSERT_EQ(m32.size(), m64.size());
+  for (size_t i = 0; i < m32.size(); ++i) {
+    EXPECT_NEAR(m32[i], m64[i], 1e-3 * (1.0 + std::fabs(m64[i])))
+        << "element " << i << " for " << ml::AlgoKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, EvaluatorVsInterpreter,
+    ::testing::Values(ml::AlgoKind::kLinearRegression,
+                      ml::AlgoKind::kLogisticRegression, ml::AlgoKind::kSvm,
+                      ml::AlgoKind::kLowRankMF));
+
+TEST(EvaluatorTest, ModelWritesAreStaged) {
+  // The update mo' = mo - g must read the pre-update mo everywhere even
+  // though writes and reads interleave element-wise.
+  ml::AlgoParams p = Params(4, 1, ml::AlgoKind::kLinearRegression);
+  auto prog = Lower(ml::AlgoKind::kLinearRegression, p);
+  ScalarEvaluator ev(prog);
+  std::vector<float> init = {1, 2, 3, 4};
+  ASSERT_TRUE(ev.SetModel(0, init).ok());
+  TupleData t;
+  t.inputs = {{0, 0, 0, 0}};
+  t.outputs = {{0}};
+  ASSERT_TRUE(ev.EvalBatch({&t, 1}).ok());
+  EXPECT_EQ(ev.Model(0), init);  // zero gradient: unchanged
+}
+
+TEST(EvaluatorTest, RejectsWrongModelSize) {
+  auto prog = Lower(ml::AlgoKind::kLinearRegression,
+                    Params(4, 1, ml::AlgoKind::kLinearRegression));
+  ScalarEvaluator ev(prog);
+  std::vector<float> bad = {1, 2};
+  EXPECT_TRUE(ev.SetModel(0, bad).IsInvalidArgument());
+  EXPECT_TRUE(ev.SetModel(9, bad).IsOutOfRange());
+}
+
+TEST(EvaluatorTest, RejectsMismatchedTuple) {
+  auto prog = Lower(ml::AlgoKind::kLinearRegression,
+                    Params(4, 1, ml::AlgoKind::kLinearRegression));
+  ScalarEvaluator ev(prog);
+  TupleData t;  // no inputs
+  EXPECT_TRUE(ev.EvalBatch({&t, 1}).IsInvalidArgument());
+  EXPECT_TRUE(ev.EvalBatch({}).IsInvalidArgument());
+}
+
+TEST(EvaluatorTest, CountsExecutedOps) {
+  auto prog = Lower(ml::AlgoKind::kLinearRegression,
+                    Params(4, 1, ml::AlgoKind::kLinearRegression));
+  ScalarEvaluator ev(prog);
+  TupleData t;
+  t.inputs = {{1, 1, 1, 1}};
+  t.outputs = {{1}};
+  ASSERT_TRUE(ev.EvalBatch({&t, 1}).ok());
+  EXPECT_EQ(ev.ops_executed(),
+            prog.tuple_ops.size() + prog.batch_ops.size());
+}
+
+// ---------------------------------------------------------------------------
+// Accelerator end-to-end
+// ---------------------------------------------------------------------------
+
+struct AccelFixture {
+  std::unique_ptr<storage::Table> table;
+  std::unique_ptr<storage::BufferPool> pool;
+  compiler::CompiledUdf udf;
+  ml::Dataset data;
+  ml::AlgoParams params;
+  ml::AlgoKind kind;
+
+  static AccelFixture Make(ml::AlgoKind kind, uint32_t dims, uint32_t coef,
+                           uint64_t tuples,
+                           compiler::HardwareGenerator::Options hw = {}) {
+    AccelFixture f;
+    f.kind = kind;
+    f.params = Params(dims, coef, kind);
+    ml::DatasetSpec spec;
+    spec.kind = kind;
+    spec.dims = dims;
+    spec.rank = f.params.rank;
+    spec.tuples = tuples;
+    f.data = ml::GenerateDataset(spec);
+    storage::PageLayout layout;
+    f.table = std::move(ml::BuildTable("t", f.data, layout)).ValueOrDie();
+    f.pool = std::make_unique<storage::BufferPool>(64ull << 20, 32 * 1024,
+                                                   storage::DiskModel{});
+
+    auto algo = std::move(ml::BuildAlgo(kind, f.params)).ValueOrDie();
+    compiler::WorkloadShape shape;
+    shape.num_tuples = f.table->num_tuples();
+    shape.num_pages = f.table->num_pages();
+    shape.tuples_per_page = f.table->TuplesOnPage(0);
+    shape.tuple_payload_bytes = f.table->schema().RowBytes();
+    compiler::UdfCompiler compiler{compiler::FpgaSpec{}, hw};
+    f.udf = std::move(compiler.Compile(*algo, layout, shape)).ValueOrDie();
+    return f;
+  }
+
+  accel::RunReport Train(accel::RunOptions opt = {}) {
+    if (opt.initial_models.empty()) {
+      opt.initial_models = {ml::InitialModel(kind, params)};
+    }
+    accel::Accelerator acc(udf);
+    return std::move(acc.Train(*table, pool.get(), opt)).ValueOrDie();
+  }
+};
+
+class AcceleratorAlgoTest : public ::testing::TestWithParam<ml::AlgoKind> {};
+
+TEST_P(AcceleratorAlgoTest, TrainingMatchesReferenceAndReducesLoss) {
+  const ml::AlgoKind kind = GetParam();
+  auto f = AccelFixture::Make(kind, 16, 4, 256);
+  auto report = f.Train();
+
+  EXPECT_EQ(report.epochs_run, 3u);
+  EXPECT_EQ(report.tuples_processed, 3u * 256);
+  EXPECT_GT(report.fpga_cycles, 0u);
+
+  ml::ReferenceTrainer ref(kind, f.params);
+  auto ref_model = std::move(ref.Train(f.data, 3)).ValueOrDie();
+  ASSERT_EQ(report.final_models[0].size(), ref_model.size());
+  for (size_t i = 0; i < ref_model.size(); ++i) {
+    EXPECT_NEAR(report.final_models[0][i], ref_model[i],
+                1e-3 * (1 + std::fabs(ref_model[i])))
+        << "element " << i;
+  }
+
+  // Training reduced the loss vs the zero model.
+  std::vector<double> zero(ref_model.size(), 0.0);
+  std::vector<double> trained(report.final_models[0].begin(),
+                              report.final_models[0].end());
+  EXPECT_LT(ref.Loss(f.data, trained), ref.Loss(f.data, zero));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, AcceleratorAlgoTest,
+    ::testing::Values(ml::AlgoKind::kLinearRegression,
+                      ml::AlgoKind::kLogisticRegression, ml::AlgoKind::kSvm,
+                      ml::AlgoKind::kLowRankMF));
+
+TEST(AcceleratorTest, StriderBypassIsSlower) {
+  auto f = AccelFixture::Make(ml::AlgoKind::kLogisticRegression, 54, 16,
+                              2000);
+  f.pool->Prewarm(*f.table);
+  auto with = f.Train();
+  f.pool->Clear();
+  f.pool->Prewarm(*f.table);
+  accel::RunOptions bypass;
+  bypass.strider_bypass = true;
+  auto without = f.Train(bypass);
+  EXPECT_GT(without.total_time.nanos(), with.total_time.nanos() * 1.5)
+      << "CPU-side extraction should cost far more than Striders";
+  // Both train the same model regardless of the data path.
+  EXPECT_EQ(with.final_models[0], without.final_models[0]);
+}
+
+TEST(AcceleratorTest, BandwidthScalingMonotonic) {
+  auto f = AccelFixture::Make(ml::AlgoKind::kLogisticRegression, 54, 16,
+                              4000);
+  f.pool->Prewarm(*f.table);
+  std::vector<double> times;
+  for (double bw : {0.25, 1.0, 4.0}) {
+    accel::RunOptions opt;
+    opt.bandwidth_scale = bw;
+    f.pool->Clear();
+    f.pool->Prewarm(*f.table);
+    times.push_back(f.Train(opt).fpga_time.nanos());
+  }
+  EXPECT_GE(times[0], times[1]);
+  EXPECT_GE(times[1], times[2]);
+}
+
+TEST(AcceleratorTest, ColdCacheAddsIoTime) {
+  auto f = AccelFixture::Make(ml::AlgoKind::kLinearRegression, 32, 8, 4000);
+  f.pool->Prewarm(*f.table);
+  auto warm = f.Train();
+  EXPECT_EQ(warm.io_time.nanos(), 0.0);
+  f.pool->Clear();
+  auto cold = f.Train();
+  EXPECT_GT(cold.io_time.nanos(), 0.0);
+  EXPECT_GE(cold.total_time.nanos(), warm.total_time.nanos());
+}
+
+TEST(AcceleratorTest, ConvergenceStopsEarly) {
+  ml::AlgoParams p = Params(8, 4, ml::AlgoKind::kLinearRegression);
+  p.epochs = 50;
+  p.convergence_norm = 0.5;
+  ml::DatasetSpec spec;
+  spec.kind = ml::AlgoKind::kLinearRegression;
+  spec.dims = 8;
+  spec.tuples = 200;
+  spec.label_noise = 0.0;
+  auto data = ml::GenerateDataset(spec);
+  storage::PageLayout layout;
+  auto table = std::move(ml::BuildTable("t", data, layout)).ValueOrDie();
+  storage::BufferPool pool(64ull << 20, 32 * 1024, storage::DiskModel{});
+
+  auto algo =
+      std::move(ml::BuildAlgo(ml::AlgoKind::kLinearRegression, p)).ValueOrDie();
+  compiler::WorkloadShape shape;
+  shape.num_tuples = table->num_tuples();
+  shape.num_pages = table->num_pages();
+  shape.tuples_per_page = table->TuplesOnPage(0);
+  shape.tuple_payload_bytes = table->schema().RowBytes();
+  compiler::UdfCompiler compiler{compiler::FpgaSpec{}};
+  auto udf = std::move(compiler.Compile(*algo, layout, shape)).ValueOrDie();
+
+  accel::Accelerator acc(udf);
+  auto report = std::move(acc.Train(*table, &pool, {})).ValueOrDie();
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.epochs_run, 50u);
+}
+
+TEST(AcceleratorTest, InitialModelRespected) {
+  auto f = AccelFixture::Make(ml::AlgoKind::kLinearRegression, 8, 1, 4);
+  accel::RunOptions opt;
+  opt.initial_models = {std::vector<float>(8, 2.0f)};
+  opt.max_epochs_override = 1;
+  auto report = f.Train(opt);
+  // With a nonzero start the result differs from the zero start.
+  auto zero_report = f.Train();
+  EXPECT_NE(report.final_models[0], zero_report.final_models[0]);
+}
+
+TEST(AcceleratorTest, EpochBreakdownSumsConsistently) {
+  auto f = AccelFixture::Make(ml::AlgoKind::kSvm, 20, 8, 1000);
+  f.pool->Prewarm(*f.table);
+  auto report = f.Train();
+  ASSERT_EQ(report.epochs.size(), report.epochs_run);
+  dana::SimTime sum;
+  for (const auto& e : report.epochs) {
+    EXPECT_GE(e.wall.nanos(), 0.0);
+    sum += e.wall;
+  }
+  EXPECT_NEAR(sum.nanos(), report.total_time.nanos(),
+              1e-6 * report.total_time.nanos() + 1.0);
+}
+
+TEST(AcceleratorTest, MoreThreadsFasterOnWideParallelWorkload) {
+  compiler::HardwareGenerator::Options one;
+  one.force_threads = 1;
+  compiler::HardwareGenerator::Options many;
+  many.force_threads = 16;
+  auto f1 = AccelFixture::Make(ml::AlgoKind::kLogisticRegression, 54, 64,
+                               3000, one);
+  auto f16 = AccelFixture::Make(ml::AlgoKind::kLogisticRegression, 54, 64,
+                                3000, many);
+  f1.pool->Prewarm(*f1.table);
+  f16.pool->Prewarm(*f16.table);
+  // Compare engine compute only (narrow model: extraction is the same).
+  auto r1 = f1.Train();
+  auto r16 = f16.Train();
+  dana::SimTime e1, e16;
+  for (const auto& e : r1.epochs) e1 += e.engine;
+  for (const auto& e : r16.epochs) e16 += e.engine;
+  EXPECT_LT(e16.nanos(), e1.nanos());
+}
+
+}  // namespace
+}  // namespace dana

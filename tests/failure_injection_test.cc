@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.h"
+#include "compiler/report.h"
+#include "ml/algorithms.h"
+#include "ml/datasets.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/table.h"
+#include "strider/codegen.h"
+#include "strider/simulator.h"
+
+namespace dana {
+namespace {
+
+using storage::Page;
+using storage::PageLayout;
+
+/// Builds one valid page of `n` tuples with `payload` bytes each.
+std::vector<uint8_t> ValidPage(const PageLayout& layout, uint32_t n,
+                               uint32_t payload) {
+  std::vector<uint8_t> buf(layout.page_size);
+  Page page(buf.data(), layout);
+  page.InitEmpty();
+  std::vector<uint8_t> data(payload);
+  for (uint32_t t = 0; t < n; ++t) {
+    for (uint32_t i = 0; i < payload; ++i) {
+      data[i] = static_cast<uint8_t>(t + i);
+    }
+    EXPECT_TRUE(page.AddTuple(data, 4).ok());
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt pages: the Strider either extracts nothing wrong or fails with a
+// clean Status — never crashes, never emits bytes outside the page.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, LinePointerPastPageEnd) {
+  PageLayout layout;
+  auto buf = ValidPage(layout, 10, 64);
+  // Point slot 3's line pointer beyond the page.
+  const uint32_t packed =
+      storage::PackItemId(layout.page_size - 8, storage::kLpNormal, 500);
+  std::memcpy(buf.data() + layout.header_size + 3 * 4, &packed, 4);
+
+  Page page(buf.data(), layout);
+  EXPECT_TRUE(page.Validate().IsCorruption());
+
+  auto prog = strider::BuildPageWalkProgram(layout);
+  ASSERT_TRUE(prog.ok());
+  strider::StriderSim sim;
+  auto run = sim.Run(*prog, buf);
+  // The walk must fail cleanly (the cln read would cross the page end).
+  EXPECT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsOutOfRange()) << run.status().ToString();
+}
+
+TEST(FailureInjectionTest, LowerFieldInsaneTerminatesWalk) {
+  PageLayout layout;
+  layout.page_size = 8 * 1024;  // lower below points past this page
+  auto buf = ValidPage(layout, 5, 64);
+  // lower far past the page: the line-pointer loop would run off the page
+  // buffer and must be stopped by a bounds error, not loop forever.
+  const uint16_t bad = 0x7FF0;
+  std::memcpy(buf.data() + layout.lower_offset, &bad, 2);
+  auto prog = strider::BuildPageWalkProgram(layout);
+  ASSERT_TRUE(prog.ok());
+  strider::StriderSim sim;
+  auto run = sim.Run(*prog, buf, /*max_cycles=*/1 << 20);
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(FailureInjectionTest, ZeroedPageYieldsNoTuples) {
+  PageLayout layout;
+  std::vector<uint8_t> buf(layout.page_size, 0);  // all-zero page
+  auto prog = strider::BuildPageWalkProgram(layout);
+  ASSERT_TRUE(prog.ok());
+  strider::StriderSim sim;
+  auto run = sim.Run(*prog, buf);
+  // lower == 0 < header: the loop exits immediately on its guard.
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->tuples.empty());
+}
+
+TEST(FailureInjectionTest, RandomByteFlipsNeverCrashTheStrider) {
+  PageLayout layout;
+  layout.page_size = 8 * 1024;
+  auto prog = strider::BuildPageWalkProgram(layout);
+  ASSERT_TRUE(prog.ok());
+  strider::StriderSim sim;
+  Rng rng(4242);
+  const auto golden = ValidPage(layout, 20, 100);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto buf = golden;
+    // Flip 1-8 random bytes anywhere in the page.
+    const int flips = 1 + static_cast<int>(rng.UniformInt(8));
+    for (int f = 0; f < flips; ++f) {
+      buf[rng.UniformInt(buf.size())] ^=
+          static_cast<uint8_t>(1 + rng.UniformInt(255));
+    }
+    auto run = sim.Run(prog.ValueOrDie(), buf, /*max_cycles=*/1 << 20);
+    if (run.ok()) {
+      // Whatever was extracted must at least lie within the page.
+      for (const auto& t : run->tuples) {
+        EXPECT_LE(t.size(), layout.page_size);
+      }
+    } else {
+      // Clean, classified failure.
+      EXPECT_TRUE(run.status().IsOutOfRange() ||
+                  run.status().IsResourceExhausted() ||
+                  run.status().IsInvalidArgument())
+          << run.status().ToString();
+    }
+  }
+}
+
+TEST(FailureInjectionTest, TupleShorterThanHeaderIsCorruption) {
+  PageLayout layout;
+  auto buf = ValidPage(layout, 2, 64);
+  // Shrink slot 0's length below the tuple header size.
+  const uint32_t packed_short = storage::PackItemId(
+      layout.page_size - (layout.tuple_header_size + 64), storage::kLpNormal,
+      8);
+  std::memcpy(buf.data() + layout.header_size, &packed_short, 4);
+  Page page(buf.data(), layout);
+  EXPECT_TRUE(page.GetTuplePayload(0).status().IsCorruption());
+}
+
+TEST(FailureInjectionTest, DeadSlotSkippedByCodec) {
+  PageLayout layout;
+  auto buf = ValidPage(layout, 3, 32);
+  Page page(buf.data(), layout);
+  auto item = page.GetItemId(1);
+  ASSERT_TRUE(item.ok());
+  const uint32_t dead =
+      storage::PackItemId(item->first, storage::kLpDead, item->second);
+  std::memcpy(buf.data() + layout.header_size + 4, &dead, 4);
+  EXPECT_TRUE(page.GetTuplePayload(1).status().IsNotFound());
+  EXPECT_TRUE(page.GetTuplePayload(0).ok());
+  EXPECT_TRUE(page.GetTuplePayload(2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Utilization report sanity
+// ---------------------------------------------------------------------------
+
+TEST(UtilizationReportTest, MentionsEveryResource) {
+  ml::AlgoParams p;
+  p.dims = 16;
+  p.merge_coef = 8;
+  auto algo = std::move(ml::BuildAlgo(ml::AlgoKind::kLogisticRegression, p))
+                  .ValueOrDie();
+  ml::DatasetSpec spec;
+  spec.kind = ml::AlgoKind::kLogisticRegression;
+  spec.dims = 16;
+  spec.tuples = 100;
+  auto data = ml::GenerateDataset(spec);
+  storage::PageLayout layout;
+  auto table = std::move(ml::BuildTable("t", data, layout)).ValueOrDie();
+  compiler::WorkloadShape shape;
+  shape.num_tuples = table->num_tuples();
+  shape.num_pages = table->num_pages();
+  shape.tuples_per_page = table->TuplesOnPage(0);
+  shape.tuple_payload_bytes = table->schema().RowBytes();
+  compiler::UdfCompiler compiler{compiler::FpgaSpec{}};
+  auto udf = std::move(compiler.Compile(*algo, layout, shape)).ValueOrDie();
+
+  const std::string report = compiler::UtilizationReport(udf);
+  for (const char* token :
+       {"DSP slices", "LUTs", "BRAM", "Analytic units", "Strider ISA",
+        "Execution engine", "page buffers", "Update rule", "Merge network",
+        "Estimated cycles per epoch"}) {
+    EXPECT_NE(report.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace dana

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsl/algo.h"
+#include "hdfg/interpreter.h"
+#include "hdfg/translator.h"
+
+namespace dana::hdfg {
+namespace {
+
+using dsl::Algo;
+using dsl::OpKind;
+
+Tensor Vec(std::vector<double> v) {
+  Tensor t;
+  t.dims = {static_cast<uint32_t>(v.size())};
+  t.data = std::move(v);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// EvalBinary broadcasting
+// ---------------------------------------------------------------------------
+
+TEST(EvalBinaryTest, Elementwise) {
+  Tensor out;
+  ASSERT_TRUE(EvalBinary(OpKind::kAdd, Vec({1, 2}), Vec({10, 20}), {2}, &out)
+                  .ok());
+  EXPECT_EQ(out.data, (std::vector<double>{11, 22}));
+}
+
+TEST(EvalBinaryTest, ScalarBroadcast) {
+  Tensor out;
+  ASSERT_TRUE(EvalBinary(OpKind::kMul, Tensor::Scalar(3), Vec({1, 2, 3}),
+                         {3}, &out)
+                  .ok());
+  EXPECT_EQ(out.data, (std::vector<double>{3, 6, 9}));
+}
+
+TEST(EvalBinaryTest, SuffixBroadcast) {
+  // [k]=[2] against [d][k]=[2][2]: replicate along leading dim.
+  Tensor big;
+  big.dims = {2, 2};
+  big.data = {1, 2, 3, 4};
+  Tensor out;
+  ASSERT_TRUE(
+      EvalBinary(OpKind::kMul, Vec({10, 100}), big, {2, 2}, &out).ok());
+  EXPECT_EQ(out.data, (std::vector<double>{10, 200, 30, 400}));
+}
+
+TEST(EvalBinaryTest, PrefixBroadcast) {
+  // [d]=[2] against [d][k]=[2][3]: replicate along the trailing dim.
+  // (With d == k the suffix rule takes precedence, so use d != k here.)
+  Tensor a;
+  a.dims = {2};
+  a.data = {10, 100};
+  Tensor big;
+  big.dims = {2, 3};
+  big.data = {1, 2, 3, 4, 5, 6};
+  Tensor out;
+  ASSERT_TRUE(EvalBinary(OpKind::kMul, big, a, {2, 3}, &out).ok());
+  EXPECT_EQ(out.data, (std::vector<double>{10, 20, 30, 400, 500, 600}));
+}
+
+TEST(EvalBinaryTest, CrossJoinMatchesPaperExample) {
+  // mo=[2][3], in=[2][3] would be elementwise; use [2][3] x [1][3]... the
+  // paper case: [5][10] x [2][10] -> [5][2][10]. Miniature: [2][2] x [3][2].
+  Tensor a, b, out;
+  a.dims = {2, 2};
+  a.data = {1, 2, 3, 4};
+  b.dims = {3, 2};
+  b.data = {10, 20, 30, 40, 50, 60};
+  ASSERT_TRUE(EvalBinary(OpKind::kMul, a, b, {2, 3, 2}, &out).ok());
+  ASSERT_EQ(out.data.size(), 12u);
+  // out[i][j][t] = a[i][t] * b[j][t]
+  EXPECT_DOUBLE_EQ(out.data[0], 1 * 10);   // i0 j0 t0
+  EXPECT_DOUBLE_EQ(out.data[1], 2 * 20);   // i0 j0 t1
+  EXPECT_DOUBLE_EQ(out.data[4], 1 * 50);   // i0 j2 t0
+  EXPECT_DOUBLE_EQ(out.data[11], 4 * 60);  // i1 j2 t1
+}
+
+TEST(EvalBinaryTest, VectorOuterProduct) {
+  Tensor out;
+  ASSERT_TRUE(
+      EvalBinary(OpKind::kMul, Vec({1, 2}), Vec({10, 20, 30}), {2, 3}, &out)
+          .ok());
+  EXPECT_EQ(out.data, (std::vector<double>{10, 20, 30, 20, 40, 60}));
+}
+
+TEST(EvalBinaryTest, ComparisonsProduceIndicators) {
+  Tensor out;
+  ASSERT_TRUE(EvalBinary(OpKind::kLt, Vec({1, 5}), Vec({3, 3}), {2}, &out)
+                  .ok());
+  EXPECT_EQ(out.data, (std::vector<double>{1, 0}));
+  ASSERT_TRUE(EvalBinary(OpKind::kGt, Vec({1, 5}), Vec({3, 3}), {2}, &out)
+                  .ok());
+  EXPECT_EQ(out.data, (std::vector<double>{0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Full-graph interpretation
+// ---------------------------------------------------------------------------
+
+struct LinRegFixture {
+  std::unique_ptr<Algo> algo;
+  std::shared_ptr<dsl::Var> model_var;
+  Graph graph;
+
+  static LinRegFixture Make(uint32_t d, uint32_t coef, double lr) {
+    LinRegFixture f;
+    f.algo = std::make_unique<Algo>("lin");
+    auto mo = f.algo->Model("mo", {d});
+    auto in = f.algo->Input("in", {d});
+    auto out = f.algo->Output("out");
+    auto lrm = f.algo->Meta("lr", lr);
+    auto grad = (dsl::Sigma(mo * in, 0) - out) * in;
+    auto g = f.algo->Merge(grad, coef, OpKind::kAdd);
+    EXPECT_TRUE(f.algo->SetModel(mo, mo - lrm * g).ok());
+    f.model_var = mo->var();
+    f.graph = std::move(Translator::Translate(*f.algo)).ValueOrDie();
+    return f;
+  }
+};
+
+TEST(InterpreterTest, SingleTupleGradientStepMatchesHandComputation) {
+  auto f = LinRegFixture::Make(2, 1, 0.5);
+  Interpreter interp(f.graph);
+  interp.SetModelValue(f.model_var.get(), Vec({1.0, -1.0}));
+
+  TupleBinding binding;
+  binding[f.algo->vars()[1].get()] = Vec({2.0, 3.0});      // in
+  binding[f.algo->vars()[2].get()] = Tensor::Scalar(4.0);  // out
+  ASSERT_TRUE(interp.EvalBatch({&binding, 1}).ok());
+
+  // s = 1*2 + (-1)*3 = -1; er = -5; grad = (-10, -15); w -= 0.5*grad.
+  const Tensor& m = interp.ModelValue(f.model_var.get());
+  EXPECT_DOUBLE_EQ(m.data[0], 6.0);
+  EXPECT_DOUBLE_EQ(m.data[1], 6.5);
+}
+
+TEST(InterpreterTest, MergeSumsAcrossBatch) {
+  auto f = LinRegFixture::Make(1, 2, 1.0);
+  Interpreter interp(f.graph);
+  interp.SetModelValue(f.model_var.get(), Vec({0.0}));
+
+  TupleBinding t1, t2;
+  t1[f.algo->vars()[1].get()] = Vec({1.0});
+  t1[f.algo->vars()[2].get()] = Tensor::Scalar(2.0);  // grad = -2
+  t2[f.algo->vars()[1].get()] = Vec({1.0});
+  t2[f.algo->vars()[2].get()] = Tensor::Scalar(4.0);  // grad = -4
+  std::vector<TupleBinding> batch = {t1, t2};
+  ASSERT_TRUE(interp.EvalBatch(batch).ok());
+  // merged grad = -6; w = 0 - 1.0 * (-6) = 6.
+  EXPECT_DOUBLE_EQ(interp.ModelValue(f.model_var.get()).data[0], 6.0);
+}
+
+TEST(InterpreterTest, BatchOfOneEqualsSgdStep) {
+  auto f1 = LinRegFixture::Make(3, 1, 0.1);
+  auto f2 = LinRegFixture::Make(3, 1, 0.1);
+  Interpreter a(f1.graph), b(f2.graph);
+
+  TupleBinding bind1, bind2;
+  bind1[f1.algo->vars()[1].get()] = Vec({1, 2, 3});
+  bind1[f1.algo->vars()[2].get()] = Tensor::Scalar(1.0);
+  bind2[f2.algo->vars()[1].get()] = Vec({1, 2, 3});
+  bind2[f2.algo->vars()[2].get()] = Tensor::Scalar(1.0);
+
+  ASSERT_TRUE(a.EvalBatch({&bind1, 1}).ok());
+  ASSERT_TRUE(b.EvalBatch({&bind2, 1}).ok());
+  EXPECT_EQ(a.ModelValue(f1.model_var.get()).data,
+            b.ModelValue(f2.model_var.get()).data);
+}
+
+TEST(InterpreterTest, ZeroInitializedModelByDefault) {
+  auto f = LinRegFixture::Make(4, 1, 0.1);
+  Interpreter interp(f.graph);
+  TupleBinding bind;
+  bind[f.algo->vars()[1].get()] = Vec({0, 0, 0, 0});
+  bind[f.algo->vars()[2].get()] = Tensor::Scalar(0.0);
+  ASSERT_TRUE(interp.EvalBatch({&bind, 1}).ok());
+  // Zero data, zero labels: the model stays zero.
+  for (double v : interp.ModelValue(f.model_var.get()).data) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(InterpreterTest, MissingBindingIsError) {
+  auto f = LinRegFixture::Make(2, 1, 0.1);
+  Interpreter interp(f.graph);
+  TupleBinding bind;  // empty: no input/output values
+  EXPECT_FALSE(interp.EvalBatch({&bind, 1}).ok());
+}
+
+TEST(InterpreterTest, EmptyBatchIsError) {
+  auto f = LinRegFixture::Make(2, 1, 0.1);
+  Interpreter interp(f.graph);
+  EXPECT_TRUE(interp.EvalBatch({}).IsInvalidArgument());
+}
+
+TEST(InterpreterTest, ConvergenceFiresWhenGradientSmall) {
+  auto algo = std::make_unique<Algo>("c");
+  auto mo = algo->Model("mo", {2});
+  auto in = algo->Input("in", {2});
+  auto out = algo->Output("out");
+  auto grad = (dsl::Sigma(mo * in, 0) - out) * in;
+  auto g = algo->Merge(grad, 1, OpKind::kAdd);
+  ASSERT_TRUE(algo->SetModel(mo, mo - g).ok());
+  auto cf = algo->Meta("cf", 0.5);
+  algo->SetConvergence(dsl::Norm(g, 0) < cf);
+  auto graph = std::move(Translator::Translate(*algo)).ValueOrDie();
+  Interpreter interp(graph);
+
+  TupleBinding bind;
+  bind[algo->vars()[1].get()] = Vec({1.0, 0.0});
+  bind[algo->vars()[2].get()] = Tensor::Scalar(3.0);
+  // First step: grad = (-3, 0), |g| = 3 >= 0.5 -> keep going.
+  ASSERT_TRUE(interp.EvalBatch({&bind, 1}).ok());
+  EXPECT_FALSE(*interp.EvalConvergence());
+  // Second step: model now predicts exactly; grad = 0 -> converged.
+  ASSERT_TRUE(interp.EvalBatch({&bind, 1}).ok());
+  EXPECT_TRUE(*interp.EvalConvergence());
+}
+
+TEST(InterpreterTest, NoConvergenceConditionNeverStops) {
+  auto f = LinRegFixture::Make(2, 1, 0.1);
+  Interpreter interp(f.graph);
+  auto r = interp.EvalConvergence();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(InterpreterTest, NonLinearOps) {
+  auto algo = std::make_unique<Algo>("n");
+  auto mo = algo->Model("mo", {3});
+  auto x = algo->Input("x", {3});
+  ASSERT_TRUE(algo->SetModel(mo, dsl::Sigmoid(x) + dsl::Gaussian(x) +
+                                      dsl::Sqrt(x * x)).ok());
+  auto graph = std::move(Translator::Translate(*algo)).ValueOrDie();
+  Interpreter interp(graph);
+  TupleBinding bind;
+  bind[algo->vars()[1].get()] = Vec({0.0, 1.0, 2.0});
+  ASSERT_TRUE(interp.EvalBatch({&bind, 1}).ok());
+  const auto& m = interp.ModelValue(mo->var().get()).data;
+  EXPECT_NEAR(m[0], 0.5 + 1.0 + 0.0, 1e-12);
+  EXPECT_NEAR(m[1], 1.0 / (1.0 + std::exp(-1.0)) + std::exp(-1.0) + 1.0,
+              1e-12);
+  EXPECT_NEAR(m[2], 1.0 / (1.0 + std::exp(-2.0)) + std::exp(-4.0) + 2.0,
+              1e-12);
+}
+
+TEST(InterpreterTest, GroupOpsAlongAxes) {
+  auto algo = std::make_unique<Algo>("g");
+  auto mo = algo->Model("mo", {2});
+  auto x = algo->Input("x", {3, 2});
+  ASSERT_TRUE(algo->SetModel(mo, dsl::Sigma(x, 0)).ok());
+  auto graph = std::move(Translator::Translate(*algo)).ValueOrDie();
+  Interpreter interp(graph);
+  TupleBinding bind;
+  Tensor t;
+  t.dims = {3, 2};
+  t.data = {1, 2, 3, 4, 5, 6};
+  bind[algo->vars()[1].get()] = t;
+  ASSERT_TRUE(interp.EvalBatch({&bind, 1}).ok());
+  EXPECT_EQ(interp.ModelValue(mo->var().get()).data,
+            (std::vector<double>{9, 12}));
+}
+
+TEST(InterpreterTest, PiAndNormGroupOps) {
+  auto algo = std::make_unique<Algo>("g2");
+  auto mo = algo->Model("mo", {2});
+  auto x = algo->Input("x", {4});
+  auto p = dsl::Pi(x, 0);       // product
+  auto n = dsl::Norm(x, 0);     // Euclidean norm
+  ASSERT_TRUE(algo->SetModel(mo, (p * mo + n) * (mo > -1.0)).ok());
+  auto graph = Translator::Translate(*algo);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  Interpreter interp(*graph);
+  interp.SetModelValue(mo->var().get(), Vec({1.0, 2.0}));
+  TupleBinding bind;
+  bind[algo->vars()[1].get()] = Vec({1, 2, 2, 1});
+  ASSERT_TRUE(interp.EvalBatch({&bind, 1}).ok());
+  const auto& m = interp.ModelValue(mo->var().get()).data;
+  // p = 4, n = sqrt(10); mo>-1 -> 1.
+  EXPECT_NEAR(m[0], 4.0 * 1 + std::sqrt(10.0), 1e-12);
+  EXPECT_NEAR(m[1], 4.0 * 2 + std::sqrt(10.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace dana::hdfg

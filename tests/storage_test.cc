@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace dana::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ItemId packing
+// ---------------------------------------------------------------------------
+
+TEST(ItemIdTest, PackUnpackRoundTrip) {
+  for (uint32_t off : {0u, 1u, 24u, 32767u}) {
+    for (uint32_t flags : {kLpUnused, kLpNormal, kLpRedirect, kLpDead}) {
+      for (uint32_t len : {0u, 5u, 32767u}) {
+        uint32_t o, f, l;
+        UnpackItemId(PackItemId(off, flags, len), &o, &f, &l);
+        EXPECT_EQ(o, off);
+        EXPECT_EQ(f, flags);
+        EXPECT_EQ(l, len);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Page codec
+// ---------------------------------------------------------------------------
+
+class PageTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  PageLayout layout() const {
+    PageLayout l;
+    l.page_size = GetParam();
+    return l;
+  }
+};
+
+TEST_P(PageTest, InitEmptySetsBounds) {
+  PageLayout l = layout();
+  std::vector<uint8_t> buf(l.page_size, 0xAB);
+  Page page(buf.data(), l);
+  page.InitEmpty();
+  EXPECT_EQ(page.lower(), l.header_size);
+  EXPECT_EQ(page.upper(), l.page_size);
+  EXPECT_EQ(page.special(), l.page_size);
+  EXPECT_EQ(page.ItemCount(), 0u);
+  EXPECT_TRUE(page.Validate().ok());
+}
+
+TEST_P(PageTest, AddAndGetTuple) {
+  PageLayout l = layout();
+  std::vector<uint8_t> buf(l.page_size);
+  Page page(buf.data(), l);
+  page.InitEmpty();
+
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  auto slot = page.AddTuple(payload, 5);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(*slot, 0u);
+  EXPECT_EQ(page.ItemCount(), 1u);
+
+  auto got = page.GetTuplePayload(0);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), payload.size());
+  EXPECT_EQ(0, std::memcmp(got->data(), payload.data(), payload.size()));
+}
+
+TEST_P(PageTest, TuplesGrowDownward) {
+  PageLayout l = layout();
+  std::vector<uint8_t> buf(l.page_size);
+  Page page(buf.data(), l);
+  page.InitEmpty();
+  std::vector<uint8_t> payload(16, 0x7);
+  ASSERT_TRUE(page.AddTuple(payload, 4).ok());
+  const uint16_t upper1 = page.upper();
+  ASSERT_TRUE(page.AddTuple(payload, 4).ok());
+  EXPECT_EQ(page.upper(), upper1 - (l.tuple_header_size + 16));
+  EXPECT_TRUE(page.Validate().ok());
+}
+
+TEST_P(PageTest, FillsToComputedCapacity) {
+  PageLayout l = layout();
+  std::vector<uint8_t> buf(l.page_size);
+  Page page(buf.data(), l);
+  page.InitEmpty();
+  const uint32_t payload_size = 100;
+  std::vector<uint8_t> payload(payload_size, 1);
+  const uint32_t expect = l.TuplesPerPage(payload_size);
+  uint32_t added = 0;
+  while (page.AddTuple(payload, 25).ok()) ++added;
+  EXPECT_EQ(added, expect);
+  EXPECT_TRUE(page.Validate().ok());
+  // The next add reports exhaustion, not corruption.
+  EXPECT_TRUE(page.AddTuple(payload, 25).status().IsResourceExhausted());
+}
+
+TEST_P(PageTest, GetTupleOutOfRange) {
+  PageLayout l = layout();
+  std::vector<uint8_t> buf(l.page_size);
+  Page page(buf.data(), l);
+  page.InitEmpty();
+  EXPECT_TRUE(page.GetTuplePayload(0).status().IsOutOfRange());
+}
+
+TEST_P(PageTest, TupleHeaderFields) {
+  PageLayout l = layout();
+  std::vector<uint8_t> buf(l.page_size);
+  Page page(buf.data(), l);
+  page.InitEmpty();
+  std::vector<uint8_t> payload(8, 0xEE);
+  ASSERT_TRUE(page.AddTuple(payload, 3).ok());
+  auto raw = page.GetTupleRaw(0);
+  ASSERT_TRUE(raw.ok());
+  // infomask2 low bits carry the attribute count; hoff is the header size.
+  uint16_t infomask2;
+  std::memcpy(&infomask2, raw->data() + 18, 2);
+  EXPECT_EQ(infomask2 & 0x07FF, 3);
+  EXPECT_EQ((*raw)[22], l.tuple_header_size);
+}
+
+TEST_P(PageTest, ValidateDetectsCorruptLower) {
+  PageLayout l = layout();
+  std::vector<uint8_t> buf(l.page_size);
+  Page page(buf.data(), l);
+  page.InitEmpty();
+  // lower > upper is corruption.
+  const uint16_t bad = static_cast<uint16_t>(l.page_size);
+  std::memcpy(buf.data() + l.lower_offset, &bad, 2);
+  const uint16_t upper = 100;
+  std::memcpy(buf.data() + l.upper_offset, &upper, 2);
+  EXPECT_TRUE(page.Validate().IsCorruption());
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, PageTest,
+                         ::testing::Values(8 * 1024, 16 * 1024, 32 * 1024));
+
+// ---------------------------------------------------------------------------
+// Schema codec
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, DenseFactory) {
+  Schema s = Schema::Dense(4);
+  EXPECT_EQ(s.num_columns(), 5u);  // 4 features + label
+  EXPECT_EQ(s.RowBytes(), 20u);
+  EXPECT_EQ(s.columns().back().name, "label");
+}
+
+TEST(SchemaTest, EncodeDecodeRoundTripFloat4) {
+  Schema s = Schema::Dense(3);
+  std::vector<double> row = {1.5, -2.25, 0.125, 1.0};
+  std::vector<uint8_t> buf(s.RowBytes());
+  ASSERT_TRUE(s.EncodeRow(row, buf.data()).ok());
+  std::vector<double> out;
+  ASSERT_TRUE(s.DecodeRow(buf.data(), s.RowBytes(), &out).ok());
+  EXPECT_EQ(out, row);  // all values exactly representable in fp32
+}
+
+TEST(SchemaTest, MixedColumnTypes) {
+  Schema s({{"a", ColumnType::kFloat8},
+            {"b", ColumnType::kInt32},
+            {"c", ColumnType::kFloat4}});
+  EXPECT_EQ(s.RowBytes(), 16u);
+  EXPECT_EQ(s.ColumnOffset(1), 8u);
+  std::vector<double> row = {3.14159265358979, 42.0, 2.5};
+  std::vector<uint8_t> buf(s.RowBytes());
+  ASSERT_TRUE(s.EncodeRow(row, buf.data()).ok());
+  std::vector<double> out;
+  ASSERT_TRUE(s.DecodeRow(buf.data(), s.RowBytes(), &out).ok());
+  EXPECT_DOUBLE_EQ(out[0], 3.14159265358979);
+  EXPECT_DOUBLE_EQ(out[1], 42.0);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+}
+
+TEST(SchemaTest, EncodeWrongWidthFails) {
+  Schema s = Schema::Dense(2);
+  std::vector<uint8_t> buf(s.RowBytes());
+  EXPECT_TRUE(s.EncodeRow({1.0}, buf.data()).IsInvalidArgument());
+}
+
+TEST(SchemaTest, DecodeShortBufferFails) {
+  Schema s = Schema::Dense(2);
+  std::vector<uint8_t> buf(4);
+  std::vector<double> out;
+  EXPECT_TRUE(s.DecodeRow(buf.data(), 4, &out).IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+PageLayout SmallLayout() {
+  PageLayout l;
+  l.page_size = 8 * 1024;
+  return l;
+}
+
+TEST(TableTest, AppendAndReadBack) {
+  Table t("t", Schema::Dense(3), SmallLayout());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({1.0 * i, 2.0 * i, 3.0 * i, 1.0}).ok());
+  }
+  EXPECT_EQ(t.num_tuples(), 10u);
+  std::vector<double> row;
+  ASSERT_TRUE(t.ReadRow(0, 4, &row).ok());
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[2], 12.0);
+}
+
+TEST(TableTest, SpillsToMultiplePages) {
+  Table t("t", Schema::Dense(100), SmallLayout());
+  const uint32_t per_page = SmallLayout().TuplesPerPage(101 * 4);
+  const uint32_t n = per_page * 3 + 1;
+  std::vector<double> row(101, 0.5);
+  for (uint32_t i = 0; i < n; ++i) ASSERT_TRUE(t.AppendRow(row).ok());
+  EXPECT_EQ(t.num_pages(), 4u);
+  EXPECT_EQ(t.TuplesOnPage(0), per_page);
+  EXPECT_EQ(t.TuplesOnPage(3), 1u);
+}
+
+TEST(TableTest, ReadAllRowsMatchesInserted) {
+  Table t("t", Schema::Dense(2), SmallLayout());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(t.AppendRow({i * 0.5, i * 0.25, static_cast<double>(i)}).ok());
+  }
+  auto rows = t.ReadAllRows();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 500u);
+  EXPECT_DOUBLE_EQ((*rows)[499][2], 499.0);
+}
+
+TEST(TableTest, RowTooWideForPageFails) {
+  PageLayout l = SmallLayout();
+  Table t("t", Schema::Dense(4000), l);  // 16 KB row on an 8 KB page
+  std::vector<double> row(4001, 1.0);
+  EXPECT_FALSE(t.AppendRow(row).ok());
+}
+
+TEST(TableTest, PagesValidateAsPostgresPages) {
+  Table t("t", Schema::Dense(10), SmallLayout());
+  std::vector<double> row(11, 2.0);
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.AppendRow(row).ok());
+  for (uint64_t p = 0; p < t.num_pages(); ++p) {
+    Page page(const_cast<uint8_t*>(t.PageData(p)), t.layout());
+    EXPECT_TRUE(page.Validate().ok()) << "page " << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Table> MakeTable(uint32_t pages_wanted) {
+  auto t = std::make_unique<Table>("bp", Schema::Dense(100), SmallLayout());
+  std::vector<double> row(101, 1.0);
+  while (t->num_pages() < pages_wanted) {
+    EXPECT_TRUE(t->AppendRow(row).ok());
+  }
+  return t;
+}
+
+TEST(BufferPoolTest, MissThenHit) {
+  auto t = MakeTable(4);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  ASSERT_TRUE(pool.FetchPage(*t, 0).ok());
+  EXPECT_EQ(pool.stats().misses, 1u);
+  ASSERT_TRUE(pool.FetchPage(*t, 0).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPoolTest, MissChargesIoTime) {
+  auto t = MakeTable(2);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  ASSERT_TRUE(pool.FetchPage(*t, 0).ok());
+  EXPECT_GT(pool.stats().io_time.nanos(), 0.0);
+  const auto after_miss = pool.stats().io_time;
+  ASSERT_TRUE(pool.FetchPage(*t, 0).ok());
+  EXPECT_EQ(pool.stats().io_time.nanos(), after_miss.nanos());
+}
+
+TEST(BufferPoolTest, FetchedBytesMatchTable) {
+  auto t = MakeTable(3);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  auto frame = pool.FetchPage(*t, 2);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(0, std::memcmp(*frame, t->PageData(2), 8 * 1024));
+}
+
+TEST(BufferPoolTest, EvictsWhenFull) {
+  auto t = MakeTable(8);
+  BufferPool pool(4 * 8 * 1024, 8 * 1024, DiskModel{});  // 4 frames
+  for (uint64_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE(pool.FetchPage(*t, p).ok());
+  }
+  EXPECT_EQ(pool.stats().misses, 8u);
+  EXPECT_GE(pool.stats().evictions, 4u);
+}
+
+TEST(BufferPoolTest, SequentialRescanOfOversizedTableKeepsMissing) {
+  auto t = MakeTable(8);
+  BufferPool pool(4 * 8 * 1024, 8 * 1024, DiskModel{});
+  for (int scan = 0; scan < 2; ++scan) {
+    for (uint64_t p = 0; p < 8; ++p) {
+      ASSERT_TRUE(pool.FetchPage(*t, p).ok());
+    }
+  }
+  // A 2x-oversized sequential scan with clock replacement cannot hit much.
+  EXPECT_GE(pool.stats().misses, 12u);
+}
+
+TEST(BufferPoolTest, PrewarmMakesResidentWithoutIo) {
+  auto t = MakeTable(4);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  pool.Prewarm(*t);
+  EXPECT_DOUBLE_EQ(pool.ResidentFraction(*t), 1.0);
+  EXPECT_EQ(pool.stats().io_time.nanos(), 0.0);
+  for (uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(pool.FetchPage(*t, p).ok());
+  }
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST(BufferPoolTest, PrewarmCapsAtCapacity) {
+  auto t = MakeTable(8);
+  BufferPool pool(4 * 8 * 1024, 8 * 1024, DiskModel{});
+  pool.Prewarm(*t);
+  EXPECT_DOUBLE_EQ(pool.ResidentFraction(*t), 0.5);
+}
+
+TEST(BufferPoolTest, ClearDropsResidency) {
+  auto t = MakeTable(4);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  pool.Prewarm(*t);
+  pool.Clear();
+  EXPECT_DOUBLE_EQ(pool.ResidentFraction(*t), 0.0);
+}
+
+TEST(BufferPoolTest, RejectsMismatchedPageSize) {
+  auto t = MakeTable(2);  // 8 KB pages
+  BufferPool pool(1 << 20, 32 * 1024, DiskModel{});
+  EXPECT_TRUE(pool.FetchPage(*t, 0).status().IsInvalidArgument());
+}
+
+TEST(BufferPoolTest, RejectsOutOfRangePage) {
+  auto t = MakeTable(2);
+  BufferPool pool(1 << 20, 8 * 1024, DiskModel{});
+  EXPECT_TRUE(pool.FetchPage(*t, 99).status().IsOutOfRange());
+}
+
+TEST(DiskModelTest, SeqReadTimeScalesWithBytes) {
+  DiskModel d;
+  const auto t1 = d.SeqReadTime(1 << 20, 32 * 1024);
+  const auto t2 = d.SeqReadTime(2 << 20, 32 * 1024);
+  EXPECT_GT(t2.nanos(), t1.nanos() * 1.5);
+  EXPECT_EQ(d.SeqReadTime(0, 32 * 1024).nanos(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(CatalogTest, RegisterLookupDrop) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterTable(MakeTable(1)).ok());
+  EXPECT_TRUE(cat.HasTable("bp"));
+  ASSERT_TRUE(cat.GetTable("bp").ok());
+  EXPECT_TRUE(cat.RegisterTable(MakeTable(1)).IsAlreadyExists());
+  ASSERT_TRUE(cat.DropTable("bp").ok());
+  EXPECT_TRUE(cat.GetTable("bp").status().IsNotFound());
+  EXPECT_TRUE(cat.DropTable("bp").IsNotFound());
+}
+
+TEST(CatalogTest, UdfMetadataRoundTrip) {
+  Catalog cat;
+  EXPECT_TRUE(cat.GetUdfMetadata("f").status().IsNotFound());
+  cat.PutUdfMetadata("f", "design blob");
+  auto blob = cat.GetUdfMetadata("f");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob, "design blob");
+  cat.PutUdfMetadata("f", "v2");
+  EXPECT_EQ(*cat.GetUdfMetadata("f"), "v2");
+  EXPECT_EQ(cat.UdfNames(), std::vector<std::string>{"f"});
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog cat;
+  auto t1 = std::make_unique<Table>("zeta", Schema::Dense(1), SmallLayout());
+  auto t2 = std::make_unique<Table>("alpha", Schema::Dense(1), SmallLayout());
+  ASSERT_TRUE(cat.RegisterTable(std::move(t1)).ok());
+  ASSERT_TRUE(cat.RegisterTable(std::move(t2)).ok());
+  EXPECT_EQ(cat.TableNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace dana::storage

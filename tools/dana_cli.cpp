@@ -1,0 +1,245 @@
+// dana — command-line front end to the DAnA reproduction.
+//
+// Subcommands:
+//   dana workloads
+//       List the Table 3 workload suite with paper-vs-generated shapes.
+//   dana compile --algo <linear|logistic|svm|lrmf> --dims D
+//                [--rank K] [--merge M] [--save FILE]
+//       Compile a UDF for a synthetic table of that shape, print the
+//       utilization report, and optionally save the binary catalog blob.
+//   dana inspect FILE
+//       Load a catalog blob saved by `compile --save` and print its report
+//       plus the disassembled Strider program.
+//   dana strider-asm FILE
+//       Assemble a Strider ISA text file; print the 22-bit words and the
+//       round-tripped disassembly.
+//   dana strider-walk --features N --rows N [--mysql]
+//       Build a synthetic heap table, walk every page with the generated
+//       Strider program, and report extraction statistics.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "compiler/report.h"
+#include "compiler/serialization.h"
+#include "ml/algorithms.h"
+#include "ml/datasets.h"
+#include "ml/workloads.h"
+#include "common/table_printer.h"
+#include "runtime/systems.h"
+#include "strider/assembler.h"
+#include "strider/codegen.h"
+#include "strider/simulator.h"
+
+using namespace dana;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dana <workloads|compile|inspect|strider-asm|strider-walk> "
+      "[options]\n(see the comment at the top of tools/dana_cli.cpp)\n");
+  return 2;
+}
+
+const char* Flag(int argc, char** argv, const char* name,
+                 const char* fallback = nullptr) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int CmdWorkloads() {
+  TablePrinter t({"id", "Workload", "Algorithm", "dims", "paper tuples",
+                  "generated", "scale", "MADlib passes", "DAnA epochs"});
+  for (const auto& w : ml::AllWorkloads()) {
+    t.AddRow({w.id, w.display_name, ml::AlgoKindName(w.kind),
+              std::to_string(w.params.dims), std::to_string(w.paper.tuples),
+              std::to_string(w.tuples), TablePrinter::Fmt(w.scale, 1) + "x",
+              std::to_string(w.assumed_epochs),
+              std::to_string(w.dana_epochs)});
+  }
+  t.Print();
+  return 0;
+}
+
+Result<ml::AlgoKind> ParseAlgo(const std::string& name) {
+  if (name == "linear") return ml::AlgoKind::kLinearRegression;
+  if (name == "logistic") return ml::AlgoKind::kLogisticRegression;
+  if (name == "svm") return ml::AlgoKind::kSvm;
+  if (name == "lrmf") return ml::AlgoKind::kLowRankMF;
+  return Status::InvalidArgument("unknown algorithm '" + name + "'");
+}
+
+int CmdCompile(int argc, char** argv) {
+  const char* algo_name = Flag(argc, argv, "--algo");
+  const char* dims_s = Flag(argc, argv, "--dims");
+  if (algo_name == nullptr || dims_s == nullptr) return Usage();
+  auto kind = ParseAlgo(algo_name);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  ml::AlgoParams params;
+  params.dims = static_cast<uint32_t>(std::atoi(dims_s));
+  params.rank = static_cast<uint32_t>(
+      std::atoi(Flag(argc, argv, "--rank", "10")));
+  params.merge_coef = static_cast<uint32_t>(
+      std::atoi(Flag(argc, argv, "--merge", "16")));
+  params.learning_rate =
+      *kind == ml::AlgoKind::kLowRankMF ? 0.5 : 0.3;
+
+  auto algo = ml::BuildAlgo(*kind, params);
+  if (!algo.ok()) {
+    std::fprintf(stderr, "%s\n", algo.status().ToString().c_str());
+    return 1;
+  }
+
+  storage::PageLayout layout;
+  compiler::WorkloadShape shape;
+  shape.tuple_payload_bytes =
+      4 * (params.dims + (*kind == ml::AlgoKind::kLowRankMF ? 0 : 1));
+  shape.tuples_per_page = layout.TuplesPerPage(shape.tuple_payload_bytes);
+  shape.num_tuples = 100000;
+  shape.num_pages =
+      (shape.num_tuples + shape.tuples_per_page - 1) / shape.tuples_per_page;
+
+  compiler::UdfCompiler udf_compiler{runtime::DefaultFpga()};
+  auto udf = udf_compiler.Compile(**algo, layout, shape);
+  if (!udf.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 udf.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(compiler::UtilizationReport(*udf).c_str(), stdout);
+
+  if (const char* save = Flag(argc, argv, "--save")) {
+    const std::string blob = compiler::SerializeUdf(*udf);
+    std::ofstream out(save, std::ios::binary);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", save);
+      return 1;
+    }
+    std::printf("\nsaved %zu-byte catalog blob to %s\n", blob.size(), save);
+  }
+  return 0;
+}
+
+int CmdInspect(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto udf = compiler::DeserializeUdf(buf.str());
+  if (!udf.ok()) {
+    std::fprintf(stderr, "%s\n", udf.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(compiler::UtilizationReport(*udf).c_str(), stdout);
+  std::printf("\n--- Strider program ---\n%s",
+              strider::Disassemble(udf->strider_program).c_str());
+  return 0;
+}
+
+int CmdStriderAsm(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto prog = strider::Assemble(buf.str());
+  if (!prog.ok()) {
+    std::fprintf(stderr, "%s\n", prog.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu instructions (%llu bytes encoded)\n", prog->code.size(),
+              static_cast<unsigned long long>(prog->EncodedBytes()));
+  for (size_t i = 0; i < prog->code.size(); ++i) {
+    std::printf("%3zu: 0x%06x  %s\n", i, prog->code[i].Encode(),
+                prog->code[i].ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdStriderWalk(int argc, char** argv) {
+  const uint32_t features = static_cast<uint32_t>(
+      std::atoi(Flag(argc, argv, "--features", "54")));
+  const uint32_t rows =
+      static_cast<uint32_t>(std::atoi(Flag(argc, argv, "--rows", "10000")));
+  const storage::PageLayout layout = HasFlag(argc, argv, "--mysql")
+                                         ? storage::PageLayout::MySqlLike()
+                                         : storage::PageLayout::Postgres();
+
+  ml::DatasetSpec spec;
+  spec.dims = features;
+  spec.tuples = rows;
+  auto data = ml::GenerateDataset(spec);
+  auto table = ml::BuildTable("walk", data, layout);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  auto prog = strider::BuildPageWalkProgram(layout);
+  if (!prog.ok()) {
+    std::fprintf(stderr, "%s\n", prog.status().ToString().c_str());
+    return 1;
+  }
+  strider::StriderSim sim;
+  uint64_t tuples = 0, cycles = 0;
+  for (uint64_t p = 0; p < (*table)->num_pages(); ++p) {
+    auto run = sim.Run(*prog, {(*table)->PageData(p), layout.page_size});
+    if (!run.ok()) {
+      std::fprintf(stderr, "page %llu: %s\n",
+                   static_cast<unsigned long long>(p),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    tuples += run->tuples.size();
+    cycles += run->cycles;
+  }
+  std::printf("layout: %s (header %u B, tuple header %u B, %u KB pages)\n",
+              HasFlag(argc, argv, "--mysql") ? "MySQL-like" : "PostgreSQL",
+              layout.header_size, layout.tuple_header_size,
+              layout.page_size / 1024);
+  std::printf("walked %llu pages, extracted %llu/%u tuples in %llu cycles "
+              "(%.1f cycles/tuple; %.2f ms at 150 MHz)\n",
+              static_cast<unsigned long long>((*table)->num_pages()),
+              static_cast<unsigned long long>(tuples), rows,
+              static_cast<unsigned long long>(cycles),
+              tuples ? static_cast<double>(cycles) / tuples : 0.0,
+              SimTime::Cycles(cycles, 150e6).millis());
+  return tuples == rows ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "workloads") return CmdWorkloads();
+  if (cmd == "compile") return CmdCompile(argc, argv);
+  if (cmd == "inspect") return CmdInspect(argc, argv);
+  if (cmd == "strider-asm") return CmdStriderAsm(argc, argv);
+  if (cmd == "strider-walk") return CmdStriderWalk(argc, argv);
+  return Usage();
+}
