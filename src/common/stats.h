@@ -22,4 +22,10 @@ double Max(const std::vector<double>& values);
 /// Minimum; 0 for empty input.
 double Min(const std::vector<double>& values);
 
+/// p-th percentile (p in [0, 100]) with linear interpolation between the
+/// two closest ranks (numpy's default): the scheduler's latency report uses
+/// this for p50/p95/p99. Returns 0 for empty input; p is clamped to
+/// [0, 100]. Takes a copy because the computation sorts.
+double Percentile(std::vector<double> values, double p);
+
 }  // namespace dana

@@ -2,6 +2,7 @@
 
 #include "common/sim_time.h"
 #include "ml/algorithms.h"
+#include "ml/workloads.h"
 
 namespace dana::runtime {
 
@@ -86,6 +87,25 @@ struct CpuCostModel {
   double export_bytes_per_sec = 25e6;
   double transform_bytes_per_sec = 700e6;
 };
+
+/// Coarse DAnA service-time estimate for scheduler admission decisions
+/// (shortest-job-first ordering in src/sched/). The accelerator is
+/// host-link bound for the Table 3 workloads, so one epoch approximately
+/// streams the (paper-scale) table once over the AXI link; fixed query and
+/// per-epoch orchestration overheads come from the CPU cost model. This is
+/// an ordering heuristic only — reported runtimes always come from the
+/// cycle-level simulator, never from this estimate.
+inline dana::SimTime EstimateDanaRuntime(const ml::Workload& w,
+                                         const CpuCostModel& cost,
+                                         double axi_bytes_per_sec) {
+  const double bytes_per_epoch = static_cast<double>(w.tuples) * w.scale *
+                                 static_cast<double>(w.TuplePayloadBytes());
+  const dana::SimTime stream =
+      dana::SimTime::Seconds(bytes_per_epoch / axi_bytes_per_sec);
+  const double epochs = static_cast<double>(w.dana_epochs);
+  return cost.pg_query_overhead + cost.dana_query_overhead +
+         (stream + cost.dana_epoch_overhead) * epochs;
+}
 
 /// Greenplum scaling model: the 8-segment speedup is taken per workload
 /// from the paper (it folds in MADlib/Greenplum implementation behaviour);

@@ -1,0 +1,25 @@
+#include "sched/compile_cache.h"
+
+namespace dana::sched {
+
+dana::Result<const compiler::CompiledUdf*> CompileCache::GetOrCompile(
+    const std::string& key, const Builder& builder) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return static_cast<const compiler::CompiledUdf*>(it->second.get());
+  }
+  ++misses_;
+  DANA_ASSIGN_OR_RETURN(compiler::CompiledUdf udf, builder());
+  auto owned = std::make_unique<compiler::CompiledUdf>(std::move(udf));
+  const compiler::CompiledUdf* ptr = owned.get();
+  cache_[key] = std::move(owned);
+  return ptr;
+}
+
+const compiler::CompiledUdf* CompileCache::Find(const std::string& key) const {
+  auto it = cache_.find(key);
+  return it == cache_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dana::sched

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "compiler/compiler.h"
+
+namespace dana::sched {
+
+/// Keyed cache of compiled UDF designs shared by every query the scheduler
+/// dispatches: the first query of an algorithm/table shape pays
+/// `compiler::Compile`, repeats reuse the stored design — the multi-query
+/// analogue of the catalog storing the compiled UDF after its first query
+/// (paper Figure 2).
+///
+/// The cache owns the designs; returned pointers stay valid for the cache's
+/// lifetime. Not thread-safe (the scheduler dispatches from one simulated
+/// clock).
+class CompileCache {
+ public:
+  using Builder = std::function<dana::Result<compiler::CompiledUdf>()>;
+
+  /// The cached design for `key`, invoking `builder` on the first request.
+  /// A failed build is not cached (the next request retries).
+  dana::Result<const compiler::CompiledUdf*> GetOrCompile(
+      const std::string& key, const Builder& builder);
+
+  /// Lookup without building; nullptr when absent. Does not count as a hit.
+  const compiler::CompiledUdf* Find(const std::string& key) const;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<compiler::CompiledUdf>> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dana::sched

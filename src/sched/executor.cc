@@ -1,0 +1,71 @@
+#include "sched/executor.h"
+
+#include "ml/workloads.h"
+#include "runtime/cost_model.h"
+
+namespace dana::sched {
+
+namespace {
+
+runtime::DanaSystem::Options MakeSystemOptions(uint32_t epoch_cap) {
+  runtime::DanaSystem::Options o;
+  o.fpga = runtime::DefaultFpga();
+  o.functional_epoch_cap = epoch_cap;
+  return o;
+}
+
+}  // namespace
+
+DanaQueryExecutor::DanaQueryExecutor() : DanaQueryExecutor(Options{}) {}
+
+DanaQueryExecutor::DanaQueryExecutor(Options options)
+    : options_(options),
+      system_(cost_model_, MakeSystemOptions(options.functional_epoch_cap)) {}
+
+Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
+    const std::string& id) {
+  auto it = instances_.find(id);
+  if (it != instances_.end()) return it->second.get();
+  const ml::Workload* w = ml::FindWorkload(id);
+  if (w == nullptr) {
+    return Status::NotFound("unknown workload '" + id + "'");
+  }
+  DANA_ASSIGN_OR_RETURN(auto instance, runtime::WorkloadInstance::Create(*w));
+  auto* ptr = instance.get();
+  instances_[id] = std::move(instance);
+  return ptr;
+}
+
+Result<QueryCost> DanaQueryExecutor::Cost(const std::string& workload_id) {
+  DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
+                        Instance(workload_id));
+  DANA_ASSIGN_OR_RETURN(
+      const compiler::CompiledUdf* udf,
+      compile_cache_.GetOrCompile(
+          workload_id, [&] { return system_.Compile(*instance); }));
+
+  QueryCost cost;
+  cost.compile = options_.compile_latency;
+  auto measured = measured_service_.find(workload_id);
+  if (measured == measured_service_.end()) {
+    DANA_ASSIGN_OR_RETURN(
+        runtime::SystemResult result,
+        system_.RunCompiled(*udf, instance, options_.cache));
+    measured =
+        measured_service_.emplace(workload_id, result.total).first;
+  }
+  cost.service = measured->second;
+  return cost;
+}
+
+Result<dana::SimTime> DanaQueryExecutor::Estimate(
+    const std::string& workload_id) {
+  const ml::Workload* w = ml::FindWorkload(workload_id);
+  if (w == nullptr) {
+    return Status::NotFound("unknown workload '" + workload_id + "'");
+  }
+  return runtime::EstimateDanaRuntime(*w, cost_model_,
+                                      system_.options().fpga.axi_bytes_per_sec);
+}
+
+}  // namespace dana::sched

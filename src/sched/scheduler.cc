@@ -1,0 +1,220 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+
+namespace dana::sched {
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kFcfs:
+      return "fcfs";
+    case Policy::kSjf:
+      return "sjf";
+    case Policy::kRoundRobin:
+      return "rr";
+  }
+  return "?";
+}
+
+Result<Policy> ParsePolicy(const std::string& name) {
+  if (name == "fcfs") return Policy::kFcfs;
+  if (name == "sjf") return Policy::kSjf;
+  if (name == "rr" || name == "round-robin") return Policy::kRoundRobin;
+  return Status::InvalidArgument("unknown policy '" + name +
+                                 "' (want fcfs|sjf|rr)");
+}
+
+double ScheduleReport::ThroughputQps() const {
+  if (queries.empty() || makespan.seconds() <= 0) return 0.0;
+  return static_cast<double>(queries.size()) / makespan.seconds();
+}
+
+dana::SimTime ScheduleReport::MeanLatency() const {
+  std::vector<double> ns;
+  ns.reserve(queries.size());
+  for (const QueryStat& q : queries) ns.push_back(q.Latency().nanos());
+  return dana::SimTime::Nanos(Mean(ns));
+}
+
+dana::SimTime ScheduleReport::MeanWait() const {
+  std::vector<double> ns;
+  ns.reserve(queries.size());
+  for (const QueryStat& q : queries) ns.push_back(q.Wait().nanos());
+  return dana::SimTime::Nanos(Mean(ns));
+}
+
+dana::SimTime ScheduleReport::LatencyPercentile(double p) const {
+  std::vector<double> ns;
+  ns.reserve(queries.size());
+  for (const QueryStat& q : queries) ns.push_back(q.Latency().nanos());
+  return dana::SimTime::Nanos(Percentile(std::move(ns), p));
+}
+
+Scheduler::Scheduler(SchedulerOptions options, QueryExecutor* executor)
+    : options_(options), executor_(executor) {
+  if (options_.slots == 0) options_.slots = 1;
+}
+
+namespace {
+
+/// Pending queue with the policy-specific pick. Entries are indices into
+/// the sorted request vector, kept in arrival order.
+class PendingQueue {
+ public:
+  PendingQueue(Policy policy, const std::vector<QueryRequest>& requests,
+               const std::map<std::string, dana::SimTime>& estimates)
+      : policy_(policy), requests_(requests), estimates_(estimates) {
+    if (policy_ == Policy::kRoundRobin) {
+      // Class rotation order: first appearance in the request stream.
+      std::set<std::string> seen;
+      for (const QueryRequest& r : requests_) {
+        if (seen.insert(r.workload_id).second) {
+          class_order_.push_back(r.workload_id);
+        }
+      }
+    }
+  }
+
+  bool empty() const { return pending_.empty(); }
+
+  void Push(size_t request_index) { pending_.push_back(request_index); }
+
+  /// Removes and returns the next request index under the policy.
+  size_t Pop() {
+    size_t at = 0;
+    switch (policy_) {
+      case Policy::kFcfs:
+        break;  // arrival order == queue order
+      case Policy::kSjf: {
+        for (size_t i = 1; i < pending_.size(); ++i) {
+          const dana::SimTime best =
+              estimates_.at(requests_[pending_[at]].workload_id);
+          const dana::SimTime cand =
+              estimates_.at(requests_[pending_[i]].workload_id);
+          if (cand < best) at = i;
+        }
+        break;
+      }
+      case Policy::kRoundRobin: {
+        // Advance the cursor to the next class with queued work; take that
+        // class's earliest arrival.
+        for (size_t step = 0; step < class_order_.size(); ++step) {
+          const std::string& cls =
+              class_order_[(rr_cursor_ + step) % class_order_.size()];
+          for (size_t i = 0; i < pending_.size(); ++i) {
+            if (requests_[pending_[i]].workload_id == cls) {
+              rr_cursor_ = (rr_cursor_ + step + 1) % class_order_.size();
+              at = i;
+              goto found;
+            }
+          }
+        }
+      found:
+        break;
+      }
+    }
+    const size_t request_index = pending_[at];
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(at));
+    return request_index;
+  }
+
+ private:
+  Policy policy_;
+  const std::vector<QueryRequest>& requests_;
+  const std::map<std::string, dana::SimTime>& estimates_;
+  std::vector<size_t> pending_;
+  std::vector<std::string> class_order_;
+  size_t rr_cursor_ = 0;
+};
+
+}  // namespace
+
+Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const QueryRequest& a, const QueryRequest& b) {
+                     if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                     return a.id < b.id;
+                   });
+
+  // SJF orders by a-priori estimates; resolve them once per workload so
+  // admission decisions are O(queue), not O(executor).
+  std::map<std::string, dana::SimTime> estimates;
+  if (options_.policy == Policy::kSjf) {
+    for (const QueryRequest& r : requests) {
+      if (estimates.count(r.workload_id)) continue;
+      DANA_ASSIGN_OR_RETURN(dana::SimTime est,
+                            executor_->Estimate(r.workload_id));
+      estimates[r.workload_id] = est;
+    }
+  }
+
+  ScheduleReport report;
+  report.policy = options_.policy;
+  report.slots = options_.slots;
+  report.queries.reserve(requests.size());
+
+  std::vector<dana::SimTime> slot_free(options_.slots, dana::SimTime::Zero());
+  PendingQueue pending(options_.policy, requests, estimates);
+  // Simulated compile-cache state: when each workload's design becomes
+  // available. A dispatch before that point waits for the in-flight
+  // compile instead of using a design that does not exist yet.
+  std::map<std::string, dana::SimTime> compile_ready;
+  size_t next_arrival = 0;
+
+  while (next_arrival < requests.size() || !pending.empty()) {
+    // The next dispatch happens on the earliest-free slot (lowest index
+    // breaks ties, deterministically).
+    uint32_t slot = 0;
+    for (uint32_t s = 1; s < options_.slots; ++s) {
+      if (slot_free[s] < slot_free[slot]) slot = s;
+    }
+    dana::SimTime now = slot_free[slot];
+    if (pending.empty()) {
+      // Idle until the next request arrives.
+      now = dana::SimTime::Max(now, requests[next_arrival].arrival);
+    }
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival <= now) {
+      pending.Push(next_arrival++);
+    }
+
+    const QueryRequest& req = requests[pending.Pop()];
+    DANA_ASSIGN_OR_RETURN(QueryCost cost, executor_->Cost(req.workload_id));
+
+    QueryStat stat;
+    stat.id = req.id;
+    stat.workload_id = req.workload_id;
+    stat.slot = slot;
+    stat.arrival = req.arrival;
+    stat.start = now;
+    auto ready = compile_ready.find(req.workload_id);
+    stat.compile_hit = ready != compile_ready.end();
+    if (stat.compile_hit) {
+      // Cached — but possibly still compiling on another slot; wait out
+      // the remainder rather than running with a nonexistent design.
+      stat.compile = ready->second > stat.start
+                         ? ready->second - stat.start
+                         : dana::SimTime::Zero();
+    } else {
+      stat.compile = cost.compile;
+      compile_ready[req.workload_id] = stat.start + cost.compile;
+    }
+    stat.service = cost.service;
+    stat.completion = stat.start + stat.compile + stat.service;
+    if (stat.compile_hit) {
+      ++report.compile_hits;
+    } else {
+      ++report.compile_misses;
+    }
+    slot_free[slot] = stat.completion;
+    report.makespan = dana::SimTime::Max(report.makespan, stat.completion);
+    report.queries.push_back(std::move(stat));
+  }
+  return report;
+}
+
+}  // namespace dana::sched

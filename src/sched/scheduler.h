@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "sched/executor.h"
+
+namespace dana::sched {
+
+/// Queue-ordering policy for the accelerator slots.
+enum class Policy : uint8_t {
+  kFcfs,        ///< first come, first served (arrival order)
+  kSjf,         ///< shortest job first (cost-model estimates, non-preemptive)
+  kRoundRobin,  ///< round-robin across algorithms (per-workload fairness)
+};
+
+/// Short name for reporting ("fcfs", "sjf", "rr").
+const char* PolicyName(Policy policy);
+
+/// Parses "fcfs" / "sjf" / "rr"; InvalidArgument otherwise.
+dana::Result<Policy> ParsePolicy(const std::string& name);
+
+/// One analytics query request: "train <workload>'s UDF on its table",
+/// arriving at a point of the simulated clock.
+struct QueryRequest {
+  uint64_t id = 0;
+  std::string workload_id;
+  dana::SimTime arrival;
+};
+
+/// Per-query outcome of a scheduled run.
+struct QueryStat {
+  uint64_t id = 0;
+  std::string workload_id;
+  uint32_t slot = 0;
+  dana::SimTime arrival;
+  dana::SimTime start;       ///< dispatch time (compile, if any, runs first)
+  dana::SimTime completion;
+  /// Compile time charged: the full latency on a cache miss, the residual
+  /// wait when the design is still compiling on another slot, zero once it
+  /// is cached.
+  dana::SimTime compile;
+  dana::SimTime service;
+  bool compile_hit = false;
+
+  dana::SimTime Wait() const { return start - arrival; }
+  dana::SimTime Latency() const { return completion - arrival; }
+};
+
+/// Aggregate outcome of one scheduled request stream.
+struct ScheduleReport {
+  Policy policy = Policy::kFcfs;
+  uint32_t slots = 1;
+  std::vector<QueryStat> queries;  ///< in dispatch order
+  dana::SimTime makespan;          ///< last completion on the simulated clock
+  uint64_t compile_hits = 0;
+  uint64_t compile_misses = 0;
+
+  /// Completed queries per simulated second.
+  double ThroughputQps() const;
+  dana::SimTime MeanLatency() const;
+  dana::SimTime MeanWait() const;
+  /// p in [0, 100]; linear interpolation (common/stats.h Percentile).
+  dana::SimTime LatencyPercentile(double p) const;
+};
+
+struct SchedulerOptions {
+  uint32_t slots = 1;
+  Policy policy = Policy::kFcfs;
+};
+
+/// Non-preemptive discrete-event scheduler multiplexing N simulated
+/// accelerator slots over an admission queue of query requests.
+///
+/// The simulation advances a single virtual clock: a request is admitted at
+/// its arrival time, waits in the queue until a slot frees, then occupies
+/// the slot for (compile +) service as reported by the executor. The
+/// compile-cache model is per run: the first dispatch of each workload is a
+/// miss and pays the compile latency; repeats hit and skip it, except that
+/// a repeat dispatched while the first compile is still in flight on
+/// another slot waits for it to finish. Determinism: ties break by arrival
+/// then request id, so the same request stream always produces the same
+/// schedule.
+class Scheduler {
+ public:
+  Scheduler(SchedulerOptions options, QueryExecutor* executor);
+
+  /// Runs the whole request stream to completion and reports per-query and
+  /// aggregate statistics. Requests need not be pre-sorted by arrival.
+  dana::Result<ScheduleReport> Run(std::vector<QueryRequest> requests);
+
+ private:
+  SchedulerOptions options_;
+  QueryExecutor* executor_;
+};
+
+}  // namespace dana::sched

@@ -1,0 +1,99 @@
+#include "sched/workload_driver.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace dana::sched {
+
+const char* PopularityName(Popularity p) {
+  switch (p) {
+    case Popularity::kZipfian:
+      return "zipf";
+    case Popularity::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+Result<Popularity> ParsePopularity(const std::string& name) {
+  if (name == "zipf" || name == "zipfian") return Popularity::kZipfian;
+  if (name == "uniform") return Popularity::kUniform;
+  return Status::InvalidArgument("unknown distribution '" + name +
+                                 "' (want zipf|uniform)");
+}
+
+double PopularityWeight(Popularity popularity, size_t rank, double exponent) {
+  return popularity == Popularity::kZipfian
+             ? 1.0 / std::pow(static_cast<double>(rank + 1), exponent)
+             : 1.0;
+}
+
+Result<double> WeightedMeanServiceSeconds(QueryExecutor& executor,
+                                          const std::vector<std::string>& catalog,
+                                          Popularity popularity,
+                                          double exponent) {
+  if (catalog.empty()) {
+    return Status::InvalidArgument("workload catalog is empty");
+  }
+  double weighted = 0, total = 0;
+  for (size_t rank = 0; rank < catalog.size(); ++rank) {
+    DANA_ASSIGN_OR_RETURN(QueryCost cost, executor.Cost(catalog[rank]));
+    const double w = PopularityWeight(popularity, rank, exponent);
+    weighted += w * cost.service.seconds();
+    total += w;
+  }
+  return weighted / total;
+}
+
+WorkloadDriver::WorkloadDriver(std::vector<std::string> catalog,
+                               DriverOptions options)
+    : catalog_(std::move(catalog)), options_(options) {}
+
+Result<std::vector<QueryRequest>> WorkloadDriver::Generate() const {
+  if (catalog_.empty()) {
+    return Status::InvalidArgument("workload catalog is empty");
+  }
+  if (options_.arrival_rate_qps <= 0) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+  if (options_.popularity == Popularity::kZipfian &&
+      options_.zipf_exponent < 0) {
+    return Status::InvalidArgument("zipf exponent must be non-negative");
+  }
+
+  // Popularity CDF over catalog ranks (uniform == exponent 0 Zipf).
+  std::vector<double> cdf(catalog_.size());
+  double total = 0;
+  for (size_t r = 0; r < catalog_.size(); ++r) {
+    total +=
+        PopularityWeight(options_.popularity, r, options_.zipf_exponent);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  Rng rng(options_.seed);
+  std::vector<QueryRequest> requests;
+  requests.reserve(options_.num_queries);
+  dana::SimTime clock;
+  for (uint32_t i = 0; i < options_.num_queries; ++i) {
+    // Exponential inter-arrival gap of the Poisson process.
+    double u = rng.Uniform();
+    if (u >= 1.0 - 1e-12) u = 1.0 - 1e-12;
+    clock += dana::SimTime::Seconds(-std::log1p(-u) /
+                                    options_.arrival_rate_qps);
+
+    const double pick = rng.Uniform();
+    size_t rank = 0;
+    while (rank + 1 < cdf.size() && pick > cdf[rank]) ++rank;
+
+    QueryRequest req;
+    req.id = i;
+    req.workload_id = catalog_[rank];
+    req.arrival = clock;
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+}  // namespace dana::sched

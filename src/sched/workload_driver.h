@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sched/scheduler.h"
+
+namespace dana::sched {
+
+/// Popularity distribution over the workload catalog.
+enum class Popularity : uint8_t {
+  kZipfian,  ///< rank-skewed: catalog position 0 is the hottest algorithm
+  kUniform,
+};
+
+const char* PopularityName(Popularity p);
+dana::Result<Popularity> ParsePopularity(const std::string& name);
+
+/// Unnormalized popularity weight of 0-based catalog rank `rank`:
+/// 1/(rank+1)^exponent for Zipfian, 1 for uniform. The single definition of
+/// the popularity model, shared by the driver's sampler and the
+/// arrival-rate calibration below.
+double PopularityWeight(Popularity popularity, size_t rank, double exponent);
+
+/// Popularity-weighted mean of the executor-reported service times over
+/// `catalog` (rank = catalog position), in seconds. Used to calibrate an
+/// arrival rate against slot capacity; runs (and thereby warms) the
+/// executor for every catalog entry.
+dana::Result<double> WeightedMeanServiceSeconds(
+    QueryExecutor& executor, const std::vector<std::string>& catalog,
+    Popularity popularity, double exponent);
+
+struct DriverOptions {
+  uint64_t seed = 0xDA7A5EEDull;
+  uint32_t num_queries = 100;
+  /// Mean arrival rate of the Poisson process, in queries per simulated
+  /// second (inter-arrival gaps are exponential with this rate).
+  double arrival_rate_qps = 1.0;
+  Popularity popularity = Popularity::kZipfian;
+  /// Zipf exponent s: popularity of rank r is proportional to 1/(r+1)^s.
+  /// 0.99 is the YCSB default; larger skews harder.
+  double zipf_exponent = 0.99;
+};
+
+/// Generates reproducible multi-query request streams over a catalog of
+/// workload ids: Zipfian or uniform popularity picks the algorithm, a
+/// Poisson process on the simulated clock spaces the arrivals. The stream
+/// is a pure function of (catalog, options) — same seed, same stream,
+/// bit-for-bit on every platform (common/random.h Rng).
+class WorkloadDriver {
+ public:
+  /// `catalog` is the popularity ranking: position 0 is the hottest.
+  WorkloadDriver(std::vector<std::string> catalog, DriverOptions options);
+
+  /// The full request stream, in arrival order, ids 0..num_queries-1.
+  /// InvalidArgument when the catalog is empty or the rate is non-positive.
+  dana::Result<std::vector<QueryRequest>> Generate() const;
+
+  const std::vector<std::string>& catalog() const { return catalog_; }
+  const DriverOptions& options() const { return options_; }
+
+ private:
+  std::vector<std::string> catalog_;
+  DriverOptions options_;
+};
+
+}  // namespace dana::sched

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sched/compile_cache.h"
+#include "sched/executor.h"
+#include "sched/scheduler.h"
+#include "sched/workload_driver.h"
+
+namespace dana::sched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Latency-percentile math (common/stats.h Percentile)
+// ---------------------------------------------------------------------------
+
+TEST(PercentileTest, LinearInterpolationBetweenRanks) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 100.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 50.5);
+  EXPECT_NEAR(Percentile(v, 95), 95.05, 1e-9);
+  EXPECT_NEAR(Percentile(v, 99), 99.01, 1e-9);
+}
+
+TEST(PercentileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0}, 50), 2.0);  // input need not be sorted
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 150), 2.0);  // p clamped
+}
+
+// ---------------------------------------------------------------------------
+// Workload driver
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SixClassCatalog() {
+  return {"a", "b", "c", "d", "e", "f"};
+}
+
+TEST(WorkloadDriverTest, BitReproducibleFromSeed) {
+  DriverOptions opts;
+  opts.seed = 1234;
+  opts.num_queries = 300;
+  opts.arrival_rate_qps = 10;
+  WorkloadDriver d1(SixClassCatalog(), opts);
+  WorkloadDriver d2(SixClassCatalog(), opts);
+  auto s1 = d1.Generate();
+  auto s2 = d2.Generate();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s1->size(), 300u);
+  for (size_t i = 0; i < s1->size(); ++i) {
+    EXPECT_EQ((*s1)[i].id, (*s2)[i].id);
+    EXPECT_EQ((*s1)[i].workload_id, (*s2)[i].workload_id);
+    // Bit-for-bit, not approximately equal.
+    EXPECT_EQ((*s1)[i].arrival.nanos(), (*s2)[i].arrival.nanos());
+  }
+}
+
+TEST(WorkloadDriverTest, DifferentSeedsDiffer) {
+  DriverOptions opts;
+  opts.num_queries = 50;
+  opts.seed = 1;
+  WorkloadDriver d1(SixClassCatalog(), opts);
+  opts.seed = 2;
+  WorkloadDriver d2(SixClassCatalog(), opts);
+  auto s1 = d1.Generate();
+  auto s2 = d2.Generate();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  bool any_difference = false;
+  for (size_t i = 0; i < s1->size(); ++i) {
+    if ((*s1)[i].workload_id != (*s2)[i].workload_id ||
+        (*s1)[i].arrival.nanos() != (*s2)[i].arrival.nanos()) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(WorkloadDriverTest, ArrivalsAreMonotonicAndRateMatches) {
+  DriverOptions opts;
+  opts.num_queries = 2000;
+  opts.arrival_rate_qps = 20;
+  WorkloadDriver driver(SixClassCatalog(), opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  dana::SimTime prev;
+  for (const QueryRequest& r : *stream) {
+    EXPECT_GE(r.arrival.nanos(), prev.nanos());
+    prev = r.arrival;
+  }
+  // 2000 arrivals at 20 qps last ~100 s in expectation.
+  EXPECT_NEAR(stream->back().arrival.seconds(), 100.0, 15.0);
+}
+
+TEST(WorkloadDriverTest, ZipfianSkewsTowardsHeadOfCatalog) {
+  DriverOptions opts;
+  opts.num_queries = 1000;
+  opts.popularity = Popularity::kZipfian;
+  opts.zipf_exponent = 1.2;
+  WorkloadDriver driver(SixClassCatalog(), opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  std::map<std::string, int> counts;
+  for (const QueryRequest& r : *stream) counts[r.workload_id]++;
+  // Rank 0 should dominate the tail decisively at s=1.2.
+  EXPECT_GT(counts["a"], 2 * counts["f"]);
+  EXPECT_GT(counts["a"], counts["b"]);
+}
+
+TEST(WorkloadDriverTest, UniformIsRoughlyBalanced) {
+  DriverOptions opts;
+  opts.num_queries = 6000;
+  opts.popularity = Popularity::kUniform;
+  WorkloadDriver driver(SixClassCatalog(), opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  std::map<std::string, int> counts;
+  for (const QueryRequest& r : *stream) counts[r.workload_id]++;
+  for (const auto& [id, n] : counts) {
+    EXPECT_NEAR(n, 1000, 150) << id;
+  }
+}
+
+TEST(WorkloadDriverTest, RejectsBadConfigurations) {
+  DriverOptions opts;
+  EXPECT_TRUE(WorkloadDriver({}, opts).Generate().status().IsInvalidArgument());
+  opts.arrival_rate_qps = 0;
+  EXPECT_TRUE(WorkloadDriver(SixClassCatalog(), opts)
+                  .Generate()
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Compile cache
+// ---------------------------------------------------------------------------
+
+TEST(CompileCacheTest, BuildsOncePerKey) {
+  CompileCache cache;
+  int builds = 0;
+  auto builder = [&]() -> Result<compiler::CompiledUdf> {
+    ++builds;
+    compiler::CompiledUdf udf;
+    udf.udf_name = "stub";
+    return udf;
+  };
+  auto first = cache.GetOrCompile("linear_d10", builder);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrCompile("linear_d10", builder);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(*first, *second);  // same stored object
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Find("linear_d10"), *first);
+  EXPECT_EQ(cache.Find("absent"), nullptr);
+}
+
+TEST(CompileCacheTest, FailedBuildIsNotCached) {
+  CompileCache cache;
+  int calls = 0;
+  auto builder = [&]() -> Result<compiler::CompiledUdf> {
+    if (++calls == 1) return Status::Internal("transient");
+    compiler::CompiledUdf udf;
+    return udf;
+  };
+  EXPECT_FALSE(cache.GetOrCompile("k", builder).ok());
+  EXPECT_TRUE(cache.GetOrCompile("k", builder).ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler policies (driven by a synthetic executor)
+// ---------------------------------------------------------------------------
+
+class FakeExecutor : public QueryExecutor {
+ public:
+  void Set(const std::string& id, double service_s, double estimate_s,
+           double compile_s = 0.0) {
+    costs_[id] = {dana::SimTime::Seconds(service_s),
+                  dana::SimTime::Seconds(compile_s)};
+    estimates_[id] = dana::SimTime::Seconds(estimate_s);
+  }
+
+  Result<QueryCost> Cost(const std::string& id) override {
+    auto it = costs_.find(id);
+    if (it == costs_.end()) return Status::NotFound(id);
+    ++cost_calls_;
+    return it->second;
+  }
+
+  Result<dana::SimTime> Estimate(const std::string& id) override {
+    auto it = estimates_.find(id);
+    if (it == estimates_.end()) return Status::NotFound(id);
+    return it->second;
+  }
+
+  int cost_calls() const { return cost_calls_; }
+
+ private:
+  std::map<std::string, QueryCost> costs_;
+  std::map<std::string, dana::SimTime> estimates_;
+  int cost_calls_ = 0;
+};
+
+QueryRequest Req(uint64_t id, const std::string& workload, double arrival_s) {
+  QueryRequest r;
+  r.id = id;
+  r.workload_id = workload;
+  r.arrival = dana::SimTime::Seconds(arrival_s);
+  return r;
+}
+
+std::vector<uint64_t> DispatchOrder(const ScheduleReport& report) {
+  std::vector<uint64_t> order;
+  for (const QueryStat& q : report.queries) order.push_back(q.id);
+  return order;
+}
+
+TEST(SchedulerTest, FcfsDispatchesInArrivalOrder) {
+  FakeExecutor exec;
+  exec.Set("long", 100, 100);
+  exec.Set("short", 1, 1);
+  // All queued behind the long job on one slot.
+  std::vector<QueryRequest> reqs = {Req(0, "long", 0), Req(1, "long", 1),
+                                    Req(2, "short", 2), Req(3, "long", 3)};
+  Scheduler sched({.slots = 1, .policy = Policy::kFcfs}, &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(DispatchOrder(*report), (std::vector<uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(SchedulerTest, SjfPicksSmallestEstimateAmongQueued) {
+  FakeExecutor exec;
+  exec.Set("huge", 100, 100);
+  exec.Set("mid", 30, 30);
+  exec.Set("small", 10, 10);
+  exec.Set("tiny", 5, 5);
+  // "huge" occupies the slot; the rest queue up and must run in estimate
+  // order, not arrival order.
+  std::vector<QueryRequest> reqs = {Req(0, "huge", 0), Req(1, "mid", 1),
+                                    Req(2, "small", 2), Req(3, "tiny", 3)};
+  Scheduler sched({.slots = 1, .policy = Policy::kSjf}, &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(DispatchOrder(*report), (std::vector<uint64_t>{0, 3, 2, 1}));
+}
+
+TEST(SchedulerTest, RoundRobinAlternatesAcrossAlgorithms) {
+  FakeExecutor exec;
+  exec.Set("x", 10, 10);
+  exec.Set("y", 10, 10);
+  // Three x queries then one y, all arriving while the slot is busy: RR
+  // must interleave y after the first x instead of draining x first.
+  std::vector<QueryRequest> reqs = {Req(0, "x", 0), Req(1, "x", 1),
+                                    Req(2, "x", 2), Req(3, "y", 3)};
+  Scheduler sched({.slots = 1, .policy = Policy::kRoundRobin}, &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(DispatchOrder(*report), (std::vector<uint64_t>{0, 3, 1, 2}));
+}
+
+TEST(SchedulerTest, CompileChargedOnlyOnFirstDispatchOfEachAlgorithm) {
+  FakeExecutor exec;
+  exec.Set("a", 10, 10, /*compile_s=*/5);
+  exec.Set("b", 10, 10, /*compile_s=*/5);
+  std::vector<QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 0),
+                                    Req(2, "b", 0), Req(3, "a", 0)};
+  Scheduler sched({.slots = 1, .policy = Policy::kFcfs}, &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->compile_misses, 2u);  // first "a", first "b"
+  EXPECT_EQ(report->compile_hits, 2u);
+  EXPECT_FALSE(report->queries[0].compile_hit);
+  EXPECT_DOUBLE_EQ(report->queries[0].compile.seconds(), 5.0);
+  EXPECT_TRUE(report->queries[1].compile_hit);
+  EXPECT_DOUBLE_EQ(report->queries[1].compile.seconds(), 0.0);
+  EXPECT_FALSE(report->queries[2].compile_hit);
+  EXPECT_TRUE(report->queries[3].compile_hit);
+  // Slot occupancy: 15 + 10 + 15 + 10 back to back.
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 50.0);
+}
+
+TEST(SchedulerTest, ConcurrentDispatchWaitsForInFlightCompile) {
+  FakeExecutor exec;
+  exec.Set("a", 10, 10, /*compile_s=*/5);
+  // Both queries arrive at t=0 on 2 slots: the second is a cache hit but
+  // must wait out the first's in-flight compile instead of starting a
+  // training run with a design that does not exist until t=5.
+  std::vector<QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 0)};
+  Scheduler sched({.slots = 2, .policy = Policy::kFcfs}, &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->queries[0].compile_hit);
+  EXPECT_DOUBLE_EQ(report->queries[0].completion.seconds(), 15.0);
+  EXPECT_TRUE(report->queries[1].compile_hit);
+  EXPECT_DOUBLE_EQ(report->queries[1].compile.seconds(), 5.0);  // residual
+  EXPECT_DOUBLE_EQ(report->queries[1].completion.seconds(), 15.0);
+  // A third query dispatched after the compile finished pays nothing.
+  reqs.push_back(Req(2, "a", 20));
+  auto later = Scheduler({.slots = 2, .policy = Policy::kFcfs}, &exec)
+                   .Run(reqs);
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE(later->queries[2].compile_hit);
+  EXPECT_DOUBLE_EQ(later->queries[2].compile.seconds(), 0.0);
+}
+
+TEST(SchedulerTest, SlotsNeverOverlapAndStartAfterArrival) {
+  FakeExecutor exec;
+  exec.Set("a", 7, 7);
+  exec.Set("b", 3, 3);
+  std::vector<QueryRequest> reqs;
+  for (int i = 0; i < 40; ++i) {
+    reqs.push_back(Req(static_cast<uint64_t>(i), i % 3 ? "a" : "b", 0.5 * i));
+  }
+  for (Policy policy : {Policy::kFcfs, Policy::kSjf, Policy::kRoundRobin}) {
+    Scheduler sched({.slots = 3, .policy = policy}, &exec);
+    auto report = sched.Run(reqs);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->queries.size(), reqs.size());
+    std::map<uint32_t, dana::SimTime> slot_busy_until;
+    dana::SimTime max_completion;
+    for (const QueryStat& q : report->queries) {
+      EXPECT_GE(q.start.nanos(), q.arrival.nanos());
+      EXPECT_GE(q.slot, 0u);
+      EXPECT_LT(q.slot, 3u);
+      // Dispatch order visits each slot in nondecreasing free time, so a
+      // query must start at or after its slot's previous completion.
+      EXPECT_GE(q.start.nanos(), slot_busy_until[q.slot].nanos());
+      slot_busy_until[q.slot] = q.completion;
+      max_completion = dana::SimTime::Max(max_completion, q.completion);
+      EXPECT_DOUBLE_EQ(q.completion.nanos(),
+                       (q.start + q.compile + q.service).nanos());
+    }
+    EXPECT_DOUBLE_EQ(report->makespan.nanos(), max_completion.nanos());
+    EXPECT_GT(report->ThroughputQps(), 0.0);
+  }
+}
+
+TEST(SchedulerTest, MoreSlotsFinishNoLater) {
+  FakeExecutor exec;
+  exec.Set("a", 10, 10);
+  std::vector<QueryRequest> reqs;
+  for (int i = 0; i < 16; ++i) reqs.push_back(Req(i, "a", 0));
+  Scheduler one({.slots = 1, .policy = Policy::kFcfs}, &exec);
+  Scheduler four({.slots = 4, .policy = Policy::kFcfs}, &exec);
+  auto r1 = one.Run(reqs);
+  auto r4 = four.Run(reqs);
+  ASSERT_TRUE(r1.ok() && r4.ok());
+  EXPECT_DOUBLE_EQ(r1->makespan.seconds(), 160.0);
+  EXPECT_DOUBLE_EQ(r4->makespan.seconds(), 40.0);
+}
+
+TEST(SchedulerTest, SjfBeatsFcfsOnMeanLatencyForSkewedMix) {
+  // A Zipfian mix over classes whose service times span 100x: the long jobs
+  // head-of-line-block FCFS while SJF lets the swarm of short queries
+  // through first.
+  FakeExecutor exec;
+  exec.Set("hot_short", 2, 2);
+  exec.Set("warm_mid", 20, 20);
+  exec.Set("cold_long", 200, 200);
+  DriverOptions opts;
+  opts.num_queries = 120;
+  opts.arrival_rate_qps = 0.12;  // keeps one slot saturated
+  opts.zipf_exponent = 1.0;
+  WorkloadDriver driver({"hot_short", "warm_mid", "cold_long"}, opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+
+  Scheduler fcfs({.slots = 1, .policy = Policy::kFcfs}, &exec);
+  Scheduler sjf({.slots = 1, .policy = Policy::kSjf}, &exec);
+  auto r_fcfs = fcfs.Run(*stream);
+  auto r_sjf = sjf.Run(*stream);
+  ASSERT_TRUE(r_fcfs.ok() && r_sjf.ok());
+  EXPECT_LT(r_sjf->MeanLatency().seconds(), r_fcfs->MeanLatency().seconds());
+}
+
+TEST(SchedulerTest, PolicyNamesRoundTrip) {
+  for (Policy p : {Policy::kFcfs, Policy::kSjf, Policy::kRoundRobin}) {
+    auto parsed = ParsePolicy(PolicyName(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_TRUE(ParsePolicy("lifo").status().IsInvalidArgument());
+  EXPECT_TRUE(ParsePopularity("pareto").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dana::sched

@@ -16,8 +16,15 @@
 //   dana strider-walk --features N --rows N [--mysql]
 //       Build a synthetic heap table, walk every page with the generated
 //       Strider program, and report extraction statistics.
+//   dana sched [options]
+//       Generate a multi-query request stream (Zipfian or uniform) over the
+//       Table 3 workloads and schedule it onto N simulated accelerator
+//       slots; reports throughput and latency percentiles per policy.
+//   dana --help
+//       Detailed verb and option listing.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -30,6 +37,9 @@
 #include "ml/workloads.h"
 #include "common/table_printer.h"
 #include "runtime/systems.h"
+#include "sched/executor.h"
+#include "sched/scheduler.h"
+#include "sched/workload_driver.h"
 #include "strider/assembler.h"
 #include "strider/codegen.h"
 #include "strider/simulator.h"
@@ -38,11 +48,33 @@ using namespace dana;
 
 namespace {
 
+void PrintHelp(std::FILE* out) {
+  std::fputs(
+      "usage: dana <verb> [options]\n"
+      "\n"
+      "verbs:\n"
+      "  workloads                 list the Table 3 workload suite\n"
+      "  compile --algo <linear|logistic|svm|lrmf> --dims D\n"
+      "          [--rank K] [--merge M] [--save FILE]\n"
+      "                            compile a UDF and print the utilization\n"
+      "                            report; optionally save the catalog blob\n"
+      "  inspect FILE              print the report + disassembly of a blob\n"
+      "                            saved by `compile --save`\n"
+      "  strider-asm FILE          assemble a Strider ISA text file\n"
+      "  strider-walk [--features N] [--rows N] [--mysql]\n"
+      "                            walk a synthetic heap table with the\n"
+      "                            generated Strider program\n"
+      "  sched [--policy fcfs|sjf|rr|all] [--slots N] [--queries N]\n"
+      "        [--rate QPS] [--dist zipf|uniform] [--theta S] [--seed N]\n"
+      "        [--group public|sn|se|all]\n"
+      "                            schedule a multi-query request stream\n"
+      "                            onto N simulated accelerator slots\n"
+      "  help | --help | -h        this message\n",
+      out);
+}
+
 int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: dana <workloads|compile|inspect|strider-asm|strider-walk> "
-      "[options]\n(see the comment at the top of tools/dana_cli.cpp)\n");
+  PrintHelp(stderr);
   return 2;
 }
 
@@ -231,15 +263,150 @@ int CmdStriderWalk(int argc, char** argv) {
   return tuples == rows ? 0 : 1;
 }
 
+int CmdSched(int argc, char** argv) {
+  // Workload catalog (popularity rank = catalog order).
+  const std::string group = Flag(argc, argv, "--group", "public");
+  std::vector<ml::Workload> workloads;
+  if (group == "public") {
+    workloads = ml::PublicWorkloads();
+  } else if (group == "sn") {
+    workloads = ml::SyntheticNominalWorkloads();
+  } else if (group == "se") {
+    workloads = ml::SyntheticExtensiveWorkloads();
+  } else if (group == "all") {
+    workloads = ml::AllWorkloads();
+  } else {
+    std::fprintf(stderr, "unknown --group '%s' (want public|sn|se|all)\n",
+                 group.c_str());
+    return 2;
+  }
+  std::vector<std::string> catalog;
+  for (const auto& w : workloads) catalog.push_back(w.id);
+
+  // Parse counts as signed so "--slots -1" is rejected instead of wrapping
+  // to a ~4-billion value through the unsigned cast.
+  const int queries = std::atoi(Flag(argc, argv, "--queries", "100"));
+  const int slots = std::atoi(Flag(argc, argv, "--slots", "2"));
+  if (slots <= 0 || queries <= 0) {
+    std::fprintf(stderr, "--slots and --queries must be positive\n");
+    return 2;
+  }
+  if (slots > 4096) {
+    std::fprintf(stderr, "--slots must be at most 4096\n");
+    return 2;
+  }
+
+  sched::DriverOptions driver_opts;
+  driver_opts.num_queries = static_cast<uint32_t>(queries);
+  driver_opts.seed = static_cast<uint64_t>(
+      std::atoll(Flag(argc, argv, "--seed", "3735928559")));
+  driver_opts.zipf_exponent = std::atof(Flag(argc, argv, "--theta", "0.99"));
+  if (driver_opts.zipf_exponent < 0) {
+    std::fprintf(stderr, "--theta must be non-negative\n");
+    return 2;
+  }
+  auto popularity = sched::ParsePopularity(Flag(argc, argv, "--dist", "zipf"));
+  if (!popularity.ok()) {
+    std::fprintf(stderr, "%s\n", popularity.status().ToString().c_str());
+    return 2;
+  }
+  driver_opts.popularity = *popularity;
+
+  std::vector<sched::Policy> policies;
+  const std::string policy_name = Flag(argc, argv, "--policy", "all");
+  if (policy_name == "all") {
+    policies = {sched::Policy::kFcfs, sched::Policy::kSjf,
+                sched::Policy::kRoundRobin};
+  } else {
+    auto policy = sched::ParsePolicy(policy_name);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+      return 2;
+    }
+    policies = {*policy};
+  }
+
+  sched::DanaQueryExecutor executor;
+
+  // Arrival rate: explicit --rate, else calibrated to ~80% utilization of
+  // the requested slots against the zipf-weighted mean service time.
+  const char* rate_flag = Flag(argc, argv, "--rate");
+  if (rate_flag != nullptr) {
+    driver_opts.arrival_rate_qps = std::atof(rate_flag);
+    if (driver_opts.arrival_rate_qps <= 0) {
+      std::fprintf(stderr, "--rate must be positive\n");
+      return 2;
+    }
+  } else {
+    auto mean_service = sched::WeightedMeanServiceSeconds(
+        executor, catalog, driver_opts.popularity, driver_opts.zipf_exponent);
+    if (!mean_service.ok()) {
+      std::fprintf(stderr, "%s\n", mean_service.status().ToString().c_str());
+      return 1;
+    }
+    driver_opts.arrival_rate_qps =
+        0.8 * static_cast<double>(slots) / *mean_service;
+  }
+
+  sched::WorkloadDriver driver(catalog, driver_opts);
+  auto stream = driver.Generate();
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%u queries over %zu '%s' workloads, %s popularity "
+              "(theta %.2f), %.3f qps, %d slot(s), seed %llu\n\n",
+              driver_opts.num_queries, catalog.size(), group.c_str(),
+              sched::PopularityName(driver_opts.popularity),
+              driver_opts.zipf_exponent, driver_opts.arrival_rate_qps, slots,
+              static_cast<unsigned long long>(driver_opts.seed));
+
+  TablePrinter table({"policy", "throughput (q/h)", "mean lat", "p50", "p95",
+                      "p99", "mean wait", "makespan", "compile hits"});
+  for (sched::Policy policy : policies) {
+    sched::Scheduler scheduler(
+        {.slots = static_cast<uint32_t>(slots), .policy = policy}, &executor);
+    auto report = scheduler.Run(*stream);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: %s\n", sched::PolicyName(policy),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({sched::PolicyName(policy),
+                  TablePrinter::Fmt(report->ThroughputQps() * 3600.0, 1),
+                  report->MeanLatency().ToString(),
+                  report->LatencyPercentile(50).ToString(),
+                  report->LatencyPercentile(95).ToString(),
+                  report->LatencyPercentile(99).ToString(),
+                  report->MeanWait().ToString(), report->makespan.ToString(),
+                  std::to_string(report->compile_hits) + "/" +
+                      std::to_string(report->compile_hits +
+                                     report->compile_misses)});
+  }
+  table.Print();
+  std::printf("\ncompiler ran %llu time(s); compile cache served %llu "
+              "repeat(s)\n",
+              static_cast<unsigned long long>(
+                  executor.compile_cache().misses()),
+              static_cast<unsigned long long>(executor.compile_cache().hits()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    PrintHelp(stdout);
+    return 0;
+  }
   if (cmd == "workloads") return CmdWorkloads();
   if (cmd == "compile") return CmdCompile(argc, argv);
   if (cmd == "inspect") return CmdInspect(argc, argv);
   if (cmd == "strider-asm") return CmdStriderAsm(argc, argv);
   if (cmd == "strider-walk") return CmdStriderWalk(argc, argv);
+  if (cmd == "sched") return CmdSched(argc, argv);
+  std::fprintf(stderr, "dana: unknown verb '%s'\n\n", cmd.c_str());
   return Usage();
 }
