@@ -37,19 +37,20 @@ Result<std::unique_ptr<WorkloadInstance>> WorkloadInstance::Create(
   const uint64_t min_bytes = 8ull * page_size;
   storage::DiskModel disk;
   disk.seq_read_bw = 200e6;  // effective SATA-SSD heap-scan rate
-  instance->pool_ = std::make_unique<storage::BufferPool>(
+  instance->pools_ = std::make_unique<storage::BufferPoolGroup>(
       std::max<uint64_t>(static_cast<uint64_t>(pool_bytes), min_bytes),
       page_size, disk,
       std::max<uint64_t>(static_cast<uint64_t>(os_cache_bytes), min_bytes));
   return instance;
 }
 
-void WorkloadInstance::PrepareCache(CacheState state) {
-  pool_->Clear();
-  pool_->ResetStats();
+void WorkloadInstance::PrepareCache(CacheState state, uint32_t slot) {
+  storage::BufferPool* pool = pools_->pool(slot);
+  pool->Clear();
+  pool->ResetStats();
   if (state == CacheState::kWarm) {
-    pool_->Prewarm(*table_);
-    pool_->ResetStats();
+    pool->Prewarm(*table_);
+    pool->ResetStats();
   }
 }
 
@@ -180,16 +181,20 @@ Result<SystemResult> DanaSystem::Run(WorkloadInstance* instance,
 
 Result<SystemResult> DanaSystem::RunCompiled(const compiler::CompiledUdf& udf,
                                              WorkloadInstance* instance,
-                                             CacheState cache) const {
+                                             CacheState cache,
+                                             uint32_t batch_queries,
+                                             uint32_t slot) const {
   const ml::Workload& w = instance->workload();
   SystemResult r;
   r.system = "DAnA+PostgreSQL";
+  r.batch_queries = std::max<uint32_t>(batch_queries, 1);
 
-  instance->PrepareCache(cache);
+  instance->PrepareCache(cache, slot);
   accel::RunOptions run = options_.run;
   if (run.initial_models.empty()) {
     run.initial_models = {ml::InitialModel(w.kind, w.params)};
   }
+  run.batch_queries = r.batch_queries;
   const uint32_t budget =
       run.max_epochs_override ? run.max_epochs_override : w.dana_epochs;
   uint32_t run_epochs = budget;
@@ -203,11 +208,13 @@ Result<SystemResult> DanaSystem::RunCompiled(const compiler::CompiledUdf& udf,
   accel::Accelerator accelerator(udf);
   DANA_ASSIGN_OR_RETURN(
       accel::RunReport report,
-      accelerator.Train(instance->table(), instance->pool(), run));
+      accelerator.Train(instance->table(), instance->pool(slot), run));
 
   dana::SimTime wall = report.total_time;
   dana::SimTime io = report.io_time;
   dana::SimTime fpga = report.fpga_time;
+  dana::SimTime shared = report.shared_time;
+  dana::SimTime per_query = report.per_query_time;
   r.epochs = report.epochs_run;
   if (report.epochs_run == run_epochs && run_epochs < budget &&
       !report.converged) {
@@ -217,15 +224,21 @@ Result<SystemResult> DanaSystem::RunCompiled(const compiler::CompiledUdf& udf,
     const double rest = static_cast<double>(budget - 1);
     wall = first.wall + steady.wall * rest;
     io = first.io + steady.io * rest;
+    shared = first.shared + steady.shared * rest;
+    per_query = first.per_query + steady.per_query * rest;
     fpga = fpga * (static_cast<double>(budget) / report.epochs_run);
     r.epochs = budget;
   }
   r.io = io * instance->scale();
   r.compute = fpga * instance->scale();
   // Fixed (unscaled) costs: query startup plus per-epoch orchestration.
+  // A batched pass is one physical execution, so overheads are paid once
+  // for the whole batch (and attributed to the shared side).
   r.overhead = cost_.pg_query_overhead + cost_.dana_query_overhead +
                cost_.dana_epoch_overhead * static_cast<double>(r.epochs);
   r.total = r.overhead + wall * instance->scale();
+  r.shared_time = r.overhead + shared * instance->scale();
+  r.per_query_time = per_query * instance->scale();
 
   r.model.assign(report.final_models[0].begin(),
                  report.final_models[0].end());

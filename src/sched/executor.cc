@@ -36,25 +36,41 @@ Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
   return ptr;
 }
 
-Result<QueryCost> DanaQueryExecutor::Cost(const std::string& workload_id) {
+Result<BatchCost> DanaQueryExecutor::Dispatch(const QueryBatch& batch) {
+  if (batch.query_ids.empty()) {
+    return Status::InvalidArgument("empty batch for workload '" +
+                                   batch.workload_id + "'");
+  }
   DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
-                        Instance(workload_id));
+                        Instance(batch.workload_id));
   DANA_ASSIGN_OR_RETURN(
       const compiler::CompiledUdf* udf,
       compile_cache_.GetOrCompile(
-          workload_id, [&] { return system_.Compile(*instance); }));
+          batch.workload_id, [&] { return system_.Compile(*instance); }));
 
-  QueryCost cost;
+  BatchCost cost;
   cost.compile = options_.compile_latency;
-  auto measured = measured_service_.find(workload_id);
-  if (measured == measured_service_.end()) {
+  const auto key = std::make_pair(batch.workload_id, batch.size());
+  auto measured = measured_.find(key);
+  if (measured == measured_.end()) {
+    // Measure the batched pass once on this slot's execution context (its
+    // private pool, created lazily by the instance's pool group); identical
+    // batches on other slots prepare their pools to the same cache state
+    // and therefore take identical time.
     DANA_ASSIGN_OR_RETURN(
         runtime::SystemResult result,
-        system_.RunCompiled(*udf, instance, options_.cache));
-    measured =
-        measured_service_.emplace(workload_id, result.total).first;
+        system_.RunCompiled(*udf, instance, options_.cache, batch.size(),
+                            batch.slot));
+    BatchCost m;
+    m.compile = options_.compile_latency;
+    m.service = result.total;
+    m.shared = result.shared_time;
+    m.per_query = result.per_query_time;
+    measured = measured_.emplace(key, m).first;
   }
-  cost.service = measured->second;
+  cost.service = measured->second.service;
+  cost.shared = measured->second.shared;
+  cost.per_query = measured->second.per_query;
   return cost;
 }
 

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/sim_time.h"
@@ -11,10 +14,40 @@
 
 namespace dana::sched {
 
-/// Costs of running one analytics query on one accelerator slot.
-struct QueryCost {
-  /// Slot occupancy of the training run itself (query overheads included).
+/// A batch of same-algorithm queries the scheduler co-dispatches onto one
+/// accelerator slot: one page-streaming pass feeds every query's execution
+/// engines. Size 1 is the ordinary per-query dispatch.
+struct QueryBatch {
+  std::string workload_id;
+  /// Request ids of the co-dispatched queries, in dispatch order.
+  std::vector<uint64_t> query_ids;
+  /// Slot the batch runs on; selects the slot's execution context
+  /// (its private buffer pool).
+  uint32_t slot = 0;
+
+  uint32_t size() const { return static_cast<uint32_t>(query_ids.size()); }
+
+  /// Convenience single-query batch.
+  static QueryBatch Single(std::string workload, uint64_t id = 0,
+                           uint32_t slot = 0) {
+    QueryBatch b;
+    b.workload_id = std::move(workload);
+    b.query_ids = {id};
+    b.slot = slot;
+    return b;
+  }
+};
+
+/// Costs of running one batch on one accelerator slot.
+struct BatchCost {
+  /// Slot occupancy of the whole batched run (query overheads included).
   dana::SimTime service;
+  /// Attribution of `service`: `shared` is the one page-streaming sweep
+  /// every co-batched query amortizes; `per_query` is the incremental
+  /// engine-merge time each co-trained model adds. For a batch of 1 the
+  /// two sum to approximately `service`.
+  dana::SimTime shared;
+  dana::SimTime per_query;
   /// Additional one-time compile latency a compile-cache miss pays; the
   /// scheduler charges it on the first dispatch of each algorithm and
   /// skips it on every repeat.
@@ -22,17 +55,19 @@ struct QueryCost {
 };
 
 /// What the scheduler needs from an execution backend: real (simulated)
-/// service costs at dispatch time and cheap estimates for shortest-job-first
-/// admission ordering. Estimates must not run the query.
+/// batched service costs at dispatch time and cheap estimates for
+/// shortest-job-first admission ordering. Estimates must not run the query.
 class QueryExecutor {
  public:
   virtual ~QueryExecutor() = default;
 
-  /// The true cost of running `workload_id` once (invoked at dispatch).
-  virtual dana::Result<QueryCost> Cost(const std::string& workload_id) = 0;
+  /// The true cost of running `batch` once (invoked at dispatch). All
+  /// queries in the batch share one pass; implementations must be
+  /// deterministic in (workload_id, batch size).
+  virtual dana::Result<BatchCost> Dispatch(const QueryBatch& batch) = 0;
 
-  /// A-priori service estimate for queue ordering (SJF). May be coarse but
-  /// must be deterministic and cheap.
+  /// A-priori service estimate of a single query for queue ordering (SJF).
+  /// May be coarse but must be deterministic and cheap.
   virtual dana::Result<dana::SimTime> Estimate(
       const std::string& workload_id) = 0;
 };
@@ -42,11 +77,13 @@ class QueryExecutor {
 ///
 /// Service times are measured by actually compiling and training through
 /// `runtime::DanaSystem` (so the scheduler multiplexes real simulated
-/// accelerator runs, not analytical guesses), then memoized per workload:
-/// in a warm steady state every query of one algorithm does identical work,
-/// so repeats reuse the measured time instead of re-simulating. Compiled
-/// designs live in a CompileCache so `compiler::Compile` runs once per
-/// algorithm no matter how many queries reference it.
+/// accelerator runs, not analytical guesses), then memoized per
+/// (workload, batch size): in a warm steady state every batch of K queries
+/// of one algorithm does identical work, so repeats reuse the measured
+/// time instead of re-simulating. Compiled designs live in a CompileCache
+/// so `compiler::Compile` runs once per algorithm no matter how many
+/// queries reference it. Each slot trains against its own buffer pool from
+/// the instance's pool group (per-slot execution contexts).
 class DanaQueryExecutor : public QueryExecutor {
  public:
   struct Options {
@@ -66,7 +103,7 @@ class DanaQueryExecutor : public QueryExecutor {
   DanaQueryExecutor();
   explicit DanaQueryExecutor(Options options);
 
-  dana::Result<QueryCost> Cost(const std::string& workload_id) override;
+  dana::Result<BatchCost> Dispatch(const QueryBatch& batch) override;
   dana::Result<dana::SimTime> Estimate(const std::string& workload_id) override;
 
   const CompileCache& compile_cache() const { return compile_cache_; }
@@ -79,7 +116,8 @@ class DanaQueryExecutor : public QueryExecutor {
   runtime::DanaSystem system_;
   CompileCache compile_cache_;
   std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_;
-  std::map<std::string, dana::SimTime> measured_service_;
+  /// Measured batched service, keyed by (workload, batch size).
+  std::map<std::pair<std::string, uint32_t>, BatchCost> measured_;
 };
 
 }  // namespace dana::sched

@@ -54,48 +54,74 @@ dana::SimTime ScheduleReport::LatencyPercentile(double p) const {
   return dana::SimTime::Nanos(Percentile(std::move(ns), p));
 }
 
+double ScheduleReport::MeanBatchSize() const {
+  if (batches == 0) return 1.0;
+  return static_cast<double>(queries.size()) / static_cast<double>(batches);
+}
+
 Scheduler::Scheduler(SchedulerOptions options, QueryExecutor* executor)
     : options_(options), executor_(executor) {
   if (options_.slots == 0) options_.slots = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
 }
 
 namespace {
 
 /// Pending queue with the policy-specific pick. Entries are indices into
-/// the sorted request vector, kept in arrival order.
+/// the request vector, kept in admission order. The request vector may grow
+/// while the queue is live (closed-loop mode); entries are indices, never
+/// pointers, so growth is safe.
 class PendingQueue {
  public:
-  PendingQueue(Policy policy, const std::vector<QueryRequest>& requests,
-               const std::map<std::string, dana::SimTime>& estimates)
-      : policy_(policy), requests_(requests), estimates_(estimates) {
-    if (policy_ == Policy::kRoundRobin) {
-      // Class rotation order: first appearance in the request stream.
-      std::set<std::string> seen;
-      for (const QueryRequest& r : requests_) {
-        if (seen.insert(r.workload_id).second) {
-          class_order_.push_back(r.workload_id);
-        }
-      }
-    }
-  }
+  PendingQueue(Policy policy, double sjf_aging_weight,
+               const std::vector<QueryRequest>& requests,
+               const std::map<std::string, dana::SimTime>& estimates,
+               std::vector<std::string> class_order)
+      : policy_(policy),
+        aging_weight_(sjf_aging_weight),
+        requests_(requests),
+        estimates_(estimates),
+        class_order_(std::move(class_order)) {}
 
   bool empty() const { return pending_.empty(); }
 
   void Push(size_t request_index) { pending_.push_back(request_index); }
 
-  /// Removes and returns the next request index under the policy.
-  size_t Pop() {
+  /// Removes and returns the next request index under the policy. `now` is
+  /// the dispatch time, used by SJF aging to credit queue wait.
+  size_t Pop(dana::SimTime now) {
     size_t at = 0;
     switch (policy_) {
       case Policy::kFcfs:
         break;  // arrival order == queue order
       case Policy::kSjf: {
-        for (size_t i = 1; i < pending_.size(); ++i) {
-          const dana::SimTime best =
-              estimates_.at(requests_[pending_[at]].workload_id);
-          const dana::SimTime cand =
-              estimates_.at(requests_[pending_[i]].workload_id);
-          if (cand < best) at = i;
+        if (aging_weight_ == 0.0) {
+          // Pure SJF: identical comparison to the unaged scheduler so a
+          // zero weight reproduces its schedules bit-for-bit.
+          for (size_t i = 1; i < pending_.size(); ++i) {
+            const dana::SimTime best =
+                estimates_.at(requests_[pending_[at]].workload_id);
+            const dana::SimTime cand =
+                estimates_.at(requests_[pending_[i]].workload_id);
+            if (cand < best) at = i;
+          }
+        } else {
+          // Aged SJF: every second of queue wait forgives `weight` seconds
+          // of estimate, so a long job's effective estimate eventually
+          // drops below the stream of short ones and it cannot starve.
+          auto effective = [&](size_t i) {
+            const QueryRequest& r = requests_[pending_[i]];
+            return estimates_.at(r.workload_id).seconds() -
+                   aging_weight_ * (now - r.arrival).seconds();
+          };
+          double best = effective(0);
+          for (size_t i = 1; i < pending_.size(); ++i) {
+            const double cand = effective(i);
+            if (cand < best) {
+              best = cand;
+              at = i;
+            }
+          }
         }
         break;
       }
@@ -122,14 +148,145 @@ class PendingQueue {
     return request_index;
   }
 
+  /// Removes up to `limit` further queued requests of workload `cls` (in
+  /// admission order) and appends their indices to `out` — the co-resident
+  /// queries a batched dispatch coalesces with the head query.
+  void TakeSameClass(const std::string& cls, size_t limit,
+                     std::vector<size_t>* out) {
+    size_t taken = 0;
+    size_t i = 0;
+    while (i < pending_.size() && taken < limit) {
+      if (requests_[pending_[i]].workload_id == cls) {
+        out->push_back(pending_[i]);
+        pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+        ++taken;
+      } else {
+        ++i;
+      }
+    }
+  }
+
  private:
   Policy policy_;
+  double aging_weight_;
   const std::vector<QueryRequest>& requests_;
   const std::map<std::string, dana::SimTime>& estimates_;
   std::vector<size_t> pending_;
   std::vector<std::string> class_order_;
   size_t rr_cursor_ = 0;
 };
+
+/// Shared dispatch machinery of the open and closed-loop runs: pops the
+/// policy's head query, coalesces up to max_batch-1 co-resident queries of
+/// the same algorithm, charges compile + batched service, and records one
+/// QueryStat per member (all complete together). Returns the dispatched
+/// request indices.
+class DispatchEngine {
+ public:
+  DispatchEngine(const SchedulerOptions& options, QueryExecutor* executor,
+                 const std::vector<QueryRequest>& requests,
+                 ScheduleReport* report)
+      : options_(options),
+        executor_(executor),
+        requests_(requests),
+        report_(report),
+        slot_free_(options.slots, dana::SimTime::Zero()) {}
+
+  /// Earliest-free slot; lowest index breaks ties, deterministically.
+  uint32_t NextSlot() const {
+    uint32_t slot = 0;
+    for (uint32_t s = 1; s < options_.slots; ++s) {
+      if (slot_free_[s] < slot_free_[slot]) slot = s;
+    }
+    return slot;
+  }
+
+  dana::SimTime slot_free(uint32_t slot) const { return slot_free_[slot]; }
+
+  dana::Result<std::vector<size_t>> Dispatch(PendingQueue& pending,
+                                             uint32_t slot,
+                                             dana::SimTime now) {
+    std::vector<size_t> members;
+    members.push_back(pending.Pop(now));
+    const QueryRequest& head = requests_[members[0]];
+    if (options_.max_batch > 1) {
+      pending.TakeSameClass(head.workload_id, options_.max_batch - 1,
+                            &members);
+    }
+
+    QueryBatch batch;
+    batch.workload_id = head.workload_id;
+    batch.slot = slot;
+    for (size_t m : members) batch.query_ids.push_back(requests_[m].id);
+    DANA_ASSIGN_OR_RETURN(BatchCost cost, executor_->Dispatch(batch));
+
+    // Simulated compile-cache state: when each workload's design becomes
+    // available. A dispatch before that point waits for the in-flight
+    // compile instead of using a design that does not exist yet. A batch
+    // compiles its design once: the head pays the miss, riders are hits.
+    dana::SimTime compile_wait;
+    bool head_miss = false;
+    auto ready = compile_ready_.find(head.workload_id);
+    if (ready == compile_ready_.end()) {
+      head_miss = true;
+      compile_wait = cost.compile;
+      compile_ready_[head.workload_id] = now + cost.compile;
+    } else {
+      compile_wait = ready->second > now ? ready->second - now
+                                         : dana::SimTime::Zero();
+    }
+
+    const dana::SimTime completion = now + compile_wait + cost.service;
+    for (size_t j = 0; j < members.size(); ++j) {
+      const QueryRequest& req = requests_[members[j]];
+      QueryStat stat;
+      stat.id = req.id;
+      stat.workload_id = req.workload_id;
+      stat.slot = slot;
+      stat.arrival = req.arrival;
+      stat.start = now;
+      stat.compile = compile_wait;
+      stat.compile_hit = !(head_miss && j == 0);
+      stat.service = cost.service;
+      stat.batch_size = static_cast<uint32_t>(members.size());
+      stat.shared_service = cost.shared;
+      stat.private_service = cost.per_query;
+      stat.completion = completion;
+      if (stat.compile_hit) {
+        ++report_->compile_hits;
+      } else {
+        ++report_->compile_misses;
+      }
+      report_->queries.push_back(std::move(stat));
+    }
+    ++report_->batches;
+    report_->shared_service += cost.shared;
+    report_->private_service +=
+        cost.per_query * static_cast<double>(members.size());
+    slot_free_[slot] = completion;
+    report_->makespan = dana::SimTime::Max(report_->makespan, completion);
+    return members;
+  }
+
+ private:
+  const SchedulerOptions& options_;
+  QueryExecutor* executor_;
+  const std::vector<QueryRequest>& requests_;
+  ScheduleReport* report_;
+  std::vector<dana::SimTime> slot_free_;
+  std::map<std::string, dana::SimTime> compile_ready_;
+};
+
+/// Class rotation order for round-robin: first appearance in `ids`.
+std::vector<std::string> FirstAppearanceOrder(
+    const std::vector<std::string>& ids) {
+  std::vector<std::string> order;
+  std::set<std::string> seen;
+  for (const std::string& id : ids) {
+    if (seen.insert(id).second) order.push_back(id);
+  }
+  return order;
+}
 
 }  // namespace
 
@@ -157,22 +314,21 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
   report.slots = options_.slots;
   report.queries.reserve(requests.size());
 
-  std::vector<dana::SimTime> slot_free(options_.slots, dana::SimTime::Zero());
-  PendingQueue pending(options_.policy, requests, estimates);
-  // Simulated compile-cache state: when each workload's design becomes
-  // available. A dispatch before that point waits for the in-flight
-  // compile instead of using a design that does not exist yet.
-  std::map<std::string, dana::SimTime> compile_ready;
+  std::vector<std::string> stream_ids;
+  stream_ids.reserve(requests.size());
+  for (const QueryRequest& r : requests) stream_ids.push_back(r.workload_id);
+  PendingQueue pending(options_.policy, options_.sjf_aging_weight, requests,
+                       estimates, FirstAppearanceOrder(stream_ids));
+  DispatchEngine engine(options_, executor_, requests, &report);
   size_t next_arrival = 0;
+  // Monotone dispatch clock: a query admitted during an idle advance must
+  // not start before its arrival just because another slot's free time is
+  // still in the past.
+  dana::SimTime clock;
 
   while (next_arrival < requests.size() || !pending.empty()) {
-    // The next dispatch happens on the earliest-free slot (lowest index
-    // breaks ties, deterministically).
-    uint32_t slot = 0;
-    for (uint32_t s = 1; s < options_.slots; ++s) {
-      if (slot_free[s] < slot_free[slot]) slot = s;
-    }
-    dana::SimTime now = slot_free[slot];
+    const uint32_t slot = engine.NextSlot();
+    dana::SimTime now = dana::SimTime::Max(engine.slot_free(slot), clock);
     if (pending.empty()) {
       // Idle until the next request arrives.
       now = dana::SimTime::Max(now, requests[next_arrival].arrival);
@@ -181,38 +337,123 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
            requests[next_arrival].arrival <= now) {
       pending.Push(next_arrival++);
     }
+    DANA_RETURN_NOT_OK(engine.Dispatch(pending, slot, now).status());
+    clock = now;
+  }
+  return report;
+}
 
-    const QueryRequest& req = requests[pending.Pop()];
-    DANA_ASSIGN_OR_RETURN(QueryCost cost, executor_->Cost(req.workload_id));
+Result<ScheduleReport> Scheduler::RunClosedLoop(
+    const std::vector<std::vector<std::string>>& sessions,
+    dana::SimTime think_time) {
+  size_t total = 0;
+  std::vector<std::string> submit_order_ids;
+  for (const auto& script : sessions) total += script.size();
+  // Class rotation order for RR: interleaved first-submission order
+  // (session 0's first query, session 1's first, ...).
+  for (size_t j = 0;; ++j) {
+    bool any = false;
+    for (const auto& script : sessions) {
+      if (j < script.size()) {
+        submit_order_ids.push_back(script[j]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
 
-    QueryStat stat;
-    stat.id = req.id;
-    stat.workload_id = req.workload_id;
-    stat.slot = slot;
-    stat.arrival = req.arrival;
-    stat.start = now;
-    auto ready = compile_ready.find(req.workload_id);
-    stat.compile_hit = ready != compile_ready.end();
-    if (stat.compile_hit) {
-      // Cached — but possibly still compiling on another slot; wait out
-      // the remainder rather than running with a nonexistent design.
-      stat.compile = ready->second > stat.start
-                         ? ready->second - stat.start
-                         : dana::SimTime::Zero();
-    } else {
-      stat.compile = cost.compile;
-      compile_ready[req.workload_id] = stat.start + cost.compile;
+  std::map<std::string, dana::SimTime> estimates;
+  if (options_.policy == Policy::kSjf) {
+    for (const auto& script : sessions) {
+      for (const std::string& id : script) {
+        if (estimates.count(id)) continue;
+        DANA_ASSIGN_OR_RETURN(dana::SimTime est, executor_->Estimate(id));
+        estimates[id] = est;
+      }
     }
-    stat.service = cost.service;
-    stat.completion = stat.start + stat.compile + stat.service;
-    if (stat.compile_hit) {
-      ++report.compile_hits;
-    } else {
-      ++report.compile_misses;
+  }
+
+  ScheduleReport report;
+  report.policy = options_.policy;
+  report.slots = options_.slots;
+  report.queries.reserve(total);
+
+  // Per-session state. A session has at most one query in the system: the
+  // next submission time is known as soon as the previous query dispatches
+  // (its completion is computed then), so submissions never block on
+  // unknown events.
+  struct Session {
+    size_t next = 0;                ///< next script position to submit
+    dana::SimTime submit;           ///< when that query enters the queue
+    bool outstanding = false;       ///< submitted but not yet dispatched
+  };
+  std::vector<Session> state(sessions.size());
+
+  std::vector<QueryRequest> requests;
+  requests.reserve(total);
+  std::vector<size_t> owner;  ///< request index -> session index
+  owner.reserve(total);
+
+  PendingQueue pending(options_.policy, options_.sjf_aging_weight, requests,
+                       estimates, FirstAppearanceOrder(submit_order_ids));
+  DispatchEngine engine(options_, executor_, requests, &report);
+  uint64_t next_id = 0;
+  // Monotone dispatch clock (see Run): keeps a second idle slot from
+  // dispatching a session's submission before its submit time.
+  dana::SimTime clock;
+
+  auto earliest_submission = [&](dana::SimTime* when) {
+    bool any = false;
+    for (size_t s = 0; s < state.size(); ++s) {
+      if (state[s].next >= sessions[s].size() || state[s].outstanding) {
+        continue;
+      }
+      if (!any || state[s].submit < *when) *when = state[s].submit;
+      any = true;
     }
-    slot_free[slot] = stat.completion;
-    report.makespan = dana::SimTime::Max(report.makespan, stat.completion);
-    report.queries.push_back(std::move(stat));
+    return any;
+  };
+
+  while (true) {
+    const uint32_t slot = engine.NextSlot();
+    dana::SimTime now = dana::SimTime::Max(engine.slot_free(slot), clock);
+    if (pending.empty()) {
+      dana::SimTime next_submit;
+      if (!earliest_submission(&next_submit)) break;  // all sessions drained
+      now = dana::SimTime::Max(now, next_submit);
+    }
+    // Admit every session whose next submission is due, in (submit time,
+    // session index) order so the queue stays arrival-ordered.
+    std::vector<size_t> ready;
+    for (size_t s = 0; s < state.size(); ++s) {
+      if (state[s].next < sessions[s].size() && !state[s].outstanding &&
+          state[s].submit <= now) {
+        ready.push_back(s);
+      }
+    }
+    std::stable_sort(ready.begin(), ready.end(), [&](size_t a, size_t b) {
+      return state[a].submit < state[b].submit;
+    });
+    for (size_t s : ready) {
+      QueryRequest req;
+      req.id = next_id++;
+      req.workload_id = sessions[s][state[s].next];
+      req.arrival = state[s].submit;
+      requests.push_back(std::move(req));
+      owner.push_back(s);
+      pending.Push(requests.size() - 1);
+      ++state[s].next;
+      state[s].outstanding = true;
+    }
+    DANA_ASSIGN_OR_RETURN(std::vector<size_t> members,
+                          engine.Dispatch(pending, slot, now));
+    clock = now;
+    const dana::SimTime completion = engine.slot_free(slot);
+    for (size_t m : members) {
+      Session& s = state[owner[m]];
+      s.outstanding = false;
+      s.submit = completion + think_time;
+    }
   }
   return report;
 }

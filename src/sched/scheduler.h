@@ -43,8 +43,16 @@ struct QueryStat {
   /// wait when the design is still compiling on another slot, zero once it
   /// is cached.
   dana::SimTime compile;
+  /// Slot occupancy of the batched run this query rode in (the whole
+  /// batch's service, not a per-query share).
   dana::SimTime service;
   bool compile_hit = false;
+  /// Queries co-dispatched in this query's batch (1 = unbatched).
+  uint32_t batch_size = 1;
+  /// Attribution of the batch's service: the one-pass streaming time the
+  /// batch amortized vs the engine time this query added.
+  dana::SimTime shared_service;
+  dana::SimTime private_service;
 
   dana::SimTime Wait() const { return start - arrival; }
   dana::SimTime Latency() const { return completion - arrival; }
@@ -58,6 +66,12 @@ struct ScheduleReport {
   dana::SimTime makespan;          ///< last completion on the simulated clock
   uint64_t compile_hits = 0;
   uint64_t compile_misses = 0;
+  /// Batched-dispatch accounting: number of accelerator passes issued, the
+  /// streaming time charged once per pass, and the summed per-query engine
+  /// time across all batch members.
+  uint64_t batches = 0;
+  dana::SimTime shared_service;
+  dana::SimTime private_service;
 
   /// Completed queries per simulated second.
   double ThroughputQps() const;
@@ -65,11 +79,23 @@ struct ScheduleReport {
   dana::SimTime MeanWait() const;
   /// p in [0, 100]; linear interpolation (common/stats.h Percentile).
   dana::SimTime LatencyPercentile(double p) const;
+  /// Queries per accelerator pass (1.0 when batching is off).
+  double MeanBatchSize() const;
 };
 
 struct SchedulerOptions {
   uint32_t slots = 1;
   Policy policy = Policy::kFcfs;
+  /// Cross-query batching: when a slot frees, up to this many co-resident
+  /// queries of the head query's algorithm are dispatched as one batched
+  /// accelerator pass. 1 disables batching and reproduces the per-query
+  /// schedule bit-for-bit. Applies under every policy.
+  uint32_t max_batch = 1;
+  /// SJF aging bonus, in estimated-seconds forgiven per second of queue
+  /// wait: a queued query's effective estimate is
+  /// `estimate - weight * wait`, so long jobs cannot starve behind an
+  /// endless stream of short ones. 0 (the default) keeps pure SJF.
+  double sjf_aging_weight = 0.0;
 };
 
 /// Non-preemptive discrete-event scheduler multiplexing N simulated
@@ -77,13 +103,15 @@ struct SchedulerOptions {
 ///
 /// The simulation advances a single virtual clock: a request is admitted at
 /// its arrival time, waits in the queue until a slot frees, then occupies
-/// the slot for (compile +) service as reported by the executor. The
-/// compile-cache model is per run: the first dispatch of each workload is a
-/// miss and pays the compile latency; repeats hit and skip it, except that
-/// a repeat dispatched while the first compile is still in flight on
-/// another slot waits for it to finish. Determinism: ties break by arrival
-/// then request id, so the same request stream always produces the same
-/// schedule.
+/// the slot for (compile +) service as reported by the executor. With
+/// `max_batch > 1` the dispatch pulls further queued queries of the same
+/// algorithm into one batched pass (one page-streaming sweep, shared by
+/// every batch member; all members complete together). The compile-cache
+/// model is per run: the first dispatch of each workload is a miss and pays
+/// the compile latency; repeats hit and skip it, except that a repeat
+/// dispatched while the first compile is still in flight on another slot
+/// waits for it to finish. Determinism: ties break by arrival then request
+/// id, so the same request stream always produces the same schedule.
 class Scheduler {
  public:
   Scheduler(SchedulerOptions options, QueryExecutor* executor);
@@ -91,6 +119,16 @@ class Scheduler {
   /// Runs the whole request stream to completion and reports per-query and
   /// aggregate statistics. Requests need not be pre-sorted by arrival.
   dana::Result<ScheduleReport> Run(std::vector<QueryRequest> requests);
+
+  /// Closed-loop (think-time) mode: each session issues the next query of
+  /// its script only after its previous query completed plus `think_time`,
+  /// modeling interactive analysts instead of an open Poisson stream.
+  /// `sessions[s]` is session s's ordered workload-id script; every session
+  /// submits its first query at time zero. Request ids number submissions
+  /// in order (ties broken by session index).
+  dana::Result<ScheduleReport> RunClosedLoop(
+      const std::vector<std::vector<std::string>>& sessions,
+      dana::SimTime think_time);
 
  private:
   SchedulerOptions options_;

@@ -38,7 +38,8 @@ Result<double> WeightedMeanServiceSeconds(QueryExecutor& executor,
   }
   double weighted = 0, total = 0;
   for (size_t rank = 0; rank < catalog.size(); ++rank) {
-    DANA_ASSIGN_OR_RETURN(QueryCost cost, executor.Cost(catalog[rank]));
+    DANA_ASSIGN_OR_RETURN(BatchCost cost,
+                          executor.Dispatch(QueryBatch::Single(catalog[rank])));
     const double w = PopularityWeight(popularity, rank, exponent);
     weighted += w * cost.service.seconds();
     total += w;
@@ -49,6 +50,29 @@ Result<double> WeightedMeanServiceSeconds(QueryExecutor& executor,
 WorkloadDriver::WorkloadDriver(std::vector<std::string> catalog,
                                DriverOptions options)
     : catalog_(std::move(catalog)), options_(options) {}
+
+namespace {
+
+/// Popularity CDF over catalog ranks (uniform == exponent 0 Zipf).
+std::vector<double> BuildCdf(Popularity popularity, size_t ranks,
+                             double exponent) {
+  std::vector<double> cdf(ranks);
+  double total = 0;
+  for (size_t r = 0; r < ranks; ++r) {
+    total += PopularityWeight(popularity, r, exponent);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+size_t PickRank(const std::vector<double>& cdf, double pick) {
+  size_t rank = 0;
+  while (rank + 1 < cdf.size() && pick > cdf[rank]) ++rank;
+  return rank;
+}
+
+}  // namespace
 
 Result<std::vector<QueryRequest>> WorkloadDriver::Generate() const {
   if (catalog_.empty()) {
@@ -62,15 +86,8 @@ Result<std::vector<QueryRequest>> WorkloadDriver::Generate() const {
     return Status::InvalidArgument("zipf exponent must be non-negative");
   }
 
-  // Popularity CDF over catalog ranks (uniform == exponent 0 Zipf).
-  std::vector<double> cdf(catalog_.size());
-  double total = 0;
-  for (size_t r = 0; r < catalog_.size(); ++r) {
-    total +=
-        PopularityWeight(options_.popularity, r, options_.zipf_exponent);
-    cdf[r] = total;
-  }
-  for (double& c : cdf) c /= total;
+  const std::vector<double> cdf = BuildCdf(
+      options_.popularity, catalog_.size(), options_.zipf_exponent);
 
   Rng rng(options_.seed);
   std::vector<QueryRequest> requests;
@@ -84,8 +101,7 @@ Result<std::vector<QueryRequest>> WorkloadDriver::Generate() const {
                                     options_.arrival_rate_qps);
 
     const double pick = rng.Uniform();
-    size_t rank = 0;
-    while (rank + 1 < cdf.size() && pick > cdf[rank]) ++rank;
+    const size_t rank = PickRank(cdf, pick);
 
     QueryRequest req;
     req.id = i;
@@ -94,6 +110,35 @@ Result<std::vector<QueryRequest>> WorkloadDriver::Generate() const {
     requests.push_back(std::move(req));
   }
   return requests;
+}
+
+Result<std::vector<std::vector<std::string>>> WorkloadDriver::GenerateSessions()
+    const {
+  if (catalog_.empty()) {
+    return Status::InvalidArgument("workload catalog is empty");
+  }
+  if (options_.sessions == 0) {
+    return Status::InvalidArgument("closed loop needs at least one session");
+  }
+  if (options_.popularity == Popularity::kZipfian &&
+      options_.zipf_exponent < 0) {
+    return Status::InvalidArgument("zipf exponent must be non-negative");
+  }
+
+  const std::vector<double> cdf = BuildCdf(
+      options_.popularity, catalog_.size(), options_.zipf_exponent);
+
+  // Same RNG discipline as Generate(): one arrival draw (discarded — in
+  // closed loop the schedule makes the arrivals) and one popularity pick
+  // per query, so the algorithm sequence matches the open stream's.
+  Rng rng(options_.seed);
+  std::vector<std::vector<std::string>> sessions(options_.sessions);
+  for (uint32_t i = 0; i < options_.num_queries; ++i) {
+    (void)rng.Uniform();
+    const size_t rank = PickRank(cdf, rng.Uniform());
+    sessions[i % options_.sessions].push_back(catalog_[rank]);
+  }
+  return sessions;
 }
 
 }  // namespace dana::sched

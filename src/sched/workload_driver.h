@@ -42,13 +42,18 @@ struct DriverOptions {
   /// Zipf exponent s: popularity of rank r is proportional to 1/(r+1)^s.
   /// 0.99 is the YCSB default; larger skews harder.
   double zipf_exponent = 0.99;
+  /// Closed-loop mode (GenerateSessions): number of concurrent analyst
+  /// sessions the queries are dealt across.
+  uint32_t sessions = 4;
 };
 
 /// Generates reproducible multi-query request streams over a catalog of
 /// workload ids: Zipfian or uniform popularity picks the algorithm, a
-/// Poisson process on the simulated clock spaces the arrivals. The stream
-/// is a pure function of (catalog, options) — same seed, same stream,
-/// bit-for-bit on every platform (common/random.h Rng).
+/// Poisson process on the simulated clock spaces the arrivals (open mode),
+/// or the picks are dealt across analyst sessions for the closed-loop
+/// think-time mode. Streams and scripts are pure functions of
+/// (catalog, options) — same seed, same stream, bit-for-bit on every
+/// platform (common/random.h Rng).
 class WorkloadDriver {
  public:
   /// `catalog` is the popularity ranking: position 0 is the hottest.
@@ -57,6 +62,13 @@ class WorkloadDriver {
   /// The full request stream, in arrival order, ids 0..num_queries-1.
   /// InvalidArgument when the catalog is empty or the rate is non-positive.
   dana::Result<std::vector<QueryRequest>> Generate() const;
+
+  /// Closed-loop scripts for Scheduler::RunClosedLoop: samples the same
+  /// popularity distribution (same seed, same picks as the open stream's
+  /// algorithm choices) and deals the `num_queries` picks round-robin
+  /// across `options().sessions` sessions. Arrival times are not sampled —
+  /// in closed-loop mode they emerge from completions plus think time.
+  dana::Result<std::vector<std::vector<std::string>>> GenerateSessions() const;
 
   const std::vector<std::string>& catalog() const { return catalog_; }
   const DriverOptions& options() const { return options_; }

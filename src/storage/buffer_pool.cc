@@ -124,4 +124,39 @@ void BufferPool::Clear() {
   clock_hand_ = 0;
 }
 
+BufferPoolGroup::BufferPoolGroup(uint64_t capacity_bytes_per_pool,
+                                 uint32_t page_size, DiskModel disk,
+                                 uint64_t os_cache_bytes_per_pool)
+    : capacity_bytes_(capacity_bytes_per_pool),
+      page_size_(page_size),
+      disk_(disk),
+      os_cache_bytes_(os_cache_bytes_per_pool) {
+  Resize(1);
+}
+
+void BufferPoolGroup::Resize(size_t n) {
+  if (n == 0) n = 1;
+  while (pools_.size() < n) {
+    pools_.push_back(std::make_unique<BufferPool>(capacity_bytes_, page_size_,
+                                                  disk_, os_cache_bytes_));
+  }
+}
+
+BufferPool* BufferPoolGroup::pool(size_t i) {
+  if (i >= pools_.size()) Resize(i + 1);
+  return pools_[i].get();
+}
+
+BufferPoolStats BufferPoolGroup::Rollup() const {
+  BufferPoolStats total;
+  for (const auto& p : pools_) {
+    const BufferPoolStats& s = p->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.io_time += s.io_time;
+  }
+  return total;
+}
+
 }  // namespace dana::storage

@@ -109,4 +109,39 @@ class BufferPool {
   uint64_t os_cache_pages_ = UINT64_MAX;
 };
 
+/// A set of identically-sized buffer pools, one per accelerator slot.
+///
+/// Concurrent slots used to alias a single pool, so one slot's fetches
+/// polluted every other slot's hit/miss accounting. A group gives each slot
+/// its own frames and OS-cache set (independent caching state) while every
+/// pool shares one DiskModel — the slots contend for the same simulated
+/// device, they just stop sharing cache residency.
+class BufferPoolGroup {
+ public:
+  /// Sizing template applied to every pool in the group; `Resize` creates
+  /// new pools from it on demand.
+  BufferPoolGroup(uint64_t capacity_bytes_per_pool, uint32_t page_size,
+                  DiskModel disk, uint64_t os_cache_bytes_per_pool = UINT64_MAX);
+
+  /// Grows (never shrinks below 1) the group to `n` pools; existing pools
+  /// keep their cached state.
+  void Resize(size_t n);
+
+  size_t size() const { return pools_.size(); }
+
+  /// Pool of slot `i`; grows the group when `i` is past the end.
+  BufferPool* pool(size_t i);
+  const BufferPool* pool(size_t i) const { return pools_.at(i).get(); }
+
+  /// Aggregate hit/miss/eviction/io statistics across all pools.
+  BufferPoolStats Rollup() const;
+
+ private:
+  uint64_t capacity_bytes_;
+  uint32_t page_size_;
+  DiskModel disk_;
+  uint64_t os_cache_bytes_;
+  std::vector<std::unique_ptr<BufferPool>> pools_;
+};
+
 }  // namespace dana::storage

@@ -357,6 +357,40 @@ TEST(AcceleratorTest, InitialModelRespected) {
   EXPECT_NE(report.final_models[0], zero_report.final_models[0]);
 }
 
+TEST(AcceleratorTest, BatchedPassSharesStreamAndScalesEngine) {
+  auto f = AccelFixture::Make(ml::AlgoKind::kLogisticRegression, 54, 16,
+                              2000);
+  f.pool->Prewarm(*f.table);
+  auto single = f.Train();
+  f.pool->Clear();
+  f.pool->Prewarm(*f.table);
+  accel::RunOptions batched;
+  batched.batch_queries = 4;
+  auto four = f.Train(batched);
+
+  ASSERT_EQ(single.epochs_run, four.epochs_run);
+  for (size_t e = 0; e < single.epochs.size(); ++e) {
+    // One page-streaming sweep regardless of batch size...
+    EXPECT_DOUBLE_EQ(four.epochs[e].axi.nanos(), single.epochs[e].axi.nanos());
+    EXPECT_DOUBLE_EQ(four.epochs[e].strider.nanos(),
+                     single.epochs[e].strider.nanos());
+    EXPECT_DOUBLE_EQ(four.epochs[e].shared.nanos(),
+                     single.epochs[e].shared.nanos());
+    // ...while engine compute replicates per co-trained model.
+    EXPECT_NEAR(four.epochs[e].engine.nanos(),
+                4.0 * single.epochs[e].engine.nanos(),
+                1e-6 * four.epochs[e].engine.nanos());
+    EXPECT_NEAR(four.epochs[e].per_query.nanos(),
+                single.epochs[e].engine.nanos(),
+                1e-6 * single.epochs[e].engine.nanos());
+  }
+  // Batch service beats 4 serial passes: stream + 4x engine, pipelined,
+  // is far below 4 x (stream + engine).
+  EXPECT_LT(four.total_time.nanos(), 4.0 * single.total_time.nanos());
+  // All four co-trained models are the one functionally-trained model.
+  EXPECT_EQ(four.final_models[0], single.final_models[0]);
+}
+
 TEST(AcceleratorTest, EpochBreakdownSumsConsistently) {
   auto f = AccelFixture::Make(ml::AlgoKind::kSvm, 20, 8, 1000);
   f.pool->Prewarm(*f.table);

@@ -171,6 +171,66 @@ TEST_F(SystemsTest, TablaSlowerThanDana) {
   EXPECT_GT(tb.nanos(), dana_per_epoch.nanos());
 }
 
+TEST_F(SystemsTest, PerSlotPoolsAreIndependentAndEquivalent) {
+  CpuCostModel cm;
+  DanaSystem dana(cm);
+  auto udf = std::move(dana.Compile(*instance_)).ValueOrDie();
+
+  // Two slots train the same table off private pools: identical results,
+  // and each slot's hit/miss accounting stays its own.
+  instance_->EnsureSlots(2);
+  auto slot0 = std::move(dana.RunCompiled(udf, instance_, CacheState::kCold,
+                                          /*batch_queries=*/1, /*slot=*/0))
+                   .ValueOrDie();
+  const auto slot0_stats = instance_->pool(0)->stats();
+  EXPECT_GT(slot0_stats.misses, 0u);
+  EXPECT_EQ(instance_->pool(1)->stats().misses, 0u)
+      << "slot 0's training must not touch slot 1's pool";
+
+  auto slot1 = std::move(dana.RunCompiled(udf, instance_, CacheState::kCold,
+                                          /*batch_queries=*/1, /*slot=*/1))
+                   .ValueOrDie();
+  EXPECT_DOUBLE_EQ(slot1.total.nanos(), slot0.total.nanos());
+  EXPECT_DOUBLE_EQ(slot1.io.nanos(), slot0.io.nanos());
+  EXPECT_EQ(slot1.model, slot0.model);
+  EXPECT_EQ(instance_->pool(1)->stats().misses, slot0_stats.misses)
+      << "an identically-prepared slot does identical I/O";
+  // Slot 0's counters were not disturbed by slot 1's run.
+  EXPECT_EQ(instance_->pool(0)->stats().misses, slot0_stats.misses);
+  EXPECT_EQ(instance_->pool(0)->stats().hits, slot0_stats.hits);
+
+  const storage::BufferPoolStats rollup = instance_->PoolStatsRollup();
+  EXPECT_EQ(rollup.misses, 2 * slot0_stats.misses);
+
+  // The defaulted arguments are the single-pool baseline: same slot-0 pool,
+  // same timing as an explicit (batch=1, slot=0) run.
+  auto baseline =
+      std::move(dana.RunCompiled(udf, instance_, CacheState::kCold))
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(baseline.total.nanos(), slot0.total.nanos());
+  EXPECT_EQ(baseline.batch_queries, 1u);
+}
+
+TEST_F(SystemsTest, BatchedRunAmortizesSharedStream) {
+  CpuCostModel cm;
+  DanaSystem dana(cm);
+  auto udf = std::move(dana.Compile(*instance_)).ValueOrDie();
+  auto one = std::move(dana.RunCompiled(udf, instance_, CacheState::kWarm))
+                 .ValueOrDie();
+  auto four = std::move(dana.RunCompiled(udf, instance_, CacheState::kWarm,
+                                         /*batch_queries=*/4))
+                  .ValueOrDie();
+  EXPECT_EQ(four.batch_queries, 4u);
+  // Four co-trained queries in one pass beat four serial passes...
+  EXPECT_LT(four.total.nanos(), 4.0 * one.total.nanos());
+  // ...because the stream is paid once: shared attribution matches the
+  // single run's, while per-query engine time is per model.
+  EXPECT_NEAR(four.shared_time.nanos(), one.shared_time.nanos(),
+              1e-6 * one.shared_time.nanos());
+  EXPECT_NEAR(four.per_query_time.nanos(), one.per_query_time.nanos(),
+              1e-6 * one.per_query_time.nanos() + 1.0);
+}
+
 TEST(SystemsSmallTest, SegmentSweepShapesLikeFig13) {
   const ml::Workload* w = ml::FindWorkload("patient");
   ASSERT_NE(w, nullptr);

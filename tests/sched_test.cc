@@ -185,18 +185,36 @@ TEST(CompileCacheTest, FailedBuildIsNotCached) {
 
 class FakeExecutor : public QueryExecutor {
  public:
+  /// Legacy per-query cost: every second is private, so a batch of K costs
+  /// K * service and batching brings no benefit.
   void Set(const std::string& id, double service_s, double estimate_s,
            double compile_s = 0.0) {
-    costs_[id] = {dana::SimTime::Seconds(service_s),
+    SetSplit(id, /*shared_s=*/0.0, /*per_query_s=*/service_s, estimate_s,
+             compile_s);
+  }
+
+  /// Batched cost model: a batch of K queries occupies the slot for
+  /// shared + K * per_query.
+  void SetSplit(const std::string& id, double shared_s, double per_query_s,
+                double estimate_s, double compile_s = 0.0) {
+    costs_[id] = {dana::SimTime::Seconds(shared_s),
+                  dana::SimTime::Seconds(per_query_s),
                   dana::SimTime::Seconds(compile_s)};
     estimates_[id] = dana::SimTime::Seconds(estimate_s);
   }
 
-  Result<QueryCost> Cost(const std::string& id) override {
-    auto it = costs_.find(id);
-    if (it == costs_.end()) return Status::NotFound(id);
-    ++cost_calls_;
-    return it->second;
+  Result<BatchCost> Dispatch(const QueryBatch& batch) override {
+    auto it = costs_.find(batch.workload_id);
+    if (it == costs_.end()) return Status::NotFound(batch.workload_id);
+    dispatched_.push_back(batch);
+    BatchCost cost;
+    cost.shared = it->second.shared;
+    cost.per_query = it->second.per_query;
+    cost.service =
+        it->second.shared +
+        it->second.per_query * static_cast<double>(batch.size());
+    cost.compile = it->second.compile;
+    return cost;
   }
 
   Result<dana::SimTime> Estimate(const std::string& id) override {
@@ -205,12 +223,17 @@ class FakeExecutor : public QueryExecutor {
     return it->second;
   }
 
-  int cost_calls() const { return cost_calls_; }
+  const std::vector<QueryBatch>& dispatched() const { return dispatched_; }
 
  private:
-  std::map<std::string, QueryCost> costs_;
+  struct Split {
+    dana::SimTime shared;
+    dana::SimTime per_query;
+    dana::SimTime compile;
+  };
+  std::map<std::string, Split> costs_;
   std::map<std::string, dana::SimTime> estimates_;
-  int cost_calls_ = 0;
+  std::vector<QueryBatch> dispatched_;
 };
 
 QueryRequest Req(uint64_t id, const std::string& workload, double arrival_s) {
@@ -347,6 +370,23 @@ TEST(SchedulerTest, SlotsNeverOverlapAndStartAfterArrival) {
   }
 }
 
+TEST(SchedulerTest, SimultaneousArrivalsOnIdleSlotsStartAtArrival) {
+  FakeExecutor exec;
+  exec.Set("a", 5, 5);
+  // Both slots idle since t=0; both queries arrive at t=10. The second
+  // dispatch must not ride slot 1's stale free time back to t=0 and start
+  // before its own arrival (negative wait, early completion).
+  std::vector<QueryRequest> reqs = {Req(0, "a", 10), Req(1, "a", 10)};
+  Scheduler sched({.slots = 2, .policy = Policy::kFcfs}, &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  for (const QueryStat& q : report->queries) {
+    EXPECT_DOUBLE_EQ(q.start.seconds(), 10.0);
+    EXPECT_DOUBLE_EQ(q.Wait().seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(q.completion.seconds(), 15.0);
+  }
+}
+
 TEST(SchedulerTest, MoreSlotsFinishNoLater) {
   FakeExecutor exec;
   exec.Set("a", 10, 10);
@@ -393,6 +433,276 @@ TEST(SchedulerTest, PolicyNamesRoundTrip) {
   }
   EXPECT_TRUE(ParsePolicy("lifo").status().IsInvalidArgument());
   EXPECT_TRUE(ParsePopularity("pareto").status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-query batched dispatch
+// ---------------------------------------------------------------------------
+
+TEST(BatchingTest, CoalescesCoResidentSameAlgorithmQueries) {
+  FakeExecutor exec;
+  // One pass streams for 10 s; each co-trained model adds 2 s of engine.
+  exec.SetSplit("a", /*shared=*/10, /*per_query=*/2, /*estimate=*/12);
+  // Query 0 dispatches alone at t=0 (nothing else is queued yet); 1..3
+  // arrive while the slot is busy and coalesce into one batched pass.
+  std::vector<QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 1),
+                                    Req(2, "a", 2), Req(3, "a", 3)};
+  Scheduler sched({.slots = 1, .policy = Policy::kFcfs, .max_batch = 4},
+                  &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 4u);
+  EXPECT_EQ(report->batches, 2u);
+  EXPECT_EQ(report->queries[0].batch_size, 1u);
+  EXPECT_DOUBLE_EQ(report->queries[0].completion.seconds(), 12.0);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(report->queries[i].batch_size, 3u);
+    EXPECT_DOUBLE_EQ(report->queries[i].start.seconds(), 12.0);
+    // Batched service: 10 + 3 * 2 = 16 s, all members complete together.
+    EXPECT_DOUBLE_EQ(report->queries[i].service.seconds(), 16.0);
+    EXPECT_DOUBLE_EQ(report->queries[i].completion.seconds(), 28.0);
+  }
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 28.0);
+  // vs unbatched: 4 queries x 12 s back to back = 48 s.
+  Scheduler unbatched({.slots = 1, .policy = Policy::kFcfs}, &exec);
+  auto base = unbatched.Run(reqs);
+  ASSERT_TRUE(base.ok());
+  EXPECT_DOUBLE_EQ(base->makespan.seconds(), 48.0);
+  EXPECT_GT(report->ThroughputQps(), base->ThroughputQps());
+}
+
+TEST(BatchingTest, OnlyCoalescesMatchingAlgorithmUpToMaxBatch) {
+  FakeExecutor exec;
+  exec.SetSplit("a", 10, 2, 12);
+  exec.SetSplit("b", 10, 2, 12);
+  // Queued while busy: a, b, a, a, a. Batch limit 3: the head "a" takes
+  // two more "a"s, skipping the interleaved "b".
+  std::vector<QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 1),
+                                    Req(2, "b", 1.5), Req(3, "a", 2),
+                                    Req(4, "a", 2.5), Req(5, "a", 3)};
+  Scheduler sched({.slots = 1, .policy = Policy::kFcfs, .max_batch = 3},
+                  &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  // Dispatches: {0}, {1,3,4} (batch of 3 "a"s), {2} ("b"), {5}.
+  ASSERT_EQ(exec.dispatched().size(), 4u);
+  EXPECT_EQ(DispatchOrder(*report), (std::vector<uint64_t>{0, 1, 3, 4, 2, 5}));
+  EXPECT_EQ(report->queries[1].batch_size, 3u);
+  EXPECT_EQ(report->queries[4].workload_id, "b");
+  EXPECT_EQ(report->queries[4].batch_size, 1u);
+}
+
+TEST(BatchingTest, MaxBatchOneReproducesPerQueryScheduleBitForBit) {
+  FakeExecutor exec;
+  exec.SetSplit("hot", 1, 0.5, 1.5);
+  exec.SetSplit("cold", 4, 3, 7);
+  DriverOptions opts;
+  opts.num_queries = 60;
+  opts.arrival_rate_qps = 0.7;
+  WorkloadDriver driver({"hot", "cold"}, opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  for (Policy policy : {Policy::kFcfs, Policy::kSjf, Policy::kRoundRobin}) {
+    Scheduler defaults({.slots = 2, .policy = policy}, &exec);
+    Scheduler explicit_one(
+        {.slots = 2, .policy = policy, .max_batch = 1, .sjf_aging_weight = 0},
+        &exec);
+    auto a = defaults.Run(*stream);
+    auto b = explicit_one.Run(*stream);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->queries.size(), b->queries.size());
+    for (size_t i = 0; i < a->queries.size(); ++i) {
+      EXPECT_EQ(a->queries[i].id, b->queries[i].id);
+      EXPECT_EQ(a->queries[i].slot, b->queries[i].slot);
+      EXPECT_EQ(a->queries[i].start.nanos(), b->queries[i].start.nanos());
+      EXPECT_EQ(a->queries[i].completion.nanos(),
+                b->queries[i].completion.nanos());
+      EXPECT_EQ(a->queries[i].batch_size, 1u);
+    }
+  }
+}
+
+TEST(BatchingTest, BatchedScheduleIsDeterministic) {
+  FakeExecutor exec;
+  exec.SetSplit("x", 5, 1, 2);
+  exec.SetSplit("y", 8, 2, 6);
+  DriverOptions opts;
+  opts.num_queries = 80;
+  opts.arrival_rate_qps = 2.0;
+  WorkloadDriver driver({"x", "y"}, opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  Scheduler s1({.slots = 2, .policy = Policy::kSjf, .max_batch = 4}, &exec);
+  Scheduler s2({.slots = 2, .policy = Policy::kSjf, .max_batch = 4}, &exec);
+  auto r1 = s1.Run(*stream);
+  auto r2 = s2.Run(*stream);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->queries.size(), r2->queries.size());
+  for (size_t i = 0; i < r1->queries.size(); ++i) {
+    EXPECT_EQ(r1->queries[i].id, r2->queries[i].id);
+    EXPECT_EQ(r1->queries[i].completion.nanos(),
+              r2->queries[i].completion.nanos());
+    EXPECT_EQ(r1->queries[i].batch_size, r2->queries[i].batch_size);
+  }
+  EXPECT_EQ(r1->batches, r2->batches);
+}
+
+TEST(BatchingTest, BatchCompileMissChargedOncePerBatch) {
+  FakeExecutor exec;
+  exec.SetSplit("a", 10, 2, 12, /*compile_s=*/5);
+  std::vector<QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 0),
+                                    Req(2, "a", 0)};
+  Scheduler sched({.slots = 1, .policy = Policy::kFcfs, .max_batch = 4},
+                  &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  // All three arrive at t=0 and form one batch: one design compile.
+  EXPECT_EQ(report->batches, 1u);
+  EXPECT_EQ(report->compile_misses, 1u);
+  EXPECT_EQ(report->compile_hits, 2u);
+  // compile (5) + shared (10) + 3 per-query (6) = 21 s.
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 21.0);
+}
+
+// ---------------------------------------------------------------------------
+// SJF aging (starvation fix)
+// ---------------------------------------------------------------------------
+
+/// One long job stuck behind an endless stream of shorts on one slot.
+std::vector<QueryRequest> StarvationStream() {
+  std::vector<QueryRequest> reqs;
+  reqs.push_back(Req(0, "long", 0.0));
+  // Two shorts arrive per second for 100 s; each takes 1 s of service, so
+  // pure SJF always finds a queued short and the long job runs dead last.
+  for (int i = 0; i < 200; ++i) {
+    reqs.push_back(Req(1 + static_cast<uint64_t>(i), "short", 0.5 * i));
+  }
+  return reqs;
+}
+
+TEST(SjfAgingTest, PureSjfStarvesTheLongJob) {
+  FakeExecutor exec;
+  exec.Set("long", 50, 50);
+  exec.Set("short", 1, 1);
+  Scheduler sched({.slots = 1, .policy = Policy::kSjf}, &exec);
+  auto report = sched.Run(StarvationStream());
+  ASSERT_TRUE(report.ok());
+  // The long job is the very last dispatch of the whole run.
+  EXPECT_EQ(report->queries.back().id, 0u);
+  EXPECT_DOUBLE_EQ(report->queries.back().completion.nanos(),
+                   report->makespan.nanos());
+}
+
+TEST(SjfAgingTest, AgingBonusBoundsTheLongJobsWait) {
+  FakeExecutor exec;
+  exec.Set("long", 50, 50);
+  exec.Set("short", 1, 1);
+  Scheduler aged(
+      {.slots = 1, .policy = Policy::kSjf, .sjf_aging_weight = 4.0}, &exec);
+  auto report = aged.Run(StarvationStream());
+  ASSERT_TRUE(report.ok());
+  const QueryStat* long_job = nullptr;
+  for (const QueryStat& q : report->queries) {
+    if (q.id == 0) long_job = &q;
+  }
+  ASSERT_NE(long_job, nullptr);
+  // Queued shorts age too (the backlog's oldest short is roughly half the
+  // clock old), so with weight w the long job overtakes around
+  // 49 / (w/2) s. For w=4 that is ~25 s — far from the ~200 s starvation.
+  EXPECT_LT(long_job->Wait().seconds(), 40.0);
+  EXPECT_LT(long_job->completion.nanos(), report->makespan.nanos());
+  // Everything still completes exactly once, with no idle time added.
+  EXPECT_EQ(report->queries.size(), 201u);
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 250.0);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop (think-time) mode
+// ---------------------------------------------------------------------------
+
+TEST(ClosedLoopTest, SingleSessionSerializesWithThinkTime) {
+  FakeExecutor exec;
+  exec.Set("a", 2, 2);
+  Scheduler sched({.slots = 1, .policy = Policy::kFcfs}, &exec);
+  auto report = sched.RunClosedLoop({{"a", "a", "a"}},
+                                    dana::SimTime::Seconds(3));
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 3u);
+  // submit 0 -> done 2, think to 5 -> done 7, think to 10 -> done 12.
+  EXPECT_DOUBLE_EQ(report->queries[0].arrival.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(report->queries[0].completion.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(report->queries[1].arrival.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(report->queries[1].completion.seconds(), 7.0);
+  EXPECT_DOUBLE_EQ(report->queries[2].arrival.seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(report->queries[2].completion.seconds(), 12.0);
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 12.0);
+}
+
+TEST(ClosedLoopTest, ZeroThinkKeepsOneSlotSaturated) {
+  FakeExecutor exec;
+  exec.Set("a", 2, 2);
+  Scheduler sched({.slots = 1, .policy = Policy::kFcfs}, &exec);
+  // Two sessions with zero think time on one slot: the slot never idles,
+  // so the makespan is exactly the summed service.
+  auto report =
+      sched.RunClosedLoop({{"a", "a"}, {"a", "a"}}, dana::SimTime::Zero());
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 4u);
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 8.0);
+  for (const QueryStat& q : report->queries) {
+    EXPECT_GE(q.start.nanos(), q.arrival.nanos());
+  }
+}
+
+TEST(ClosedLoopTest, DeterministicAndBatchable) {
+  FakeExecutor exec;
+  exec.SetSplit("a", 4, 1, 5);
+  exec.SetSplit("b", 6, 2, 8);
+  std::vector<std::vector<std::string>> sessions = {
+      {"a", "b", "a"}, {"a", "a"}, {"b", "a", "a"}};
+  Scheduler s1({.slots = 1, .policy = Policy::kFcfs, .max_batch = 4}, &exec);
+  Scheduler s2({.slots = 1, .policy = Policy::kFcfs, .max_batch = 4}, &exec);
+  auto r1 = s1.RunClosedLoop(sessions, dana::SimTime::Seconds(0.5));
+  auto r2 = s2.RunClosedLoop(sessions, dana::SimTime::Seconds(0.5));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->queries.size(), 8u);
+  ASSERT_EQ(r2->queries.size(), 8u);
+  for (size_t i = 0; i < r1->queries.size(); ++i) {
+    EXPECT_EQ(r1->queries[i].id, r2->queries[i].id);
+    EXPECT_EQ(r1->queries[i].completion.nanos(),
+              r2->queries[i].completion.nanos());
+  }
+  // The three t=0 submissions of "a"-headed sessions batch where possible.
+  EXPECT_LT(r1->batches, 8u);
+}
+
+TEST(ClosedLoopTest, DriverDealsSessionsReproducibly) {
+  DriverOptions opts;
+  opts.num_queries = 30;
+  opts.sessions = 4;
+  WorkloadDriver driver(SixClassCatalog(), opts);
+  auto s1 = driver.GenerateSessions();
+  auto s2 = driver.GenerateSessions();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_EQ(s1->size(), 4u);
+  size_t total = 0;
+  for (const auto& script : *s1) total += script.size();
+  EXPECT_EQ(total, 30u);
+  EXPECT_EQ(*s1, *s2);
+  // Same seed, same picks as the open stream: flattening the scripts
+  // round-robin recovers the open stream's algorithm sequence.
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  for (size_t i = 0; i < stream->size(); ++i) {
+    EXPECT_EQ((*stream)[i].workload_id, (*s1)[i % 4][i / 4]) << i;
+  }
+}
+
+TEST(ClosedLoopTest, RejectsZeroSessions) {
+  DriverOptions opts;
+  opts.sessions = 0;
+  WorkloadDriver driver(SixClassCatalog(), opts);
+  EXPECT_TRUE(driver.GenerateSessions().status().IsInvalidArgument());
 }
 
 }  // namespace

@@ -354,6 +354,64 @@ TEST(BufferPoolTest, RejectsOutOfRangePage) {
   EXPECT_TRUE(pool.FetchPage(*t, 99).status().IsOutOfRange());
 }
 
+// ---------------------------------------------------------------------------
+// BufferPoolGroup (per-slot execution contexts)
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolGroupTest, SlotsHaveIndependentCachingState) {
+  auto t = MakeTable(4);
+  BufferPoolGroup group(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  group.Resize(2);
+  ASSERT_EQ(group.size(), 2u);
+
+  // Slot 0 scans the table twice: 4 misses then 4 hits.
+  for (int scan = 0; scan < 2; ++scan) {
+    for (uint64_t p = 0; p < 4; ++p) {
+      ASSERT_TRUE(group.pool(0)->FetchPage(*t, p).ok());
+    }
+  }
+  EXPECT_EQ(group.pool(0)->stats().misses, 4u);
+  EXPECT_EQ(group.pool(0)->stats().hits, 4u);
+  // Slot 1 never fetched: its pool is untouched — no aliasing of slot 0's
+  // residency or counters.
+  EXPECT_EQ(group.pool(1)->stats().misses, 0u);
+  EXPECT_EQ(group.pool(1)->stats().hits, 0u);
+  EXPECT_DOUBLE_EQ(group.pool(1)->ResidentFraction(*t), 0.0);
+
+  // Slot 1's first scan misses everything despite slot 0's warm cache.
+  for (uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(group.pool(1)->FetchPage(*t, p).ok());
+  }
+  EXPECT_EQ(group.pool(1)->stats().misses, 4u);
+}
+
+TEST(BufferPoolGroupTest, RollupSumsAcrossPools) {
+  auto t = MakeTable(4);
+  BufferPoolGroup group(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  for (uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(group.pool(0)->FetchPage(*t, p).ok());
+    ASSERT_TRUE(group.pool(1)->FetchPage(*t, p).ok());
+  }
+  ASSERT_TRUE(group.pool(0)->FetchPage(*t, 0).ok());  // one hit on slot 0
+  const BufferPoolStats rollup = group.Rollup();
+  EXPECT_EQ(rollup.misses, 8u);
+  EXPECT_EQ(rollup.hits, 1u);
+  EXPECT_DOUBLE_EQ(rollup.io_time.nanos(),
+                   group.pool(0)->stats().io_time.nanos() +
+                       group.pool(1)->stats().io_time.nanos());
+}
+
+TEST(BufferPoolGroupTest, GrowsLazilyAndNeverBelowOne) {
+  BufferPoolGroup group(8 * 8 * 1024, 8 * 1024, DiskModel{});
+  EXPECT_EQ(group.size(), 1u);
+  group.Resize(0);
+  EXPECT_EQ(group.size(), 1u);
+  (void)group.pool(3);  // indexing past the end grows the group
+  EXPECT_EQ(group.size(), 4u);
+  group.Resize(2);  // never shrinks
+  EXPECT_EQ(group.size(), 4u);
+}
+
 TEST(DiskModelTest, SeqReadTimeScalesWithBytes) {
   DiskModel d;
   const auto t1 = d.SeqReadTime(1 << 20, 32 * 1024);

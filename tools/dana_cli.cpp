@@ -66,9 +66,15 @@ void PrintHelp(std::FILE* out) {
       "                            generated Strider program\n"
       "  sched [--policy fcfs|sjf|rr|all] [--slots N] [--queries N]\n"
       "        [--rate QPS] [--dist zipf|uniform] [--theta S] [--seed N]\n"
-      "        [--group public|sn|se|all]\n"
+      "        [--group public|sn|se|all] [--batch K] [--aging W]\n"
+      "        [--closed-loop] [--think-ms MS] [--sessions N]\n"
       "                            schedule a multi-query request stream\n"
-      "                            onto N simulated accelerator slots\n"
+      "                            onto N simulated accelerator slots;\n"
+      "                            --batch K coalesces up to K same-algorithm\n"
+      "                            queries into one accelerator pass, --aging\n"
+      "                            sets the SJF starvation bonus, and\n"
+      "                            --closed-loop drives think-time sessions\n"
+      "                            instead of an open Poisson stream\n"
       "  help | --help | -h        this message\n",
       out);
 }
@@ -295,6 +301,23 @@ int CmdSched(int argc, char** argv) {
     std::fprintf(stderr, "--slots must be at most 4096\n");
     return 2;
   }
+  const int max_batch = std::atoi(Flag(argc, argv, "--batch", "1"));
+  if (max_batch <= 0 || max_batch > 1024) {
+    std::fprintf(stderr, "--batch must be in 1..1024\n");
+    return 2;
+  }
+  const double aging = std::atof(Flag(argc, argv, "--aging", "0"));
+  if (aging < 0) {
+    std::fprintf(stderr, "--aging must be non-negative\n");
+    return 2;
+  }
+  const bool closed_loop = HasFlag(argc, argv, "--closed-loop");
+  const double think_ms = std::atof(Flag(argc, argv, "--think-ms", "0"));
+  const int sessions = std::atoi(Flag(argc, argv, "--sessions", "4"));
+  if (closed_loop && (think_ms < 0 || sessions <= 0)) {
+    std::fprintf(stderr, "--think-ms must be >= 0 and --sessions positive\n");
+    return 2;
+  }
 
   sched::DriverOptions driver_opts;
   driver_opts.num_queries = static_cast<uint32_t>(queries);
@@ -327,9 +350,11 @@ int CmdSched(int argc, char** argv) {
   }
 
   sched::DanaQueryExecutor executor;
+  driver_opts.sessions = static_cast<uint32_t>(sessions);
 
-  // Arrival rate: explicit --rate, else calibrated to ~80% utilization of
-  // the requested slots against the zipf-weighted mean service time.
+  // Arrival rate (open stream only): explicit --rate, else calibrated to
+  // ~80% utilization of the requested slots against the zipf-weighted mean
+  // service time.
   const char* rate_flag = Flag(argc, argv, "--rate");
   if (rate_flag != nullptr) {
     driver_opts.arrival_rate_qps = std::atof(rate_flag);
@@ -337,7 +362,7 @@ int CmdSched(int argc, char** argv) {
       std::fprintf(stderr, "--rate must be positive\n");
       return 2;
     }
-  } else {
+  } else if (!closed_loop) {
     auto mean_service = sched::WeightedMeanServiceSeconds(
         executor, catalog, driver_opts.popularity, driver_opts.zipf_exponent);
     if (!mean_service.ok()) {
@@ -349,24 +374,53 @@ int CmdSched(int argc, char** argv) {
   }
 
   sched::WorkloadDriver driver(catalog, driver_opts);
-  auto stream = driver.Generate();
-  if (!stream.ok()) {
-    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
-    return 1;
+  std::vector<sched::QueryRequest> stream;
+  std::vector<std::vector<std::string>> session_scripts;
+  if (closed_loop) {
+    auto scripts = driver.GenerateSessions();
+    if (!scripts.ok()) {
+      std::fprintf(stderr, "%s\n", scripts.status().ToString().c_str());
+      return 1;
+    }
+    session_scripts = std::move(*scripts);
+    std::printf("%u queries over %zu '%s' workloads, %s popularity "
+                "(theta %.2f), closed loop: %d session(s), think %.0f ms, "
+                "%d slot(s), batch %d, seed %llu\n\n",
+                driver_opts.num_queries, catalog.size(), group.c_str(),
+                sched::PopularityName(driver_opts.popularity),
+                driver_opts.zipf_exponent, sessions, think_ms, slots,
+                max_batch,
+                static_cast<unsigned long long>(driver_opts.seed));
+  } else {
+    auto generated = driver.Generate();
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    stream = std::move(*generated);
+    std::printf("%u queries over %zu '%s' workloads, %s popularity "
+                "(theta %.2f), %.3f qps, %d slot(s), batch %d, seed %llu\n\n",
+                driver_opts.num_queries, catalog.size(), group.c_str(),
+                sched::PopularityName(driver_opts.popularity),
+                driver_opts.zipf_exponent, driver_opts.arrival_rate_qps,
+                slots, max_batch,
+                static_cast<unsigned long long>(driver_opts.seed));
   }
-  std::printf("%u queries over %zu '%s' workloads, %s popularity "
-              "(theta %.2f), %.3f qps, %d slot(s), seed %llu\n\n",
-              driver_opts.num_queries, catalog.size(), group.c_str(),
-              sched::PopularityName(driver_opts.popularity),
-              driver_opts.zipf_exponent, driver_opts.arrival_rate_qps, slots,
-              static_cast<unsigned long long>(driver_opts.seed));
 
   TablePrinter table({"policy", "throughput (q/h)", "mean lat", "p50", "p95",
-                      "p99", "mean wait", "makespan", "compile hits"});
+                      "p99", "mean wait", "makespan", "mean batch",
+                      "shared/private", "compile hits"});
   for (sched::Policy policy : policies) {
-    sched::Scheduler scheduler(
-        {.slots = static_cast<uint32_t>(slots), .policy = policy}, &executor);
-    auto report = scheduler.Run(*stream);
+    sched::Scheduler scheduler({.slots = static_cast<uint32_t>(slots),
+                                .policy = policy,
+                                .max_batch = static_cast<uint32_t>(max_batch),
+                                .sjf_aging_weight = aging},
+                               &executor);
+    auto report =
+        closed_loop
+            ? scheduler.RunClosedLoop(session_scripts,
+                                      dana::SimTime::Millis(think_ms))
+            : scheduler.Run(stream);
     if (!report.ok()) {
       std::fprintf(stderr, "%s: %s\n", sched::PolicyName(policy),
                    report.status().ToString().c_str());
@@ -379,6 +433,9 @@ int CmdSched(int argc, char** argv) {
                   report->LatencyPercentile(95).ToString(),
                   report->LatencyPercentile(99).ToString(),
                   report->MeanWait().ToString(), report->makespan.ToString(),
+                  TablePrinter::Fmt(report->MeanBatchSize(), 2),
+                  report->shared_service.ToString() + "/" +
+                      report->private_service.ToString(),
                   std::to_string(report->compile_hits) + "/" +
                       std::to_string(report->compile_hits +
                                      report->compile_misses)});
