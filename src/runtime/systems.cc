@@ -1,5 +1,6 @@
 #include "runtime/systems.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ml/datasets.h"
@@ -52,6 +53,12 @@ void WorkloadInstance::PrepareCache(CacheState state, uint32_t slot) {
     pool->Prewarm(*table_);
     pool->ResetStats();
   }
+}
+
+double WorkloadInstance::PoolSizeRatio() const {
+  const double frames =
+      static_cast<double>(pools_->pool(0)->num_frames());
+  return static_cast<double>(table_->num_pages()) / std::max(frames, 1.0);
 }
 
 namespace {

@@ -67,8 +67,17 @@ class WorkloadInstance {
     return pools_->Rollup();
   }
 
-  /// Resets slot `slot`'s pool to the requested cache state, clearing stats.
+  /// Resets slot `slot`'s pool to the requested cache state, clearing
+  /// stats. Partially-decayed states are charged analytically (the
+  /// executor interpolates between the two measured endpoints); a test
+  /// that wants a physically partial pool uses BufferPool::Prewarm's
+  /// fraction directly.
   void PrepareCache(CacheState state, uint32_t slot = 0);
+
+  /// This table's page count over one slot pool's frame count: the
+  /// size-ratio input of storage::CacheResidencyModel::OnRun. <= 1 means a
+  /// run leaves the table fully resident.
+  double PoolSizeRatio() const;
 
   /// Virtual size multiplier (paper tuples / generated tuples).
   double scale() const { return workload_.scale; }

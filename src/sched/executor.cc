@@ -36,31 +36,25 @@ Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
   return ptr;
 }
 
-Result<BatchCost> DanaQueryExecutor::Dispatch(const QueryBatch& batch) {
-  if (batch.query_ids.empty()) {
-    return Status::InvalidArgument("empty batch for workload '" +
-                                   batch.workload_id + "'");
-  }
-  DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
-                        Instance(batch.workload_id));
-  DANA_ASSIGN_OR_RETURN(
-      const compiler::CompiledUdf* udf,
-      compile_cache_.GetOrCompile(
-          batch.workload_id, [&] { return system_.Compile(*instance); }));
-
-  BatchCost cost;
-  cost.compile = options_.compile_latency;
-  const auto key = std::make_pair(batch.workload_id, batch.size());
+Result<BatchCost> DanaQueryExecutor::MeasureEndpoint(
+    const QueryBatch& batch, runtime::CacheState cache) {
+  const auto key = std::make_tuple(batch.workload_id, batch.size(),
+                                   cache == runtime::CacheState::kWarm);
   auto measured = measured_.find(key);
   if (measured == measured_.end()) {
+    DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
+                          Instance(batch.workload_id));
+    DANA_ASSIGN_OR_RETURN(
+        const compiler::CompiledUdf* udf,
+        compile_cache_.GetOrCompile(
+            batch.workload_id, [&] { return system_.Compile(*instance); }));
     // Measure the batched pass once on this slot's execution context (its
     // private pool, created lazily by the instance's pool group); identical
     // batches on other slots prepare their pools to the same cache state
     // and therefore take identical time.
     DANA_ASSIGN_OR_RETURN(
         runtime::SystemResult result,
-        system_.RunCompiled(*udf, instance, options_.cache, batch.size(),
-                            batch.slot));
+        system_.RunCompiled(*udf, instance, cache, batch.size(), batch.slot));
     BatchCost m;
     m.compile = options_.compile_latency;
     m.service = result.total;
@@ -68,10 +62,64 @@ Result<BatchCost> DanaQueryExecutor::Dispatch(const QueryBatch& batch) {
     m.per_query = result.per_query_time;
     measured = measured_.emplace(key, m).first;
   }
-  cost.service = measured->second.service;
-  cost.shared = measured->second.shared;
-  cost.per_query = measured->second.per_query;
+  return measured->second;
+}
+
+Result<BatchCost> DanaQueryExecutor::Dispatch(const QueryBatch& batch) {
+  if (batch.query_ids.empty()) {
+    return Status::InvalidArgument("empty batch for workload '" +
+                                   batch.workload_id + "'");
+  }
+  if (!options_.model_residency) {
+    // Legacy fixed-cache regime: every run is prepared to options_.cache
+    // and slot history does not exist.
+    DANA_ASSIGN_OR_RETURN(BatchCost cost, MeasureEndpoint(batch,
+                                                          options_.cache));
+    cost.warm_fraction =
+        options_.cache == runtime::CacheState::kWarm ? 1.0 : 0.0;
+    return cost;
+  }
+
+  // Residency regime: charge this slot's actual cache state. The two
+  // measured endpoints bound the run — a fraction f of the table still
+  // resident saves f of the cold run's extra (I/O-side) time, so the
+  // charged cost interpolates linearly between them.
+  const double warm =
+      residency_.ResidentFraction(batch.slot, batch.workload_id);
+  BatchCost cost;
+  if (warm >= 1.0) {
+    DANA_ASSIGN_OR_RETURN(cost,
+                          MeasureEndpoint(batch, runtime::CacheState::kWarm));
+  } else if (warm <= 0.0) {
+    DANA_ASSIGN_OR_RETURN(cost,
+                          MeasureEndpoint(batch, runtime::CacheState::kCold));
+  } else {
+    DANA_ASSIGN_OR_RETURN(BatchCost cold,
+                          MeasureEndpoint(batch, runtime::CacheState::kCold));
+    DANA_ASSIGN_OR_RETURN(BatchCost hot,
+                          MeasureEndpoint(batch, runtime::CacheState::kWarm));
+    const double miss = 1.0 - warm;
+    cost.compile = hot.compile;
+    cost.service = hot.service + (cold.service - hot.service) * miss;
+    cost.shared = hot.shared + (cold.shared - hot.shared) * miss;
+    cost.per_query = hot.per_query + (cold.per_query - hot.per_query) * miss;
+  }
+  cost.warm_fraction = warm;
+
+  // The run itself reshapes the slot's cache: the scanned table ends as
+  // resident as the pool allows, its co-located tables decay.
+  DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
+                        Instance(batch.workload_id));
+  residency_.OnRun(batch.slot, batch.workload_id, instance->PoolSizeRatio());
   return cost;
+}
+
+double DanaQueryExecutor::WarmFraction(const std::string& workload_id,
+                                       uint32_t slot) {
+  if (!options_.model_residency) {
+    return options_.cache == runtime::CacheState::kWarm ? 1.0 : 0.0;
+  }
+  return residency_.ResidentFraction(slot, workload_id);
 }
 
 Result<dana::SimTime> DanaQueryExecutor::Estimate(

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/sim_time.h"
 #include "runtime/systems.h"
 #include "sched/compile_cache.h"
+#include "storage/residency.h"
 
 namespace dana::sched {
 
@@ -42,6 +44,11 @@ struct QueryBatch {
 struct BatchCost {
   /// Slot occupancy of the whole batched run (query overheads included).
   dana::SimTime service;
+  /// Residency of the workload's table on the dispatch slot when the run
+  /// started, in [0, 1]: 0 is a genuinely cold pool (first use of the slot
+  /// for this table, or fully evicted since), 1 a fully warm repeat.
+  /// Executors without a residency model report their static cache state.
+  double warm_fraction = 0.0;
   /// Attribution of `service`: `shared` is the one page-streaming sweep
   /// every co-batched query amortizes; `per_query` is the incremental
   /// engine-merge time each co-trained model adds. For a batch of 1 the
@@ -70,6 +77,16 @@ class QueryExecutor {
   /// May be coarse but must be deterministic and cheap.
   virtual dana::Result<dana::SimTime> Estimate(
       const std::string& workload_id) = 0;
+
+  /// Residency of `workload_id`'s table on `slot`'s buffer pool, in [0, 1],
+  /// *without* running anything. The scheduler's affinity dispatch consults
+  /// this when choosing among free slots and queued candidates. The default
+  /// models no residency: every slot always looks cold.
+  virtual double WarmFraction(const std::string& workload_id, uint32_t slot) {
+    (void)workload_id;
+    (void)slot;
+    return 0.0;
+  }
 };
 
 /// Executor backed by the DAnA cycle-level simulator over the Table 3
@@ -78,12 +95,22 @@ class QueryExecutor {
 /// Service times are measured by actually compiling and training through
 /// `runtime::DanaSystem` (so the scheduler multiplexes real simulated
 /// accelerator runs, not analytical guesses), then memoized per
-/// (workload, batch size): in a warm steady state every batch of K queries
-/// of one algorithm does identical work, so repeats reuse the measured
-/// time instead of re-simulating. Compiled designs live in a CompileCache
-/// so `compiler::Compile` runs once per algorithm no matter how many
-/// queries reference it. Each slot trains against its own buffer pool from
-/// the instance's pool group (per-slot execution contexts).
+/// (workload, batch size, cache endpoint): every batch of K queries of one
+/// algorithm at one cache state does identical work, so repeats reuse the
+/// measured time instead of re-simulating. Compiled designs live in a
+/// CompileCache so `compiler::Compile` runs once per algorithm no matter
+/// how many queries reference it. Each slot trains against its own buffer
+/// pool from the instance's pool group (per-slot execution contexts).
+///
+/// Cache realism: by default the executor keeps a per-slot
+/// storage::CacheResidencyModel. A slot's first run of a workload is
+/// charged the genuinely cold service (nothing resident), a repeat on the
+/// same slot the warm one, and a partially-evicted slot (other tables ran
+/// in between) a linear interpolation between the two measured endpoints —
+/// I/O shrinks in proportion to the pages still resident. Every dispatch
+/// updates the model: the scanned table ends resident, co-located tables
+/// decay. Placement therefore matters, and WarmFraction() exposes the
+/// model so the scheduler's affinity dispatch can exploit it.
 class DanaQueryExecutor : public QueryExecutor {
  public:
   struct Options {
@@ -93,7 +120,12 @@ class DanaQueryExecutor : public QueryExecutor {
     /// milliseconds" — large enough that cache hits visibly matter, small
     /// against multi-second training runs.
     dana::SimTime compile_latency = dana::SimTime::Millis(400);
-    /// Buffer-pool state each query trains under.
+    /// false reproduces the PR 2 executor bit-for-bit: every run is
+    /// silently re-prepared to `cache` and placement is costless. true
+    /// (the default) charges each slot its tracked residency instead.
+    bool model_residency = true;
+    /// Buffer-pool state every query trains under when `model_residency`
+    /// is false (the legacy fixed-cache regime).
     runtime::CacheState cache = runtime::CacheState::kWarm;
     /// Functional epochs actually simulated before linear extrapolation
     /// (see DanaSystem::Options); 2 captures cold I/O + steady state.
@@ -105,19 +137,29 @@ class DanaQueryExecutor : public QueryExecutor {
 
   dana::Result<BatchCost> Dispatch(const QueryBatch& batch) override;
   dana::Result<dana::SimTime> Estimate(const std::string& workload_id) override;
+  double WarmFraction(const std::string& workload_id, uint32_t slot) override;
 
   const CompileCache& compile_cache() const { return compile_cache_; }
+  const storage::CacheResidencyModel& residency() const { return residency_; }
+  /// Forgets all slot residency (fresh cold slots) while keeping measured
+  /// service endpoints and compiled designs. Sweeps call this between
+  /// configurations so every run starts from the same cold machine.
+  void ResetResidency() { residency_.Reset(); }
 
  private:
   dana::Result<runtime::WorkloadInstance*> Instance(const std::string& id);
+  /// Measured (or memoized) batched service at a cache endpoint.
+  dana::Result<BatchCost> MeasureEndpoint(const QueryBatch& batch,
+                                          runtime::CacheState cache);
 
   Options options_;
   runtime::CpuCostModel cost_model_;
   runtime::DanaSystem system_;
   CompileCache compile_cache_;
+  storage::CacheResidencyModel residency_;
   std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_;
-  /// Measured batched service, keyed by (workload, batch size).
-  std::map<std::pair<std::string, uint32_t>, BatchCost> measured_;
+  /// Measured batched service, keyed by (workload, batch size, warm?).
+  std::map<std::tuple<std::string, uint32_t, bool>, BatchCost> measured_;
 };
 
 }  // namespace dana::sched

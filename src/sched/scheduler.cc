@@ -1,6 +1,7 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -59,6 +60,22 @@ double ScheduleReport::MeanBatchSize() const {
   return static_cast<double>(queries.size()) / static_cast<double>(batches);
 }
 
+double ScheduleReport::WarmHitRate() const {
+  if (queries.empty()) return 0.0;
+  uint64_t hits = 0;
+  for (const QueryStat& q : queries) {
+    if (q.WarmHit()) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(queries.size());
+}
+
+double ScheduleReport::MeanWarmFraction() const {
+  if (queries.empty()) return 0.0;
+  double total = 0.0;
+  for (const QueryStat& q : queries) total += q.warm_fraction;
+  return total / static_cast<double>(queries.size());
+}
+
 Scheduler::Scheduler(SchedulerOptions options, QueryExecutor* executor)
     : options_(options), executor_(executor) {
   if (options_.slots == 0) options_.slots = 1;
@@ -73,12 +90,18 @@ namespace {
 /// pointers, so growth is safe.
 class PendingQueue {
  public:
-  PendingQueue(Policy policy, double sjf_aging_weight,
+  /// `warmth(workload)`, when set, is the best residency any currently-free
+  /// slot offers that workload — the affinity signal. Null keeps the
+  /// affinity-blind picks bit-for-bit.
+  using WarmthFn = std::function<double(const std::string&)>;
+
+  PendingQueue(Policy policy, double sjf_aging_weight, double affinity_weight,
                const std::vector<QueryRequest>& requests,
                const std::map<std::string, dana::SimTime>& estimates,
                std::vector<std::string> class_order)
       : policy_(policy),
         aging_weight_(sjf_aging_weight),
+        affinity_weight_(affinity_weight),
         requests_(requests),
         estimates_(estimates),
         class_order_(std::move(class_order)) {}
@@ -89,13 +112,37 @@ class PendingQueue {
 
   /// Removes and returns the next request index under the policy. `now` is
   /// the dispatch time, used by SJF aging to credit queue wait.
-  size_t Pop(dana::SimTime now) {
+  size_t Pop(dana::SimTime now, const WarmthFn& warmth = nullptr) {
     size_t at = 0;
     switch (policy_) {
       case Policy::kFcfs:
-        break;  // arrival order == queue order
+        // Arrival order == queue order. Affinity does not reorder FCFS (or
+        // RR): chasing warmth in the queue trades older arrivals' wait for
+        // placement and loses on mean latency; those policies get their
+        // affinity purely from the slot choice after the pop.
+        break;
       case Policy::kSjf: {
-        if (aging_weight_ == 0.0) {
+        if (warmth) {
+          // Affinity SJF: a warm pool is trusted to save
+          // `affinity_weight * warmth` of the service, so the effective
+          // estimate shrinks by that share (floored at free); aging credit
+          // still applies on top.
+          auto effective = [&](size_t i) {
+            const QueryRequest& r = requests_[pending_[i]];
+            const double discount = std::max(
+                0.0, 1.0 - affinity_weight_ * warmth(r.workload_id));
+            return estimates_.at(r.workload_id).seconds() * discount -
+                   aging_weight_ * (now - r.arrival).seconds();
+          };
+          double best = effective(0);
+          for (size_t i = 1; i < pending_.size(); ++i) {
+            const double cand = effective(i);
+            if (cand < best) {
+              best = cand;
+              at = i;
+            }
+          }
+        } else if (aging_weight_ == 0.0) {
           // Pure SJF: identical comparison to the unaged scheduler so a
           // zero weight reproduces its schedules bit-for-bit.
           for (size_t i = 1; i < pending_.size(); ++i) {
@@ -169,6 +216,7 @@ class PendingQueue {
  private:
   Policy policy_;
   double aging_weight_;
+  double affinity_weight_;
   const std::vector<QueryRequest>& requests_;
   const std::map<std::string, dana::SimTime>& estimates_;
   std::vector<size_t> pending_;
@@ -176,11 +224,19 @@ class PendingQueue {
   size_t rr_cursor_ = 0;
 };
 
+/// One Dispatch call's outcome: which request indices rode the batch and
+/// when the batch completes (= the slot's new free time).
+struct DispatchOutcome {
+  std::vector<size_t> members;
+  dana::SimTime completion;
+};
+
 /// Shared dispatch machinery of the open and closed-loop runs: pops the
-/// policy's head query, coalesces up to max_batch-1 co-resident queries of
-/// the same algorithm, charges compile + batched service, and records one
-/// QueryStat per member (all complete together). Returns the dispatched
-/// request indices.
+/// policy's head query (affinity-aware when enabled), picks the slot —
+/// earliest-free, or the warmest free one under affinity — coalesces up to
+/// max_batch-1 co-resident queries of the same algorithm, charges compile +
+/// batched service, and records one QueryStat per member (all complete
+/// together).
 class DispatchEngine {
  public:
   DispatchEngine(const SchedulerOptions& options, QueryExecutor* executor,
@@ -203,12 +259,45 @@ class DispatchEngine {
 
   dana::SimTime slot_free(uint32_t slot) const { return slot_free_[slot]; }
 
-  dana::Result<std::vector<size_t>> Dispatch(PendingQueue& pending,
-                                             uint32_t slot,
-                                             dana::SimTime now) {
+  dana::Result<DispatchOutcome> Dispatch(PendingQueue& pending,
+                                         dana::SimTime now) {
+    // Affinity dispatch sees every slot already free at the dispatch time
+    // (the earliest-free slot always qualifies: `now` is at or past its
+    // free time); a candidate's warmth is the best any of them offers.
+    std::vector<uint32_t> available;
+    PendingQueue::WarmthFn warmth = nullptr;
+    if (options_.affinity_weight > 0.0) {
+      for (uint32_t s = 0; s < options_.slots; ++s) {
+        if (slot_free_[s] <= now) available.push_back(s);
+      }
+      warmth = [&](const std::string& workload_id) {
+        double best = 0.0;
+        for (uint32_t s : available) {
+          best = std::max(best, executor_->WarmFraction(workload_id, s));
+        }
+        return best;
+      };
+    }
+
     std::vector<size_t> members;
-    members.push_back(pending.Pop(now));
+    members.push_back(pending.Pop(now, warmth));
     const QueryRequest& head = requests_[members[0]];
+
+    // Slot choice: warmest free slot for the head's table under affinity
+    // (ties by earliest free time then lowest index — the affinity-blind
+    // order), earliest-free otherwise.
+    uint32_t slot = NextSlot();
+    if (options_.affinity_weight > 0.0) {
+      double best_warm = -1.0;
+      for (uint32_t s : available) {
+        const double w = executor_->WarmFraction(head.workload_id, s);
+        if (w > best_warm ||
+            (w == best_warm && slot_free_[s] < slot_free_[slot])) {
+          best_warm = w;
+          slot = s;
+        }
+      }
+    }
     if (options_.max_batch > 1) {
       pending.TakeSameClass(head.workload_id, options_.max_batch - 1,
                             &members);
@@ -251,6 +340,7 @@ class DispatchEngine {
       stat.batch_size = static_cast<uint32_t>(members.size());
       stat.shared_service = cost.shared;
       stat.private_service = cost.per_query;
+      stat.warm_fraction = cost.warm_fraction;
       stat.completion = completion;
       if (stat.compile_hit) {
         ++report_->compile_hits;
@@ -265,7 +355,7 @@ class DispatchEngine {
         cost.per_query * static_cast<double>(members.size());
     slot_free_[slot] = completion;
     report_->makespan = dana::SimTime::Max(report_->makespan, completion);
-    return members;
+    return DispatchOutcome{std::move(members), completion};
   }
 
  private:
@@ -317,8 +407,9 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
   std::vector<std::string> stream_ids;
   stream_ids.reserve(requests.size());
   for (const QueryRequest& r : requests) stream_ids.push_back(r.workload_id);
-  PendingQueue pending(options_.policy, options_.sjf_aging_weight, requests,
-                       estimates, FirstAppearanceOrder(stream_ids));
+  PendingQueue pending(options_.policy, options_.sjf_aging_weight,
+                       options_.affinity_weight, requests, estimates,
+                       FirstAppearanceOrder(stream_ids));
   DispatchEngine engine(options_, executor_, requests, &report);
   size_t next_arrival = 0;
   // Monotone dispatch clock: a query admitted during an idle advance must
@@ -337,7 +428,7 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
            requests[next_arrival].arrival <= now) {
       pending.Push(next_arrival++);
     }
-    DANA_RETURN_NOT_OK(engine.Dispatch(pending, slot, now).status());
+    DANA_RETURN_NOT_OK(engine.Dispatch(pending, now).status());
     clock = now;
   }
   return report;
@@ -394,8 +485,9 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
   std::vector<size_t> owner;  ///< request index -> session index
   owner.reserve(total);
 
-  PendingQueue pending(options_.policy, options_.sjf_aging_weight, requests,
-                       estimates, FirstAppearanceOrder(submit_order_ids));
+  PendingQueue pending(options_.policy, options_.sjf_aging_weight,
+                       options_.affinity_weight, requests, estimates,
+                       FirstAppearanceOrder(submit_order_ids));
   DispatchEngine engine(options_, executor_, requests, &report);
   uint64_t next_id = 0;
   // Monotone dispatch clock (see Run): keeps a second idle slot from
@@ -445,14 +537,13 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
       ++state[s].next;
       state[s].outstanding = true;
     }
-    DANA_ASSIGN_OR_RETURN(std::vector<size_t> members,
-                          engine.Dispatch(pending, slot, now));
+    DANA_ASSIGN_OR_RETURN(DispatchOutcome outcome,
+                          engine.Dispatch(pending, now));
     clock = now;
-    const dana::SimTime completion = engine.slot_free(slot);
-    for (size_t m : members) {
+    for (size_t m : outcome.members) {
       Session& s = state[owner[m]];
       s.outstanding = false;
-      s.submit = completion + think_time;
+      s.submit = outcome.completion + think_time;
     }
   }
   return report;

@@ -53,9 +53,16 @@ struct QueryStat {
   /// batch amortized vs the engine time this query added.
   dana::SimTime shared_service;
   dana::SimTime private_service;
+  /// Residency of the workload's table on the dispatch slot when this
+  /// query's batch started (BatchCost::warm_fraction): 0 = genuinely cold
+  /// pool, 1 = fully warm repeat.
+  double warm_fraction = 0.0;
 
   dana::SimTime Wait() const { return start - arrival; }
   dana::SimTime Latency() const { return completion - arrival; }
+  /// A warm hit is a run that found at least half its table resident —
+  /// placement paid off for this query.
+  bool WarmHit() const { return warm_fraction >= 0.5; }
 };
 
 /// Aggregate outcome of one scheduled request stream.
@@ -81,6 +88,12 @@ struct ScheduleReport {
   dana::SimTime LatencyPercentile(double p) const;
   /// Queries per accelerator pass (1.0 when batching is off).
   double MeanBatchSize() const;
+  /// Fraction of queries whose run found >= half its table resident on the
+  /// dispatch slot (QueryStat::WarmHit); 0 under executors with no
+  /// residency model reporting cold.
+  double WarmHitRate() const;
+  /// Mean per-query warm fraction at dispatch.
+  double MeanWarmFraction() const;
 };
 
 struct SchedulerOptions {
@@ -96,6 +109,17 @@ struct SchedulerOptions {
   /// `estimate - weight * wait`, so long jobs cannot starve behind an
   /// endless stream of short ones. 0 (the default) keeps pure SJF.
   double sjf_aging_weight = 0.0;
+  /// Slot-affinity dispatch. 0 (the default) reproduces the affinity-blind
+  /// scheduler bit-for-bit: earliest-free slot, warmth ignored. > 0 turns
+  /// placement on: the dispatched query runs on the free slot whose pool is
+  /// warmest for its table (QueryExecutor::WarmFraction) instead of the
+  /// earliest-free one. FCFS and RR keep their queue order (reordering for
+  /// warmth trades older arrivals' wait for placement); SJF folds the
+  /// affinity score into its cost estimate, discounting a candidate to
+  /// `estimate * max(0, 1 - affinity_weight * warmth)` — the weight is the
+  /// share of the service a fully warm pool is trusted to save, and values
+  /// >= 1 make any warm candidate beat every cold one.
+  double affinity_weight = 0.0;
 };
 
 /// Non-preemptive discrete-event scheduler multiplexing N simulated

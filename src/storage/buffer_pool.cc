@@ -29,6 +29,7 @@ Result<const uint8_t*> BufferPool::FetchPage(const Table& table,
   }
 
   const Key key{&table, page_no};
+  last_table_ = table.name();
   auto it = map_.find(key);
   if (it != map_.end()) {
     ++stats_.hits;
@@ -70,6 +71,7 @@ size_t BufferPool::EvictOne() {
     }
     map_.erase(Key{f.table, f.page_no});
     f.valid = false;
+    --resident_frames_;
     ++stats_.evictions;
     return idx;
   }
@@ -77,6 +79,7 @@ size_t BufferPool::EvictOne() {
 
 void BufferPool::Install(size_t idx, const Table& table, uint64_t page_no) {
   Frame& f = frames_[idx];
+  if (!f.valid) ++resident_frames_;
   if (!f.data) f.data = std::make_unique<uint8_t[]>(page_size_);
   std::memcpy(f.data.get(), table.PageData(page_no), page_size_);
   f.table = &table;
@@ -86,9 +89,12 @@ void BufferPool::Install(size_t idx, const Table& table, uint64_t page_no) {
   map_[Key{&table, page_no}] = idx;
 }
 
-void BufferPool::Prewarm(const Table& table) {
-  const uint64_t n =
-      std::min<uint64_t>(table.num_pages(), frames_.size());
+void BufferPool::Prewarm(const Table& table, double fraction) {
+  fraction = std::min(std::max(fraction, 0.0), 1.0);
+  const uint64_t want = static_cast<uint64_t>(
+      fraction * static_cast<double>(table.num_pages()) + 0.5);
+  const uint64_t n = std::min<uint64_t>(want, frames_.size());
+  last_table_ = table.name();
   for (uint64_t p = 0; p < n; ++p) {
     if (map_.count(Key{&table, p})) continue;
     const size_t idx = EvictOne();
@@ -122,6 +128,8 @@ void BufferPool::Clear() {
   map_.clear();
   os_cached_.clear();
   clock_hand_ = 0;
+  resident_frames_ = 0;
+  last_table_.clear();
 }
 
 BufferPoolGroup::BufferPoolGroup(uint64_t capacity_bytes_per_pool,
@@ -156,6 +164,12 @@ BufferPoolStats BufferPoolGroup::Rollup() const {
     total.evictions += s.evictions;
     total.io_time += s.io_time;
   }
+  return total;
+}
+
+uint64_t BufferPoolGroup::TotalResidentFrames() const {
+  uint64_t total = 0;
+  for (const auto& p : pools_) total += p->resident_frames();
   return total;
 }
 

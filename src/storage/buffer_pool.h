@@ -50,10 +50,11 @@ class BufferPool {
   /// consume it immediately.
   dana::Result<const uint8_t*> FetchPage(const Table& table, uint64_t page_no);
 
-  /// Loads pages of `table` until the table ends or the pool is full,
-  /// without charging I/O time (models a previously-run query having
-  /// warmed the cache). Also marks the table OS-cache resident.
-  void Prewarm(const Table& table);
+  /// Loads the leading `fraction` of `table`'s pages (capped by the pool
+  /// size) without charging I/O time — models a previously-run query having
+  /// left that share of the table's working set resident. The default warms
+  /// everything the pool can hold. Also marks the table OS-cache resident.
+  void Prewarm(const Table& table, double fraction = 1.0);
 
   /// Marks `table`'s pages resident in the OS page cache (up to the cache
   /// capacity) without touching the pool: a prior query streamed them.
@@ -67,6 +68,17 @@ class BufferPool {
 
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
+
+  /// Frames currently holding a valid page. Unlike stats(), this is pool
+  /// *state*, not an event counter: ResetStats() does not touch it, only
+  /// Clear() and evictions do. Never exceeds num_frames().
+  uint64_t resident_frames() const { return resident_frames_; }
+  /// Name of the table the pool most recently served (FetchPage/Prewarm);
+  /// empty for a fresh or cleared pool. Diagnostic ground truth for what a
+  /// slot's pool last held — the scheduler-facing residency signal itself
+  /// lives in storage::CacheResidencyModel, which tracks cross-table
+  /// shares these per-workload pools cannot observe.
+  const std::string& last_table() const { return last_table_; }
 
   uint64_t num_frames() const { return frames_.size(); }
   uint32_t page_size() const { return page_size_; }
@@ -104,6 +116,8 @@ class BufferPool {
   std::unordered_map<Key, size_t, KeyHash> map_;
   size_t clock_hand_ = 0;
   BufferPoolStats stats_;
+  uint64_t resident_frames_ = 0;
+  std::string last_table_;
   /// Pages currently held by the (modeled) OS page cache.
   std::unordered_set<Key, KeyHash> os_cached_;
   uint64_t os_cache_pages_ = UINT64_MAX;
@@ -135,6 +149,10 @@ class BufferPoolGroup {
 
   /// Aggregate hit/miss/eviction/io statistics across all pools.
   BufferPoolStats Rollup() const;
+
+  /// Sum of every pool's resident_frames(); the per-pool counts partition
+  /// this total (each bounded by its pool's num_frames()).
+  uint64_t TotalResidentFrames() const;
 
  private:
   uint64_t capacity_bytes_;

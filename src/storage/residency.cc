@@ -1,0 +1,85 @@
+#include "storage/residency.h"
+
+#include <algorithm>
+
+namespace dana::storage {
+
+namespace {
+/// Residues below this fraction are dropped: they model a handful of stale
+/// frames that a real scan would no longer benefit from.
+constexpr double kResidencyFloor = 1e-3;
+}  // namespace
+
+double CacheResidencyModel::ResidentFraction(uint32_t slot,
+                                             const std::string& table) const {
+  auto s = slots_.find(slot);
+  if (s == slots_.end()) return 0.0;
+  auto t = s->second.find(table);
+  return t == s->second.end() ? 0.0 : t->second.resident;
+}
+
+void CacheResidencyModel::OnRun(uint32_t slot, const std::string& table,
+                                double size_ratio) {
+  size_ratio = std::max(size_ratio, 1e-9);
+  auto& tables = slots_[slot];
+  // Eviction happens only under install pressure, like the clock sweep it
+  // models: the scan installs frames only for its misses (an all-hit warm
+  // repeat installs nothing and evicts nothing), free frames absorb
+  // installs first, and only the remainder comes out of the other tables'
+  // share — proportionally, since the clock hand has no loyalty. The
+  // scanned table's own resident pages are re-referenced by the scan and
+  // survive it.
+  // Pool shares are resident * size_ratio; resident never exceeds
+  // min(1, 1/ratio), so every share (and each slot's total) stays <= 1.
+  const Entry prior = tables.count(table) ? tables[table] : Entry{0.0, 1.0};
+  const double share_before = prior.resident * size_ratio;
+  const double share_after = std::min(1.0, size_ratio);
+  const double installs = std::max(0.0, share_after - share_before);
+  const double free_share = std::max(0.0, 1.0 - PoolShareTotal(slot));
+  const double evicted = std::max(0.0, installs - free_share);
+  double others = 0.0;
+  for (const auto& [id, entry] : tables) {
+    if (id != table) others += entry.resident * entry.size_ratio;
+  }
+  const double keep = others > evicted && others > 0.0
+                          ? (others - evicted) / others
+                          : 0.0;
+  for (auto it = tables.begin(); it != tables.end();) {
+    if (it->first != table) {
+      it->second.resident *= keep;
+      if (it->second.resident < kResidencyFloor) {
+        it = tables.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  // The scanned table ends as resident as the pool allows: fully when it
+  // fits, its trailing pool-sized window otherwise.
+  Entry& e = tables[table];
+  e.size_ratio = size_ratio;
+  e.resident = std::min(1.0, 1.0 / size_ratio);
+}
+
+std::vector<std::string> CacheResidencyModel::ResidentTables(
+    uint32_t slot) const {
+  std::vector<std::string> out;
+  auto s = slots_.find(slot);
+  if (s == slots_.end()) return out;
+  for (const auto& [table, entry] : s->second) {
+    if (entry.resident > 0.0) out.push_back(table);
+  }
+  return out;
+}
+
+double CacheResidencyModel::PoolShareTotal(uint32_t slot) const {
+  auto s = slots_.find(slot);
+  if (s == slots_.end()) return 0.0;
+  double total = 0.0;
+  for (const auto& [table, entry] : s->second) {
+    total += entry.resident * entry.size_ratio;
+  }
+  return total;
+}
+
+}  // namespace dana::storage

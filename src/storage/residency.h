@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dana::storage {
+
+/// Logical per-slot cache-residency ledger over the accelerator slots.
+///
+/// Each slot's buffer pool physically caches pages, but the pools live
+/// inside per-workload instances (every table is generated at its own
+/// scale, so workloads cannot share one physical pool). This model keeps
+/// the cross-workload bookkeeping the physical pools cannot: per slot, the
+/// fraction of each table's working set still resident after any sequence
+/// of runs. A run of table T on slot s leaves T resident (up to what the
+/// pool can hold); the scan installs frames only for its misses (an
+/// all-hit warm repeat evicts nothing), free pool space absorbs installs
+/// first, and only the remainder evicts other tables' frames,
+/// proportionally — the behaviour a loyalty-free clock sweep over a
+/// shared pool exhibits, normalized to working-set fractions.
+///
+/// Units: a table's residency is a fraction of *its* working set in [0, 1];
+/// its pool share is that fraction times `size_ratio` (table pages / pool
+/// frames). The ledger maintains the invariant that each slot's pool shares
+/// sum to at most 1 (a pool cannot hold more than itself).
+class CacheResidencyModel {
+ public:
+  /// Fraction of `table`'s working set resident on `slot`, in [0, 1].
+  /// 0 (cold) for slots or tables never seen.
+  double ResidentFraction(uint32_t slot, const std::string& table) const;
+
+  /// Records a full-scan run of `table` on `slot`. `size_ratio` is the
+  /// table's page count over the slot pool's frame count: ratios <= 1 leave
+  /// the table fully resident, larger tables end with `1 / size_ratio` of
+  /// their pages resident. Only the scan's installs (its miss share, less
+  /// whatever free pool space absorbs) evict other tables' frames.
+  void OnRun(uint32_t slot, const std::string& table, double size_ratio);
+
+  /// Drops all residency state (fresh, fully cold slots).
+  void Reset() { slots_.clear(); }
+
+  /// Tables with nonzero residency on `slot`, for reporting.
+  std::vector<std::string> ResidentTables(uint32_t slot) const;
+
+  /// Sum of pool shares (residency * size ratio) on `slot`; <= 1 + epsilon
+  /// by construction. Exposed so tests can assert the invariant.
+  double PoolShareTotal(uint32_t slot) const;
+
+ private:
+  struct Entry {
+    double resident = 0.0;    ///< fraction of the table's working set
+    double size_ratio = 1.0;  ///< table pages / pool frames
+  };
+  /// slot -> table -> residency entry.
+  std::map<uint32_t, std::map<std::string, Entry>> slots_;
+};
+
+}  // namespace dana::storage

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -203,6 +204,12 @@ class FakeExecutor : public QueryExecutor {
     estimates_[id] = dana::SimTime::Seconds(estimate_s);
   }
 
+  /// Pins `id`'s warmth on `slot` for affinity tests; WarmFraction reports
+  /// zero for anything not set (a cold machine).
+  void SetWarm(const std::string& id, uint32_t slot, double fraction) {
+    warmth_[{id, slot}] = fraction;
+  }
+
   Result<BatchCost> Dispatch(const QueryBatch& batch) override {
     auto it = costs_.find(batch.workload_id);
     if (it == costs_.end()) return Status::NotFound(batch.workload_id);
@@ -214,6 +221,7 @@ class FakeExecutor : public QueryExecutor {
         it->second.shared +
         it->second.per_query * static_cast<double>(batch.size());
     cost.compile = it->second.compile;
+    cost.warm_fraction = WarmFraction(batch.workload_id, batch.slot);
     return cost;
   }
 
@@ -221,6 +229,11 @@ class FakeExecutor : public QueryExecutor {
     auto it = estimates_.find(id);
     if (it == estimates_.end()) return Status::NotFound(id);
     return it->second;
+  }
+
+  double WarmFraction(const std::string& id, uint32_t slot) override {
+    auto it = warmth_.find({id, slot});
+    return it == warmth_.end() ? 0.0 : it->second;
   }
 
   const std::vector<QueryBatch>& dispatched() const { return dispatched_; }
@@ -233,6 +246,7 @@ class FakeExecutor : public QueryExecutor {
   };
   std::map<std::string, Split> costs_;
   std::map<std::string, dana::SimTime> estimates_;
+  std::map<std::pair<std::string, uint32_t>, double> warmth_;
   std::vector<QueryBatch> dispatched_;
 };
 
@@ -703,6 +717,184 @@ TEST(ClosedLoopTest, RejectsZeroSessions) {
   opts.sessions = 0;
   WorkloadDriver driver(SixClassCatalog(), opts);
   EXPECT_TRUE(driver.GenerateSessions().status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Slot-affinity dispatch
+// ---------------------------------------------------------------------------
+
+TEST(AffinityTest, DispatchesToTheWarmSlot) {
+  FakeExecutor exec;
+  exec.Set("a", 10, 10);
+  exec.SetWarm("a", /*slot=*/1, 1.0);
+  std::vector<QueryRequest> reqs = {Req(0, "a", 0)};
+  // Affinity-blind: earliest-free = lowest index = slot 0, a cold run.
+  auto blind = Scheduler({.slots = 2, .policy = Policy::kFcfs}, &exec)
+                   .Run(reqs);
+  ASSERT_TRUE(blind.ok());
+  EXPECT_EQ(blind->queries[0].slot, 0u);
+  EXPECT_DOUBLE_EQ(blind->queries[0].warm_fraction, 0.0);
+  // Affinity on: both slots are free, slot 1 holds the table.
+  auto warm = Scheduler(
+                  {.slots = 2, .policy = Policy::kFcfs, .affinity_weight = 0.5},
+                  &exec)
+                  .Run(reqs);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->queries[0].slot, 1u);
+  EXPECT_DOUBLE_EQ(warm->queries[0].warm_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(warm->WarmHitRate(), 1.0);
+  EXPECT_DOUBLE_EQ(blind->WarmHitRate(), 0.0);
+}
+
+TEST(AffinityTest, WarmSlotTiesBreakLikeTheBlindRule) {
+  FakeExecutor exec;
+  exec.Set("a", 5, 5);
+  // No warmth anywhere: affinity on must still pick the blind slot.
+  std::vector<QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 6)};
+  auto report = Scheduler(
+                    {.slots = 2, .policy = Policy::kFcfs,
+                     .affinity_weight = 1.0},
+                    &exec)
+                    .Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->queries[0].slot, 0u);
+  // At t=6 slot 0 is free again (freed at 5) and slot 1 never used; the
+  // blind rule picks slot 1 (earliest free time 0), so must affinity.
+  EXPECT_EQ(report->queries[1].slot, 1u);
+}
+
+TEST(AffinityTest, FcfsKeepsArrivalOrderUnderAffinity) {
+  FakeExecutor exec;
+  exec.Set("cold", 10, 10);
+  exec.Set("warm", 10, 10);
+  exec.SetWarm("warm", 0, 1.0);
+  // Both queue behind the first query on one slot; FCFS with affinity must
+  // not jump the warm candidate past the earlier cold arrival.
+  std::vector<QueryRequest> reqs = {Req(0, "cold", 0), Req(1, "cold", 1),
+                                    Req(2, "warm", 2)};
+  auto report = Scheduler(
+                    {.slots = 1, .policy = Policy::kFcfs,
+                     .affinity_weight = 1.0},
+                    &exec)
+                    .Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(DispatchOrder(*report), (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(AffinityTest, SjfDiscountsWarmCandidates) {
+  FakeExecutor exec;
+  exec.Set("blocker", 100, 100);
+  exec.Set("coldshort", 10, 10);
+  exec.Set("warmlong", 12, 12);
+  exec.SetWarm("warmlong", 0, 1.0);
+  std::vector<QueryRequest> reqs = {Req(0, "blocker", 0),
+                                    Req(1, "coldshort", 1),
+                                    Req(2, "warmlong", 2)};
+  // Pure SJF: the shorter estimate goes first.
+  auto pure = Scheduler({.slots = 1, .policy = Policy::kSjf}, &exec)
+                  .Run(reqs);
+  ASSERT_TRUE(pure.ok());
+  EXPECT_EQ(DispatchOrder(*pure), (std::vector<uint64_t>{0, 1, 2}));
+  // Affinity SJF at weight 0.5: the warm candidate's effective estimate is
+  // 12 * (1 - 0.5) = 6 < 10, so it overtakes the cold short job.
+  auto warm = Scheduler(
+                  {.slots = 1, .policy = Policy::kSjf, .affinity_weight = 0.5},
+                  &exec)
+                  .Run(reqs);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(DispatchOrder(*warm), (std::vector<uint64_t>{0, 2, 1}));
+}
+
+TEST(AffinityTest, WeightZeroNeverConsultsWarmthBitForBit) {
+  // Two identical streams on two executors — one with warmth pinned, one
+  // stone cold. At affinity_weight = 0 the schedules must match bit for
+  // bit: the affinity machinery may not even perturb tie-breaks.
+  DriverOptions opts;
+  opts.num_queries = 80;
+  opts.arrival_rate_qps = 0.8;
+  WorkloadDriver driver({"x", "y", "z"}, opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  for (Policy policy : {Policy::kFcfs, Policy::kSjf, Policy::kRoundRobin}) {
+    FakeExecutor with_warmth;
+    FakeExecutor without;
+    for (FakeExecutor* e : {&with_warmth, &without}) {
+      e->SetSplit("x", 2, 1, 3);
+      e->SetSplit("y", 5, 2, 7);
+      e->SetSplit("z", 9, 3, 12);
+    }
+    with_warmth.SetWarm("x", 0, 1.0);
+    with_warmth.SetWarm("z", 1, 0.7);
+    auto a = Scheduler({.slots = 2, .policy = policy, .max_batch = 3,
+                        .affinity_weight = 0.0},
+                       &with_warmth)
+                 .Run(*stream);
+    auto b = Scheduler({.slots = 2, .policy = policy, .max_batch = 3},
+                       &without)
+                 .Run(*stream);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->queries.size(), b->queries.size());
+    for (size_t i = 0; i < a->queries.size(); ++i) {
+      EXPECT_EQ(a->queries[i].id, b->queries[i].id);
+      EXPECT_EQ(a->queries[i].slot, b->queries[i].slot);
+      EXPECT_EQ(a->queries[i].start.nanos(), b->queries[i].start.nanos());
+      EXPECT_EQ(a->queries[i].completion.nanos(),
+                b->queries[i].completion.nanos());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cold-start regression (DanaQueryExecutor residency charging)
+// ---------------------------------------------------------------------------
+
+TEST(ColdStartTest, FreshSlotPaysColdThenWarmRepeat) {
+  DanaQueryExecutor executor;
+  // First query on a fresh slot: genuinely cold, no silent re-prepare.
+  auto first = executor.Dispatch(QueryBatch::Single("wlan", 0, /*slot=*/0));
+  ASSERT_TRUE(first.ok());
+  EXPECT_DOUBLE_EQ(first->warm_fraction, 0.0);
+  // A repeat on the same slot finds the table resident and runs strictly
+  // faster.
+  auto repeat = executor.Dispatch(QueryBatch::Single("wlan", 1, /*slot=*/0));
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_DOUBLE_EQ(repeat->warm_fraction, 1.0);
+  EXPECT_LT(repeat->service.nanos(), first->service.nanos());
+  // Another fresh slot is cold again — pools do not share residency.
+  auto other = executor.Dispatch(QueryBatch::Single("wlan", 2, /*slot=*/1));
+  ASSERT_TRUE(other.ok());
+  EXPECT_DOUBLE_EQ(other->warm_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(other->service.nanos(), first->service.nanos());
+  // WarmFraction mirrors the model without running anything.
+  EXPECT_DOUBLE_EQ(executor.WarmFraction("wlan", 0), 1.0);
+  EXPECT_DOUBLE_EQ(executor.WarmFraction("wlan", 2), 0.0);
+  // ResetResidency returns every slot to cold.
+  executor.ResetResidency();
+  EXPECT_DOUBLE_EQ(executor.WarmFraction("wlan", 0), 0.0);
+}
+
+TEST(ColdStartTest, LegacyRegimeReproducesPr2FixedWarmCosts) {
+  // model_residency = false is the PR 2 executor: every run silently
+  // re-prepared to warm, so slot history never changes the charge.
+  DanaQueryExecutor::Options legacy;
+  legacy.model_residency = false;
+  DanaQueryExecutor executor(legacy);
+  auto a = executor.Dispatch(QueryBatch::Single("wlan", 0, 0));
+  auto b = executor.Dispatch(QueryBatch::Single("wlan", 1, 0));
+  auto c = executor.Dispatch(QueryBatch::Single("wlan", 2, 1));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_DOUBLE_EQ(a->service.nanos(), b->service.nanos());
+  EXPECT_DOUBLE_EQ(a->service.nanos(), c->service.nanos());
+  EXPECT_DOUBLE_EQ(a->warm_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(executor.WarmFraction("wlan", 0), 1.0);
+
+  // The residency executor's warm repeat charges exactly the legacy (warm)
+  // service: the steady state agrees, only cold starts differ.
+  DanaQueryExecutor modeled;
+  ASSERT_TRUE(modeled.Dispatch(QueryBatch::Single("wlan", 0, 0)).ok());
+  auto warm_repeat = modeled.Dispatch(QueryBatch::Single("wlan", 1, 0));
+  ASSERT_TRUE(warm_repeat.ok());
+  EXPECT_DOUBLE_EQ(warm_repeat->service.nanos(), a->service.nanos());
 }
 
 }  // namespace

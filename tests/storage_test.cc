@@ -2,10 +2,15 @@
 
 #include <cstring>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/random.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 #include "storage/page.h"
+#include "storage/residency.h"
 #include "storage/schema.h"
 #include "storage/table.h"
 
@@ -455,6 +460,186 @@ TEST(CatalogTest, TableNamesSorted) {
   ASSERT_TRUE(cat.RegisterTable(std::move(t2)).ok());
   EXPECT_EQ(cat.TableNames(),
             (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+// ---------------------------------------------------------------------------
+// Residency introspection (resident_frames / last_table / partial prewarm)
+// ---------------------------------------------------------------------------
+
+TEST(ResidencyIntrospectionTest, ResidentFramesTrackFetchesAndClear) {
+  auto t = MakeTable(8);
+  BufferPool pool(4 * 8 * 1024, 8 * 1024, DiskModel{});  // 4 frames
+  EXPECT_EQ(pool.resident_frames(), 0u);
+  EXPECT_EQ(pool.last_table(), "");
+  for (uint64_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(pool.FetchPage(*t, p).ok());
+  }
+  EXPECT_EQ(pool.resident_frames(), 3u);
+  EXPECT_EQ(pool.last_table(), "bp");
+  // Overflowing the pool evicts but never exceeds capacity.
+  for (uint64_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE(pool.FetchPage(*t, p).ok());
+  }
+  EXPECT_EQ(pool.resident_frames(), 4u);
+  pool.ResetStats();  // stats reset must not touch residency state
+  EXPECT_EQ(pool.resident_frames(), 4u);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_frames(), 0u);
+  EXPECT_EQ(pool.last_table(), "");
+}
+
+TEST(ResidencyIntrospectionTest, PartialPrewarmLeavesFractionResident) {
+  auto t = MakeTable(8);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  pool.Prewarm(*t, 0.5);
+  EXPECT_DOUBLE_EQ(pool.ResidentFraction(*t), 0.5);
+  EXPECT_EQ(pool.resident_frames(), 4u);
+  // A rescan pays I/O only for the un-warmed half.
+  BufferPool cold(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  for (uint64_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE(pool.FetchPage(*t, p).ok());
+    ASSERT_TRUE(cold.FetchPage(*t, p).ok());
+  }
+  EXPECT_EQ(pool.stats().misses, 4u);
+  EXPECT_GT(pool.stats().io_time.nanos(), 0.0);
+  EXPECT_LT(pool.stats().io_time.nanos(), cold.stats().io_time.nanos());
+}
+
+TEST(ResidencyIntrospectionTest, GroupRollupSumsResidentFrames) {
+  auto t = MakeTable(6);
+  BufferPoolGroup group(4 * 8 * 1024, 8 * 1024, DiskModel{});
+  ASSERT_TRUE(group.pool(0)->FetchPage(*t, 0).ok());
+  ASSERT_TRUE(group.pool(2)->FetchPage(*t, 0).ok());
+  ASSERT_TRUE(group.pool(2)->FetchPage(*t, 1).ok());
+  EXPECT_EQ(group.TotalResidentFrames(), 3u);
+  EXPECT_EQ(group.pool(0)->resident_frames() +
+                group.pool(1)->resident_frames() +
+                group.pool(2)->resident_frames(),
+            group.TotalResidentFrames());
+}
+
+/// Property-style coverage: any seeded interleaving of fetches, prewarms,
+/// and clears across a pool group must keep the residency accounting
+/// consistent — per-pool resident frames sum to the group rollup, never
+/// exceed pool capacity, and match a recount of the frame table via
+/// ResidentFraction.
+TEST(ResidencyIntrospectionTest, PropertyResidencyAccountingInvariants) {
+  auto small = MakeTable(3);
+  auto big = MakeTable(10);
+  const std::vector<const Table*> tables = {small.get(), big.get()};
+  BufferPoolGroup group(4 * 8 * 1024, 8 * 1024, DiskModel{});  // 4 frames/pool
+  constexpr size_t kSlots = 3;
+  dana::Rng rng(20260726);
+  for (int step = 0; step < 2000; ++step) {
+    const size_t slot = rng.UniformInt(kSlots);
+    const Table& table = *tables[rng.UniformInt(tables.size())];
+    const uint64_t action = rng.UniformInt(100);
+    if (action < 88) {
+      ASSERT_TRUE(
+          group.pool(slot)->FetchPage(table, rng.UniformInt(table.num_pages()))
+              .ok());
+    } else if (action < 94) {
+      group.pool(slot)->Prewarm(table, rng.Uniform());
+    } else if (action < 97) {
+      group.pool(slot)->Clear();
+    } else {
+      group.pool(slot)->ResetStats();
+    }
+
+    uint64_t sum = 0;
+    BufferPoolStats rollup = group.Rollup();
+    uint64_t hits = 0, misses = 0;
+    for (size_t s = 0; s < group.size(); ++s) {
+      const BufferPool* pool = group.pool(s);
+      EXPECT_LE(pool->resident_frames(), pool->num_frames());
+      sum += pool->resident_frames();
+      hits += pool->stats().hits;
+      misses += pool->stats().misses;
+      // The incremental count agrees with a from-scratch recount of which
+      // pages each table has resident.
+      double fraction_pages = 0;
+      for (const Table* t : tables) {
+        fraction_pages += pool->ResidentFraction(*t) *
+                          static_cast<double>(t->num_pages());
+      }
+      EXPECT_NEAR(fraction_pages, static_cast<double>(pool->resident_frames()),
+                  1e-6);
+    }
+    ASSERT_EQ(sum, group.TotalResidentFrames());
+    ASSERT_EQ(hits, rollup.hits);
+    ASSERT_EQ(misses, rollup.misses);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CacheResidencyModel (logical per-slot cross-table ledger)
+// ---------------------------------------------------------------------------
+
+TEST(CacheResidencyModelTest, FreshSlotsAreCold) {
+  CacheResidencyModel model;
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "t"), 0.0);
+  EXPECT_TRUE(model.ResidentTables(0).empty());
+  EXPECT_DOUBLE_EQ(model.PoolShareTotal(0), 0.0);
+}
+
+TEST(CacheResidencyModelTest, RunLeavesTableAsResidentAsPoolAllows) {
+  CacheResidencyModel model;
+  model.OnRun(0, "small", /*size_ratio=*/0.25);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "small"), 1.0);
+  model.OnRun(0, "huge", /*size_ratio=*/4.0);
+  // A 4x-oversized table keeps only its trailing pool-sized window.
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "huge"), 0.25);
+  // Slots are independent.
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(1, "small"), 0.0);
+}
+
+TEST(CacheResidencyModelTest, OtherTablesEvictOnlyUnderInstallPressure) {
+  CacheResidencyModel model;
+  model.OnRun(0, "a", 0.5);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "a"), 1.0);
+  // b's installs fit in the free half of the pool: a is untouched.
+  model.OnRun(0, "b", 0.5);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "a"), 1.0);
+  EXPECT_DOUBLE_EQ(model.PoolShareTotal(0), 1.0);
+  // A fully-warm repeat of b installs nothing and must not decay a.
+  model.OnRun(0, "b", 0.5);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "a"), 1.0);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "b"), 1.0);
+  // d needs half the (now full) pool: a and b each give up half.
+  model.OnRun(0, "d", 0.5);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "a"), 0.5);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "b"), 0.5);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "d"), 1.0);
+  // A pool-sized scan sweeps everything else out.
+  model.OnRun(0, "c", 1.0);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "a"), 0.0);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "b"), 0.0);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "d"), 0.0);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "c"), 1.0);
+  model.Reset();
+  EXPECT_DOUBLE_EQ(model.ResidentFraction(0, "c"), 0.0);
+}
+
+/// Property: after any interleaving of runs, every slot's pool shares sum
+/// to at most one pool and every residency stays within [0, 1].
+TEST(CacheResidencyModelTest, PropertyPoolShareNeverOverflows) {
+  const std::vector<std::pair<std::string, double>> tables = {
+      {"tiny", 0.02}, {"half", 0.5}, {"fit", 1.0}, {"big", 2.5}, {"huge", 6.0}};
+  CacheResidencyModel model;
+  dana::Rng rng(0xC0FFEE);
+  for (int step = 0; step < 5000; ++step) {
+    const auto& [id, ratio] = tables[rng.UniformInt(tables.size())];
+    const uint32_t slot = static_cast<uint32_t>(rng.UniformInt(4));
+    model.OnRun(slot, id, ratio);
+    for (uint32_t s = 0; s < 4; ++s) {
+      ASSERT_LE(model.PoolShareTotal(s), 1.0 + 1e-9);
+      for (const auto& [tid, tratio] : tables) {
+        const double f = model.ResidentFraction(s, tid);
+        ASSERT_GE(f, 0.0);
+        ASSERT_LE(f, 1.0);
+      }
+    }
+  }
 }
 
 }  // namespace

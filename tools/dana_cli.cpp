@@ -67,14 +67,20 @@ void PrintHelp(std::FILE* out) {
       "  sched [--policy fcfs|sjf|rr|all] [--slots N] [--queries N]\n"
       "        [--rate QPS] [--dist zipf|uniform] [--theta S] [--seed N]\n"
       "        [--group public|sn|se|all] [--batch K] [--aging W]\n"
-      "        [--closed-loop] [--think-ms MS] [--sessions N]\n"
+      "        [--affinity W] [--closed-loop] [--think-ms MS] [--sessions N]\n"
       "                            schedule a multi-query request stream\n"
       "                            onto N simulated accelerator slots;\n"
       "                            --batch K coalesces up to K same-algorithm\n"
       "                            queries into one accelerator pass, --aging\n"
-      "                            sets the SJF starvation bonus, and\n"
-      "                            --closed-loop drives think-time sessions\n"
-      "                            instead of an open Poisson stream\n"
+      "                            sets the SJF starvation bonus, --affinity\n"
+      "                            turns on slot-affinity placement (dispatch\n"
+      "                            to the slot whose pool is warm for the\n"
+      "                            query's table; W discounts SJF estimates\n"
+      "                            by W x warmth), and --closed-loop drives\n"
+      "                            think-time sessions instead of an open\n"
+      "                            Poisson stream. Slots charge real cache\n"
+      "                            residency: a slot's first run of a table\n"
+      "                            is cold, repeats are warm until evicted\n"
       "  help | --help | -h        this message\n",
       out);
 }
@@ -311,6 +317,11 @@ int CmdSched(int argc, char** argv) {
     std::fprintf(stderr, "--aging must be non-negative\n");
     return 2;
   }
+  const double affinity = std::atof(Flag(argc, argv, "--affinity", "0"));
+  if (affinity < 0) {
+    std::fprintf(stderr, "--affinity must be non-negative\n");
+    return 2;
+  }
   const bool closed_loop = HasFlag(argc, argv, "--closed-loop");
   const double think_ms = std::atof(Flag(argc, argv, "--think-ms", "0"));
   const int sessions = std::atoi(Flag(argc, argv, "--sessions", "4"));
@@ -363,14 +374,29 @@ int CmdSched(int argc, char** argv) {
       return 2;
     }
   } else if (!closed_loop) {
-    auto mean_service = sched::WeightedMeanServiceSeconds(
-        executor, catalog, driver_opts.popularity, driver_opts.zipf_exponent);
-    if (!mean_service.ok()) {
-      std::fprintf(stderr, "%s\n", mean_service.status().ToString().c_str());
-      return 1;
+    // Calibrate against each workload's steady state, not its cold
+    // first-touch: dispatch every catalog entry twice back to back on one
+    // slot and weight the second sample — immediately after its own run
+    // the table is exactly as resident as the pool allows, which for
+    // pool-sized tables is the warmest repeat they can ever achieve.
+    double weighted = 0, total_weight = 0;
+    for (size_t rank = 0; rank < catalog.size(); ++rank) {
+      Result<sched::BatchCost> repeat =
+          executor.Dispatch(sched::QueryBatch::Single(catalog[rank]));
+      if (repeat.ok()) {
+        repeat = executor.Dispatch(sched::QueryBatch::Single(catalog[rank]));
+      }
+      if (!repeat.ok()) {
+        std::fprintf(stderr, "%s\n", repeat.status().ToString().c_str());
+        return 1;
+      }
+      const double w = sched::PopularityWeight(
+          driver_opts.popularity, rank, driver_opts.zipf_exponent);
+      weighted += w * repeat->service.seconds();
+      total_weight += w;
     }
     driver_opts.arrival_rate_qps =
-        0.8 * static_cast<double>(slots) / *mean_service;
+        0.8 * static_cast<double>(slots) * total_weight / weighted;
   }
 
   sched::WorkloadDriver driver(catalog, driver_opts);
@@ -409,12 +435,16 @@ int CmdSched(int argc, char** argv) {
 
   TablePrinter table({"policy", "throughput (q/h)", "mean lat", "p50", "p95",
                       "p99", "mean wait", "makespan", "mean batch",
-                      "shared/private", "compile hits"});
+                      "warm hits", "shared/private", "compile hits"});
   for (sched::Policy policy : policies) {
+    // Every policy starts from the same cold machine: no slot inherits
+    // residency from the previous policy's run (or the calibration pass).
+    executor.ResetResidency();
     sched::Scheduler scheduler({.slots = static_cast<uint32_t>(slots),
                                 .policy = policy,
                                 .max_batch = static_cast<uint32_t>(max_batch),
-                                .sjf_aging_weight = aging},
+                                .sjf_aging_weight = aging,
+                                .affinity_weight = affinity},
                                &executor);
     auto report =
         closed_loop
@@ -434,6 +464,7 @@ int CmdSched(int argc, char** argv) {
                   report->LatencyPercentile(99).ToString(),
                   report->MeanWait().ToString(), report->makespan.ToString(),
                   TablePrinter::Fmt(report->MeanBatchSize(), 2),
+                  TablePrinter::Fmt(report->WarmHitRate() * 100.0, 0) + "%",
                   report->shared_service.ToString() + "/" +
                       report->private_service.ToString(),
                   std::to_string(report->compile_hits) + "/" +
