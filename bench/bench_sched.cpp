@@ -340,8 +340,178 @@ int main() {
               affinity_deterministic
                   ? "affinity sweep is deterministic across repeats"
                   : "affinity sweep is NOT deterministic across repeats");
+
+  // --- Mixed-workload preemption sweep ------------------------------------
+  // Interactive analysts share the machine with long batch trainings: the
+  // three shortest-estimate ranks of the synthetic catalog (also the
+  // hottest under the Zipfian mix) are tagged latency-sensitive, the rest
+  // are batch runs of up to ~120 epochs. With the preemption quantum off a
+  // dispatched training blocks interactive queries for its whole service;
+  // with it on, a waiting interactive query checkpoints the
+  // longest-remaining batch run at its next epoch boundary and takes the
+  // slot, at a 50 ms context switch per preemption.
+  sched::DriverOptions mixed_opts = affinity_opts;
+  mixed_opts.interactive_ranks = 3;
+  mixed_opts.num_queries = 120;
+  // Load the machine enough that interactive queries actually wait behind
+  // batch occupancy on 2 slots.
+  mixed_opts.arrival_rate_qps = 0.9 * 2 / *affinity_mean;
+  sched::WorkloadDriver mixed_driver(big_catalog, mixed_opts);
+  auto mixed_stream = mixed_driver.Generate();
+  if (!mixed_stream.ok()) {
+    std::fprintf(stderr, "%s\n", mixed_stream.status().ToString().c_str());
+    return 1;
+  }
+  const dana::SimTime ctx_cost = dana::SimTime::Millis(50);
+  std::printf("\nMixed-workload preemption sweep: synthetic suite, 2 slots, "
+              "3 interactive ranks, quantum 8 epochs, ctx 50 ms, %.3f qps\n",
+              mixed_opts.arrival_rate_qps);
+  TablePrinter ptable({"policy", "quantum", "int p95", "int mean",
+                       "batch p95", "batch thr (q/h)", "preempts",
+                       "ctx overhead", "makespan"});
+  bool preemption_wins = true;
+  bool batch_overhead_bounded = true;
+  for (sched::Policy policy :
+       {sched::Policy::kFcfs, sched::Policy::kSjf,
+        sched::Policy::kRoundRobin}) {
+    double int_p95_off = 0, batch_thr_off = 0;
+    for (uint32_t quantum : {0u, 8u}) {
+      sched::SchedulerOptions opts{.slots = 2,
+                                   .policy = policy,
+                                   .max_batch = 4,
+                                   .sjf_aging_weight = 0,
+                                   .affinity_weight = 0.5,
+                                   .preemption_quantum_epochs = quantum,
+                                   .context_switch_cost = ctx_cost,
+                                   .batch_window = dana::SimTime::Zero()};
+      res_executor.ResetResidency();
+      auto report =
+          sched::Scheduler(opts, &res_executor).Run(*mixed_stream);
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s/quantum=%u: %s\n",
+                     sched::PolicyName(policy), quantum,
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      const auto kInt = sched::QueryClass::kInteractive;
+      const auto kBatch = sched::QueryClass::kBatch;
+      const double int_p95 =
+          report->ClassLatencyPercentile(kInt, 95).seconds();
+      const double batch_thr = report->ClassThroughputQps(kBatch) * 3600.0;
+      if (quantum == 0) {
+        int_p95_off = int_p95;
+        batch_thr_off = batch_thr;
+      } else {
+        if (int_p95 >= int_p95_off) {
+          preemption_wins = false;
+          std::printf("  [interactive p95 does not improve under %s: "
+                      "%.1f s vs %.1f s]\n",
+                      sched::PolicyName(policy), int_p95, int_p95_off);
+        }
+        // The batch side pays for the SLO: bounded, reported overhead.
+        if (batch_thr < 0.75 * batch_thr_off) {
+          batch_overhead_bounded = false;
+          std::printf("  [batch throughput degraded more than 25%% under "
+                      "%s: %.1f vs %.1f q/h]\n",
+                      sched::PolicyName(policy), batch_thr, batch_thr_off);
+        } else {
+          std::printf("  %s: interactive p95 %.1f -> %.1f s (-%.0f%%), "
+                      "batch throughput %.1f -> %.1f q/h (%.1f%% overhead)\n",
+                      sched::PolicyName(policy), int_p95_off, int_p95,
+                      (1 - int_p95 / int_p95_off) * 100, batch_thr_off,
+                      batch_thr, (1 - batch_thr / batch_thr_off) * 100);
+        }
+      }
+      ptable.AddRow(
+          {sched::PolicyName(policy), std::to_string(quantum),
+           report->ClassLatencyPercentile(kInt, 95).ToString(),
+           report->ClassMeanLatency(kInt).ToString(),
+           report->ClassLatencyPercentile(kBatch, 95).ToString(),
+           TablePrinter::Fmt(batch_thr, 1),
+           std::to_string(report->preemptions),
+           report->preemption_overhead.ToString(),
+           report->makespan.ToString()});
+    }
+    if (policy != sched::Policy::kRoundRobin) ptable.AddSeparator();
+  }
+  ptable.Print();
+  std::printf("%s\n",
+              preemption_wins && batch_overhead_bounded
+                  ? "preemption improves interactive p95 under every policy "
+                    "with bounded batch-throughput overhead"
+                  : "preemption does NOT deliver the SLO trade-off somewhere");
+
+  // --- Batching window x affinity sweep -----------------------------------
+  // A freed slot may hold up to the window for same-algorithm arrivals to
+  // coalesce a larger batch: queueing latency is spent to buy batch
+  // amortization. Swept against affinity because placement interacts with
+  // waiting — held batches dispatch to the warm slot chosen at hold start.
+  // Moderate load, where queues are short and batches otherwise barely
+  // form.
+  sched::DriverOptions window_opts = affinity_opts;
+  window_opts.num_queries = 100;
+  window_opts.arrival_rate_qps = 0.85 * 2 / *affinity_mean;
+  sched::WorkloadDriver window_driver(big_catalog, window_opts);
+  auto window_stream = window_driver.Generate();
+  if (!window_stream.ok()) {
+    std::fprintf(stderr, "%s\n", window_stream.status().ToString().c_str());
+    return 1;
+  }
+  const double mean_svc_s = *affinity_mean;
+  std::printf("\nBatching window x affinity sweep: synthetic suite, 2 slots, "
+              "batch 8, fcfs, %.3f qps (mean service %.0f s)\n",
+              window_opts.arrival_rate_qps, mean_svc_s);
+  TablePrinter wtable({"window", "affinity", "throughput (q/h)", "mean lat",
+                       "p95", "mean batch", "mean wait"});
+  bool window_coalesces = true;
+  double batch_w0 = 0;
+  for (double window_frac : {0.0, 0.25, 1.0}) {
+    for (double w_affinity : {0.0, 0.5}) {
+      sched::SchedulerOptions opts{
+          .slots = 2,
+          .policy = sched::Policy::kFcfs,
+          .max_batch = 8,
+          .sjf_aging_weight = 0,
+          .affinity_weight = w_affinity,
+          .preemption_quantum_epochs = 0,
+          .context_switch_cost = dana::SimTime::Zero(),
+          .batch_window = dana::SimTime::Seconds(window_frac * mean_svc_s)};
+      res_executor.ResetResidency();
+      auto report =
+          sched::Scheduler(opts, &res_executor).Run(*window_stream);
+      if (!report.ok()) {
+        std::fprintf(stderr, "window=%.2f/affinity=%.1f: %s\n", window_frac,
+                     w_affinity, report.status().ToString().c_str());
+        return 1;
+      }
+      if (w_affinity == 0.0) {
+        if (window_frac == 0.0) {
+          batch_w0 = report->MeanBatchSize();
+        } else if (window_frac == 1.0 &&
+                   report->MeanBatchSize() <= batch_w0) {
+          window_coalesces = false;
+        }
+      }
+      wtable.AddRow({TablePrinter::Fmt(window_frac * mean_svc_s, 0) + " s",
+                     TablePrinter::Fmt(w_affinity, 1),
+                     TablePrinter::Fmt(report->ThroughputQps() * 3600.0, 1),
+                     report->MeanLatency().ToString(),
+                     report->LatencyPercentile(95).ToString(),
+                     TablePrinter::Fmt(report->MeanBatchSize(), 2),
+                     report->MeanWait().ToString()});
+    }
+    if (window_frac != 1.0) wtable.AddSeparator();
+  }
+  wtable.Print();
+  std::printf("%s\n", window_coalesces
+                          ? "the full batching window forms larger batches "
+                            "than windowless dispatch (fcfs, affinity 0)"
+                          : "the batching window does NOT form larger "
+                            "batches");
+
   return (sjf_wins_somewhere && batching_wins && affinity_wins &&
-          affinity_deterministic)
+          affinity_deterministic && preemption_wins &&
+          batch_overhead_bounded && window_coalesces)
              ? 0
              : 1;
 }

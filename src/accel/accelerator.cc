@@ -59,6 +59,14 @@ Result<RunReport> Accelerator::Train(const storage::Table& table,
   const uint32_t epochs_budget = options.max_epochs_override
                                      ? options.max_epochs_override
                                      : prog.max_epochs;
+  // Segmented execution: earlier segments consumed `epochs_completed` of
+  // the budget; this call runs at most `epoch_limit` of the remainder.
+  const uint32_t done_before = std::min(options.epochs_completed,
+                                        epochs_budget);
+  uint32_t segment_budget = epochs_budget - done_before;
+  if (options.epoch_limit != 0) {
+    segment_budget = std::min(segment_budget, options.epoch_limit);
+  }
   const uint64_t batch_size = std::max<uint32_t>(prog.merge_coef, 1);
   const uint32_t threads = design.num_threads;
   // Co-trained queries sharing this pass: identical models see identical
@@ -67,12 +75,14 @@ Result<RunReport> Accelerator::Train(const storage::Table& table,
   const uint32_t batch_q = std::max<uint32_t>(options.batch_queries, 1);
 
   RunReport report;
-  report.fpga_cycles += access.ConfigCycles();
+  // The configuration FSM programs the design once per run; a resumed
+  // segment finds it already on the fabric.
+  if (done_before == 0) report.fpga_cycles += access.ConfigCycles();
 
   std::vector<engine::TupleData> batch;
   batch.reserve(batch_size);
 
-  for (uint32_t epoch = 0; epoch < epochs_budget; ++epoch) {
+  for (uint32_t epoch = 0; epoch < segment_budget; ++epoch) {
     const dana::SimTime io_before = pool->stats().io_time;
     uint64_t strider_cycles = 0;
     uint64_t engine_cycles = 0;
@@ -198,6 +208,9 @@ Result<RunReport> Accelerator::Train(const storage::Table& table,
     }
   }
 
+  report.epochs_completed = done_before + report.epochs_run;
+  report.resumable = !report.converged &&
+                     report.epochs_completed < epochs_budget;
   report.final_models.resize(prog.model_vars.size());
   for (uint32_t m = 0; m < prog.model_vars.size(); ++m) {
     report.final_models[m] = evaluator.Model(m);

@@ -37,7 +37,7 @@ Result<std::unique_ptr<WorkloadInstance>> WorkloadInstance::Create(
   const double os_cache_bytes = 24.0 * (1ull << 30) / workload.scale;
   const uint64_t min_bytes = 8ull * page_size;
   storage::DiskModel disk;
-  disk.seq_read_bw = 200e6;  // effective SATA-SSD heap-scan rate
+  disk.seq_read_bw = kDiskSeqReadBytesPerSec;
   instance->pools_ = std::make_unique<storage::BufferPoolGroup>(
       std::max<uint64_t>(static_cast<uint64_t>(pool_bytes), min_bytes),
       page_size, disk,
@@ -235,6 +235,22 @@ Result<SystemResult> DanaSystem::RunCompiled(const compiler::CompiledUdf& udf,
     per_query = first.per_query + steady.per_query * rest;
     fpga = fpga * (static_cast<double>(budget) / report.epochs_run);
     r.epochs = budget;
+  }
+  // Epoch-resolved attribution for resumable execution: the measured first
+  // epoch carries the cold transient, the last measured epoch is the steady
+  // state every remaining epoch repeats (the same two points the
+  // extrapolation above uses).
+  if (!report.epochs.empty()) {
+    const accel::EpochBreakdown& first = report.epochs.front();
+    const accel::EpochBreakdown& steady = report.epochs.back();
+    r.first_epoch = {first.wall * instance->scale(),
+                     first.shared * instance->scale(),
+                     first.per_query * instance->scale()};
+    r.steady_epoch = {steady.wall * instance->scale(),
+                      steady.shared * instance->scale(),
+                      steady.per_query * instance->scale()};
+    r.query_overhead = cost_.pg_query_overhead + cost_.dana_query_overhead;
+    r.epoch_overhead = cost_.dana_epoch_overhead;
   }
   r.io = io * instance->scale();
   r.compute = fpga * instance->scale();

@@ -1,5 +1,7 @@
 #include "sched/executor.h"
 
+#include <algorithm>
+
 #include "ml/workloads.h"
 #include "runtime/cost_model.h"
 
@@ -14,7 +16,231 @@ runtime::DanaSystem::Options MakeSystemOptions(uint32_t epoch_cap) {
   return o;
 }
 
+/// The default execution handle wrapping an executor that only knows whole
+/// runs: the entire batch is one indivisible slice, so there is no interior
+/// epoch boundary to preempt at.
+class SingleSliceExecution : public BatchExecution {
+ public:
+  SingleSliceExecution(QueryBatch batch, BatchCost cost)
+      : BatchExecution(std::move(batch)), cost_(cost) {}
+
+  uint32_t total_epochs() const override { return 1; }
+  uint32_t epochs_run() const override { return done_ ? 1 : 0; }
+  dana::SimTime compile_cost() const override { return cost_.compile; }
+  double warm_fraction() const override { return cost_.warm_fraction; }
+  bool residency_modeled() const override { return cost_.residency_modeled; }
+
+  dana::Result<SliceCost> NextSlice(uint32_t max_epochs) override {
+    (void)max_epochs;
+    if (done_) {
+      return Status::FailedPrecondition("execution already finished");
+    }
+    done_ = true;
+    SliceCost s;
+    s.service = cost_.service;
+    s.shared = cost_.shared;
+    s.per_query = cost_.per_query;
+    s.epochs = 1;
+    s.finished = true;
+    return s;
+  }
+
+  dana::Result<dana::SimTime> PeekService(uint32_t epochs) const override {
+    (void)epochs;
+    return done_ ? dana::SimTime::Zero() : cost_.service;
+  }
+
+  dana::Status Checkpoint() override {
+    return Status::Unimplemented(
+        "single-slice executions have no interior epoch boundary");
+  }
+
+  dana::Status Resume(uint32_t slot) override {
+    batch_.slot = slot;
+    return Status::OK();
+  }
+
+ private:
+  BatchCost cost_;
+  bool done_ = false;
+};
+
 }  // namespace
+
+Result<BatchCost> QueryExecutor::Dispatch(const QueryBatch& batch) {
+  // Thin run-to-completion wrapper over the execution-handle ABI: open the
+  // run and drain it in one slice.
+  if (resolving_default_) {
+    return Status::Unimplemented(
+        "executor overrides neither Dispatch nor Begin");
+  }
+  resolving_default_ = true;
+  auto begun = Begin(batch);
+  resolving_default_ = false;
+  if (!begun.ok()) return begun.status();
+  std::unique_ptr<BatchExecution> exec = std::move(begun).ValueOrDie();
+  DANA_ASSIGN_OR_RETURN(SliceCost slice, exec->NextSlice(0));
+  BatchCost cost;
+  cost.service = slice.service;
+  cost.shared = slice.shared;
+  cost.per_query = slice.per_query;
+  cost.compile = exec->compile_cost();
+  cost.warm_fraction = exec->warm_fraction();
+  cost.residency_modeled = exec->residency_modeled();
+  return cost;
+}
+
+Result<std::unique_ptr<BatchExecution>> QueryExecutor::Begin(
+    const QueryBatch& batch) {
+  if (resolving_default_) {
+    return Status::Unimplemented(
+        "executor overrides neither Dispatch nor Begin");
+  }
+  resolving_default_ = true;
+  auto dispatched = Dispatch(batch);
+  resolving_default_ = false;
+  if (!dispatched.ok()) return dispatched.status();
+  return std::unique_ptr<BatchExecution>(
+      new SingleSliceExecution(batch, *dispatched));
+}
+
+// ---------------------------------------------------------------------------
+// DanaBatchExecution
+// ---------------------------------------------------------------------------
+
+/// Epoch-sliced resumable execution over the measured epoch profiles. All
+/// slice costs derive from one cumulative cost curve per segment
+/// (Cum(e) = overheads + first + steady * (e - 1)), so slices telescope:
+/// any split reproduces the unsegmented service up to float round-off, and
+/// an uninterrupted Begin + NextSlice(0) equals the legacy Dispatch charge
+/// exactly. A Resume onto a slot whose residency differs from what the run
+/// left re-bases the remaining epochs as a fresh segment at that warmth —
+/// the first resumed epoch re-pays the evicted share of the transient.
+class DanaBatchExecution : public BatchExecution {
+ public:
+  DanaBatchExecution(DanaQueryExecutor* owner, QueryBatch batch,
+                     DanaQueryExecutor::EpochProfile profile,
+                     double warm_fraction, bool modeled, double size_ratio)
+      : BatchExecution(std::move(batch)),
+        owner_(owner),
+        profile_(profile),
+        warm_at_begin_(warm_fraction),
+        modeled_(modeled),
+        size_ratio_(size_ratio) {}
+
+  uint32_t total_epochs() const override { return profile_.epochs; }
+  uint32_t epochs_run() const override { return done_; }
+  dana::SimTime compile_cost() const override { return profile_.compile; }
+  double warm_fraction() const override { return warm_at_begin_; }
+  bool residency_modeled() const override { return modeled_; }
+
+  dana::Result<SliceCost> NextSlice(uint32_t max_epochs) override {
+    const uint32_t remaining = profile_.epochs - done_;
+    if (remaining == 0) {
+      return Status::FailedPrecondition("execution already finished");
+    }
+    const uint32_t n =
+        max_epochs == 0 ? remaining : std::min(max_epochs, remaining);
+    SliceCost s;
+    s.service = CumWall(done_ + n) - CumWall(done_);
+    s.shared = CumShared(done_ + n) - CumShared(done_);
+    s.per_query = CumPerQuery(done_ + n) - CumPerQuery(done_);
+    s.epochs = n;
+    done_ += n;
+    s.finished = done_ == profile_.epochs;
+    // Each epoch sweeps the table once, so any slice reshapes the slot's
+    // cache exactly like a full run: the scanned table ends as resident as
+    // the pool allows, co-located tables decay under the install pressure.
+    if (modeled_) {
+      owner_->residency_.OnRun(batch_.slot, batch_.workload_id, size_ratio_);
+    }
+    return s;
+  }
+
+  dana::Result<dana::SimTime> PeekService(uint32_t epochs) const override {
+    const uint32_t remaining = profile_.epochs - done_;
+    const uint32_t n =
+        epochs == 0 ? remaining : std::min(epochs, remaining);
+    return CumWall(done_ + n) - CumWall(done_);
+  }
+
+  dana::Status Checkpoint() override {
+    // The model vector is the only state to capture, and the executor's
+    // functional results are memoized per (workload, batch size) — the
+    // checkpoint is implicit. Guard the contract anyway: a checkpoint is
+    // only meaningful at an epoch boundary with work remaining.
+    if (done_ == 0 || done_ >= profile_.epochs) {
+      return Status::FailedPrecondition(
+          "checkpoint requires a partially-run execution");
+    }
+    return Status::OK();
+  }
+
+  dana::Status Resume(uint32_t slot) override {
+    if (!modeled_) {
+      // Static-cache regime: every slot charges the same fixed state.
+      batch_.slot = slot;
+      return Status::OK();
+    }
+    const double warm =
+        owner_->residency_.ResidentFraction(slot, batch_.workload_id);
+    // Undisturbed same-slot resume: the table is exactly as resident as
+    // the run left it, so the original cost curve continues bit for bit.
+    const double left_behind =
+        done_ > 0 ? storage::CacheResidencyModel::PostRunResidency(size_ratio_)
+                  : warm_at_begin_;
+    if (slot == batch_.slot && warm == left_behind) return Status::OK();
+    // Re-base: the remaining epochs run as a fresh segment at the new
+    // slot's warmth — its first epoch re-reads the missing share of the
+    // table, later epochs return to the steady state.
+    batch_.slot = slot;
+    DANA_ASSIGN_OR_RETURN(DanaQueryExecutor::EpochProfile rebased,
+                          owner_->ProfileAt(batch_, warm));
+    rebased.epochs = profile_.epochs;  // the budget never changes
+    profile_ = rebased;
+    base_ = done_;
+    return Status::OK();
+  }
+
+ private:
+  /// Cumulative slot occupancy of the first `e` epochs under the current
+  /// segment (epochs before `base_` were charged under earlier segments
+  /// and contribute zero here). The one-time query overhead belongs to the
+  /// segment that runs epoch 0.
+  dana::SimTime CumWall(uint32_t e) const {
+    if (e <= base_) return dana::SimTime::Zero();
+    const double k = static_cast<double>(e - base_);
+    dana::SimTime t = profile_.epoch_overhead * k + profile_.first_wall +
+                      profile_.steady_wall * (k - 1);
+    if (base_ == 0) t += profile_.query_overhead;
+    return t;
+  }
+  dana::SimTime CumShared(uint32_t e) const {
+    if (e <= base_) return dana::SimTime::Zero();
+    const double k = static_cast<double>(e - base_);
+    dana::SimTime t = profile_.epoch_overhead * k + profile_.first_shared +
+                      profile_.steady_shared * (k - 1);
+    if (base_ == 0) t += profile_.query_overhead;
+    return t;
+  }
+  dana::SimTime CumPerQuery(uint32_t e) const {
+    if (e <= base_) return dana::SimTime::Zero();
+    const double k = static_cast<double>(e - base_);
+    return profile_.first_pq + profile_.steady_pq * (k - 1);
+  }
+
+  DanaQueryExecutor* owner_;
+  DanaQueryExecutor::EpochProfile profile_;
+  double warm_at_begin_;
+  bool modeled_;
+  double size_ratio_;
+  uint32_t done_ = 0;
+  uint32_t base_ = 0;  ///< absolute epoch index the current segment starts at
+};
+
+// ---------------------------------------------------------------------------
+// DanaQueryExecutor
+// ---------------------------------------------------------------------------
 
 DanaQueryExecutor::DanaQueryExecutor() : DanaQueryExecutor(Options{}) {}
 
@@ -36,8 +262,9 @@ Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
   return ptr;
 }
 
-Result<BatchCost> DanaQueryExecutor::MeasureEndpoint(
-    const QueryBatch& batch, runtime::CacheState cache) {
+Result<const DanaQueryExecutor::EpochProfile*>
+DanaQueryExecutor::MeasureEndpoint(const QueryBatch& batch,
+                                   runtime::CacheState cache) {
   const auto key = std::make_tuple(batch.workload_id, batch.size(),
                                    cache == runtime::CacheState::kWarm);
   auto measured = measured_.find(key);
@@ -55,63 +282,80 @@ Result<BatchCost> DanaQueryExecutor::MeasureEndpoint(
     DANA_ASSIGN_OR_RETURN(
         runtime::SystemResult result,
         system_.RunCompiled(*udf, instance, cache, batch.size(), batch.slot));
-    BatchCost m;
-    m.compile = options_.compile_latency;
-    m.service = result.total;
-    m.shared = result.shared_time;
-    m.per_query = result.per_query_time;
-    measured = measured_.emplace(key, m).first;
+    EpochProfile p;
+    p.compile = options_.compile_latency;
+    p.first_wall = result.first_epoch.wall;
+    p.steady_wall = result.steady_epoch.wall;
+    p.first_shared = result.first_epoch.shared;
+    p.steady_shared = result.steady_epoch.shared;
+    p.first_pq = result.first_epoch.per_query;
+    p.steady_pq = result.steady_epoch.per_query;
+    p.query_overhead = result.query_overhead;
+    p.epoch_overhead = result.epoch_overhead;
+    p.epochs = std::max<uint32_t>(result.epochs, 1);
+    measured = measured_.emplace(key, p).first;
   }
-  return measured->second;
+  return &measured->second;
 }
 
-Result<BatchCost> DanaQueryExecutor::Dispatch(const QueryBatch& batch) {
+Result<DanaQueryExecutor::EpochProfile> DanaQueryExecutor::ProfileAt(
+    const QueryBatch& batch, double warm_fraction) {
+  if (warm_fraction >= 1.0) {
+    DANA_ASSIGN_OR_RETURN(const EpochProfile* hot,
+                          MeasureEndpoint(batch, runtime::CacheState::kWarm));
+    return *hot;
+  }
+  if (warm_fraction <= 0.0) {
+    DANA_ASSIGN_OR_RETURN(const EpochProfile* cold,
+                          MeasureEndpoint(batch, runtime::CacheState::kCold));
+    return *cold;
+  }
+  // The two measured endpoints bound the run — a fraction f of the table
+  // still resident saves f of the cold run's extra (I/O-side) time, so
+  // every epoch-cost component interpolates linearly between them.
+  DANA_ASSIGN_OR_RETURN(const EpochProfile* cold,
+                        MeasureEndpoint(batch, runtime::CacheState::kCold));
+  DANA_ASSIGN_OR_RETURN(const EpochProfile* hot,
+                        MeasureEndpoint(batch, runtime::CacheState::kWarm));
+  const double miss = 1.0 - warm_fraction;
+  EpochProfile p = *hot;
+  p.first_wall = hot->first_wall + (cold->first_wall - hot->first_wall) * miss;
+  p.steady_wall =
+      hot->steady_wall + (cold->steady_wall - hot->steady_wall) * miss;
+  p.first_shared =
+      hot->first_shared + (cold->first_shared - hot->first_shared) * miss;
+  p.steady_shared =
+      hot->steady_shared + (cold->steady_shared - hot->steady_shared) * miss;
+  p.first_pq = hot->first_pq + (cold->first_pq - hot->first_pq) * miss;
+  p.steady_pq = hot->steady_pq + (cold->steady_pq - hot->steady_pq) * miss;
+  return p;
+}
+
+Result<std::unique_ptr<BatchExecution>> DanaQueryExecutor::Begin(
+    const QueryBatch& batch) {
   if (batch.query_ids.empty()) {
     return Status::InvalidArgument("empty batch for workload '" +
                                    batch.workload_id + "'");
   }
+  DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
+                        Instance(batch.workload_id));
   if (!options_.model_residency) {
     // Legacy fixed-cache regime: every run is prepared to options_.cache
     // and slot history does not exist.
-    DANA_ASSIGN_OR_RETURN(BatchCost cost, MeasureEndpoint(batch,
-                                                          options_.cache));
-    cost.warm_fraction =
+    DANA_ASSIGN_OR_RETURN(const EpochProfile* p,
+                          MeasureEndpoint(batch, options_.cache));
+    const double warm =
         options_.cache == runtime::CacheState::kWarm ? 1.0 : 0.0;
-    return cost;
+    return std::unique_ptr<BatchExecution>(new DanaBatchExecution(
+        this, batch, *p, warm, /*modeled=*/false, instance->PoolSizeRatio()));
   }
-
-  // Residency regime: charge this slot's actual cache state. The two
-  // measured endpoints bound the run — a fraction f of the table still
-  // resident saves f of the cold run's extra (I/O-side) time, so the
-  // charged cost interpolates linearly between them.
+  // Residency regime: price this slot's actual cache state.
   const double warm =
       residency_.ResidentFraction(batch.slot, batch.workload_id);
-  BatchCost cost;
-  if (warm >= 1.0) {
-    DANA_ASSIGN_OR_RETURN(cost,
-                          MeasureEndpoint(batch, runtime::CacheState::kWarm));
-  } else if (warm <= 0.0) {
-    DANA_ASSIGN_OR_RETURN(cost,
-                          MeasureEndpoint(batch, runtime::CacheState::kCold));
-  } else {
-    DANA_ASSIGN_OR_RETURN(BatchCost cold,
-                          MeasureEndpoint(batch, runtime::CacheState::kCold));
-    DANA_ASSIGN_OR_RETURN(BatchCost hot,
-                          MeasureEndpoint(batch, runtime::CacheState::kWarm));
-    const double miss = 1.0 - warm;
-    cost.compile = hot.compile;
-    cost.service = hot.service + (cold.service - hot.service) * miss;
-    cost.shared = hot.shared + (cold.shared - hot.shared) * miss;
-    cost.per_query = hot.per_query + (cold.per_query - hot.per_query) * miss;
-  }
-  cost.warm_fraction = warm;
-
-  // The run itself reshapes the slot's cache: the scanned table ends as
-  // resident as the pool allows, its co-located tables decay.
-  DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
-                        Instance(batch.workload_id));
-  residency_.OnRun(batch.slot, batch.workload_id, instance->PoolSizeRatio());
-  return cost;
+  DANA_ASSIGN_OR_RETURN(EpochProfile profile, ProfileAt(batch, warm));
+  return std::unique_ptr<BatchExecution>(new DanaBatchExecution(
+      this, batch, profile, warm, /*modeled=*/true,
+      instance->PoolSizeRatio()));
 }
 
 double DanaQueryExecutor::WarmFraction(const std::string& workload_id,
@@ -130,6 +374,21 @@ Result<dana::SimTime> DanaQueryExecutor::Estimate(
   }
   return runtime::EstimateDanaRuntime(*w, cost_model_,
                                       system_.options().fpga.axi_bytes_per_sec);
+}
+
+Result<dana::SimTime> DanaQueryExecutor::EstimateAtWarmth(
+    const std::string& workload_id, double warm_fraction) {
+  // Purely a-priori, like Estimate(): the cold/warm interpolation comes
+  // from the cost model (the table's missing share re-read from disk in
+  // the first epoch), never from measured state — queue ordering must not
+  // depend on which endpoints earlier dispatches happened to memoize.
+  const ml::Workload* w = ml::FindWorkload(workload_id);
+  if (w == nullptr) {
+    return Status::NotFound("unknown workload '" + workload_id + "'");
+  }
+  return runtime::EstimateDanaRuntimeAtWarmth(
+      *w, cost_model_, system_.options().fpga.axi_bytes_per_sec,
+      warm_fraction);
 }
 
 }  // namespace dana::sched

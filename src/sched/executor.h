@@ -49,6 +49,10 @@ struct BatchCost {
   /// for this table, or fully evicted since), 1 a fully warm repeat.
   /// Executors without a residency model report their static cache state.
   double warm_fraction = 0.0;
+  /// True when `warm_fraction` comes from a tracked residency model; false
+  /// for executors that report a static cache state (their constant value
+  /// says nothing about placement and must not skew warm-hit rates).
+  bool residency_modeled = false;
   /// Attribution of `service`: `shared` is the one page-streaming sweep
   /// every co-batched query amortizes; `per_query` is the incremental
   /// engine-merge time each co-trained model adds. For a batch of 1 the
@@ -61,22 +65,116 @@ struct BatchCost {
   dana::SimTime compile;
 };
 
+/// Cost of one contiguous run of epochs (a slice) of a batch execution.
+/// Attribution follows BatchCost: `service` is the slot occupancy of just
+/// this slice; summed over any split of a run, slices reproduce the
+/// unsegmented BatchCost::service bit for bit (the costs telescope).
+struct SliceCost {
+  dana::SimTime service;
+  dana::SimTime shared;
+  dana::SimTime per_query;
+  uint32_t epochs = 0;   ///< epochs this slice consumed
+  bool finished = false; ///< no epochs remain after this slice
+};
+
+/// A resumable in-flight batch run: the execution-handle half of the
+/// scheduler/executor ABI. `Begin` creates one; the scheduler then either
+/// drains it in one `NextSlice(0)` call (run to completion — what the
+/// `Dispatch` wrapper does) or advances it quantum by quantum, checkpoints
+/// it at an epoch boundary, and resumes the remainder later, possibly on a
+/// different slot. All costs are deterministic in (workload, batch size,
+/// slot residency), so peeking never perturbs the schedule.
+class BatchExecution {
+ public:
+  explicit BatchExecution(QueryBatch batch) : batch_(std::move(batch)) {}
+  virtual ~BatchExecution() = default;
+
+  const QueryBatch& batch() const { return batch_; }
+  uint32_t slot() const { return batch_.slot; }
+
+  /// Total epochs this run executes; executions without epoch structure
+  /// (the default single-slice wrapper) report 1 and are not preemptible.
+  virtual uint32_t total_epochs() const = 0;
+  virtual uint32_t epochs_run() const = 0;
+  bool finished() const { return epochs_run() >= total_epochs(); }
+
+  /// One-time compile latency on a compile-cache miss (BatchCost::compile).
+  virtual dana::SimTime compile_cost() const = 0;
+  /// Residency of the table on the dispatch slot when the run began
+  /// (BatchCost::warm_fraction), and whether a model tracked it.
+  virtual double warm_fraction() const = 0;
+  virtual bool residency_modeled() const = 0;
+
+  /// Advances up to `max_epochs` further epochs (0 = all remaining) and
+  /// returns this slice's cost. Residency-modeling executors update their
+  /// ledger once per slice (each epoch sweeps the table).
+  virtual dana::Result<SliceCost> NextSlice(uint32_t max_epochs) = 0;
+
+  /// Slot occupancy of the next `epochs` epochs (0 = all remaining)
+  /// without advancing — the scheduler uses this to plan completions and
+  /// locate epoch boundaries in simulated time.
+  virtual dana::Result<dana::SimTime> PeekService(uint32_t epochs) const = 0;
+
+  /// Marks the current epoch boundary as a checkpoint: the model state is
+  /// captured so the remainder can be re-dispatched later. The scheduler
+  /// charges its configurable context-switch cost on top.
+  virtual dana::Status Checkpoint() = 0;
+
+  /// Re-binds the execution to `slot` before its next slice (resume after
+  /// preemption). Implementations re-price the remaining epochs from the
+  /// new slot's residency: resuming where the table is still resident is
+  /// warm, a cold slot pays the first-epoch transient again. Resuming the
+  /// same slot with residency undisturbed continues the original cost
+  /// curve bit for bit.
+  virtual dana::Status Resume(uint32_t slot) = 0;
+
+ protected:
+  QueryBatch batch_;
+};
+
 /// What the scheduler needs from an execution backend: real (simulated)
 /// batched service costs at dispatch time and cheap estimates for
 /// shortest-job-first admission ordering. Estimates must not run the query.
+///
+/// The ABI is the execution-handle model: `Begin` opens a resumable
+/// `BatchExecution` which the scheduler advances in epoch slices.
+/// `Dispatch` is the thin run-to-completion wrapper over it, kept so
+/// callers that never preempt (and the golden scheduler suite) stay valid.
+/// A concrete executor must override at least one of the two — each
+/// default is implemented in terms of the other: executors with epoch
+/// structure override `Begin` (and inherit run-to-completion `Dispatch`);
+/// simple cost models override `Dispatch` (and `Begin` wraps the whole run
+/// in one indivisible slice).
 class QueryExecutor {
  public:
   virtual ~QueryExecutor() = default;
 
   /// The true cost of running `batch` once (invoked at dispatch). All
   /// queries in the batch share one pass; implementations must be
-  /// deterministic in (workload_id, batch size).
-  virtual dana::Result<BatchCost> Dispatch(const QueryBatch& batch) = 0;
+  /// deterministic in (workload_id, batch size). Default: Begin + one
+  /// full slice.
+  virtual dana::Result<BatchCost> Dispatch(const QueryBatch& batch);
+
+  /// Opens a resumable execution handle for `batch`. Default: wraps
+  /// `Dispatch`'s cost in a single indivisible slice (not preemptible).
+  virtual dana::Result<std::unique_ptr<BatchExecution>> Begin(
+      const QueryBatch& batch);
 
   /// A-priori service estimate of a single query for queue ordering (SJF).
   /// May be coarse but must be deterministic and cheap.
   virtual dana::Result<dana::SimTime> Estimate(
       const std::string& workload_id) = 0;
+
+  /// Residency-aware estimate: the expected service of a single query
+  /// dispatched while `warm_fraction` of its table is resident,
+  /// interpolated the same way Dispatch charges it. The scheduler's
+  /// affinity SJF orders the queue by this instead of a weight-tuned
+  /// discount. Default ignores warmth (static executors).
+  virtual dana::Result<dana::SimTime> EstimateAtWarmth(
+      const std::string& workload_id, double warm_fraction) {
+    (void)warm_fraction;
+    return Estimate(workload_id);
+  }
 
   /// Residency of `workload_id`'s table on `slot`'s buffer pool, in [0, 1],
   /// *without* running anything. The scheduler's affinity dispatch consults
@@ -87,6 +185,12 @@ class QueryExecutor {
     (void)slot;
     return 0.0;
   }
+
+ private:
+  /// Detects a subclass overriding neither Dispatch nor Begin: the two
+  /// defaults are implemented in terms of each other, and this flag turns
+  /// the would-be infinite recursion into an Unimplemented status.
+  bool resolving_default_ = false;
 };
 
 /// Executor backed by the DAnA cycle-level simulator over the Table 3
@@ -95,22 +199,28 @@ class QueryExecutor {
 /// Service times are measured by actually compiling and training through
 /// `runtime::DanaSystem` (so the scheduler multiplexes real simulated
 /// accelerator runs, not analytical guesses), then memoized per
-/// (workload, batch size, cache endpoint): every batch of K queries of one
-/// algorithm at one cache state does identical work, so repeats reuse the
-/// measured time instead of re-simulating. Compiled designs live in a
-/// CompileCache so `compiler::Compile` runs once per algorithm no matter
-/// how many queries reference it. Each slot trains against its own buffer
-/// pool from the instance's pool group (per-slot execution contexts).
+/// (workload, batch size, cache endpoint) as an *epoch profile*: the first
+/// epoch carries the cold-I/O transient, every later epoch repeats the
+/// steady state, and fixed query/epoch overheads sit on top. Full-run and
+/// sliced costs both derive from one cumulative cost curve over that
+/// profile, so any split of a run into epoch slices telescopes to exactly
+/// the unsegmented service. Compiled designs live in a CompileCache so
+/// `compiler::Compile` runs once per algorithm no matter how many queries
+/// reference it. Each slot trains against its own buffer pool from the
+/// instance's pool group (per-slot execution contexts).
 ///
 /// Cache realism: by default the executor keeps a per-slot
 /// storage::CacheResidencyModel. A slot's first run of a workload is
 /// charged the genuinely cold service (nothing resident), a repeat on the
 /// same slot the warm one, and a partially-evicted slot (other tables ran
 /// in between) a linear interpolation between the two measured endpoints —
-/// I/O shrinks in proportion to the pages still resident. Every dispatch
-/// updates the model: the scanned table ends resident, co-located tables
-/// decay. Placement therefore matters, and WarmFraction() exposes the
-/// model so the scheduler's affinity dispatch can exploit it.
+/// I/O shrinks in proportion to the pages still resident. Every slice of
+/// every execution updates the model: the scanned table ends resident,
+/// co-located tables decay. A preempted run's table therefore stays
+/// resident until an intervening query's sweep evicts it — resuming on the
+/// same slot is warm, resuming elsewhere is cold — and WarmFraction()
+/// exposes the ledger so affinity dispatch can route resumed work back to
+/// its warm slot.
 class DanaQueryExecutor : public QueryExecutor {
  public:
   struct Options {
@@ -132,11 +242,29 @@ class DanaQueryExecutor : public QueryExecutor {
     uint32_t functional_epoch_cap = 2;
   };
 
+  /// Per-epoch cost profile of one (workload, batch size) at one cache
+  /// endpoint, measured once through the cycle-level simulator. A run of
+  /// e >= 1 epochs costs
+  ///   query_overhead + epoch_overhead * e + first_wall
+  ///     + steady_wall * (e - 1)
+  /// and the shared/per-query attributions decompose the same way.
+  struct EpochProfile {
+    dana::SimTime first_wall, steady_wall;
+    dana::SimTime first_shared, steady_shared;
+    dana::SimTime first_pq, steady_pq;
+    dana::SimTime query_overhead, epoch_overhead;
+    uint32_t epochs = 1;  ///< the run's epoch budget E
+    dana::SimTime compile;
+  };
+
   DanaQueryExecutor();
   explicit DanaQueryExecutor(Options options);
 
-  dana::Result<BatchCost> Dispatch(const QueryBatch& batch) override;
+  dana::Result<std::unique_ptr<BatchExecution>> Begin(
+      const QueryBatch& batch) override;
   dana::Result<dana::SimTime> Estimate(const std::string& workload_id) override;
+  dana::Result<dana::SimTime> EstimateAtWarmth(const std::string& workload_id,
+                                               double warm_fraction) override;
   double WarmFraction(const std::string& workload_id, uint32_t slot) override;
 
   const CompileCache& compile_cache() const { return compile_cache_; }
@@ -147,10 +275,16 @@ class DanaQueryExecutor : public QueryExecutor {
   void ResetResidency() { residency_.Reset(); }
 
  private:
+  friend class DanaBatchExecution;
+
   dana::Result<runtime::WorkloadInstance*> Instance(const std::string& id);
-  /// Measured (or memoized) batched service at a cache endpoint.
-  dana::Result<BatchCost> MeasureEndpoint(const QueryBatch& batch,
-                                          runtime::CacheState cache);
+  /// Measured (or memoized) epoch profile at a cache endpoint.
+  dana::Result<const EpochProfile*> MeasureEndpoint(const QueryBatch& batch,
+                                                    runtime::CacheState cache);
+  /// Profile charged at `warm_fraction` residency: one measured endpoint
+  /// when fully warm/cold, the linear interpolation between both otherwise.
+  dana::Result<EpochProfile> ProfileAt(const QueryBatch& batch,
+                                       double warm_fraction);
 
   Options options_;
   runtime::CpuCostModel cost_model_;
@@ -158,8 +292,8 @@ class DanaQueryExecutor : public QueryExecutor {
   CompileCache compile_cache_;
   storage::CacheResidencyModel residency_;
   std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_;
-  /// Measured batched service, keyed by (workload, batch size, warm?).
-  std::map<std::tuple<std::string, uint32_t, bool>, BatchCost> measured_;
+  /// Measured epoch profiles, keyed by (workload, batch size, warm?).
+  std::map<std::tuple<std::string, uint32_t, bool>, EpochProfile> measured_;
 };
 
 }  // namespace dana::sched

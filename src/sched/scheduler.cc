@@ -1,8 +1,11 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "common/stats.h"
@@ -27,6 +30,16 @@ Result<Policy> ParsePolicy(const std::string& name) {
   if (name == "rr" || name == "round-robin") return Policy::kRoundRobin;
   return Status::InvalidArgument("unknown policy '" + name +
                                  "' (want fcfs|sjf|rr)");
+}
+
+const char* QueryClassName(QueryClass cls) {
+  switch (cls) {
+    case QueryClass::kBatch:
+      return "batch";
+    case QueryClass::kInteractive:
+      return "interactive";
+  }
+  return "?";
 }
 
 double ScheduleReport::ThroughputQps() const {
@@ -61,25 +74,65 @@ double ScheduleReport::MeanBatchSize() const {
 }
 
 double ScheduleReport::WarmHitRate() const {
-  if (queries.empty()) return 0.0;
-  uint64_t hits = 0;
+  uint64_t modeled = 0, hits = 0;
   for (const QueryStat& q : queries) {
+    if (!q.residency_modeled) continue;
+    ++modeled;
     if (q.WarmHit()) ++hits;
   }
-  return static_cast<double>(hits) / static_cast<double>(queries.size());
+  if (modeled == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(hits) / static_cast<double>(modeled);
 }
 
 double ScheduleReport::MeanWarmFraction() const {
-  if (queries.empty()) return 0.0;
+  uint64_t modeled = 0;
   double total = 0.0;
-  for (const QueryStat& q : queries) total += q.warm_fraction;
-  return total / static_cast<double>(queries.size());
+  for (const QueryStat& q : queries) {
+    if (!q.residency_modeled) continue;
+    ++modeled;
+    total += q.warm_fraction;
+  }
+  if (modeled == 0) return std::numeric_limits<double>::quiet_NaN();
+  return total / static_cast<double>(modeled);
+}
+
+uint64_t ScheduleReport::ClassQueries(QueryClass cls) const {
+  uint64_t n = 0;
+  for (const QueryStat& q : queries) {
+    if (q.query_class == cls) ++n;
+  }
+  return n;
+}
+
+dana::SimTime ScheduleReport::ClassMeanLatency(QueryClass cls) const {
+  std::vector<double> ns;
+  for (const QueryStat& q : queries) {
+    if (q.query_class == cls) ns.push_back(q.Latency().nanos());
+  }
+  return dana::SimTime::Nanos(Mean(ns));
+}
+
+dana::SimTime ScheduleReport::ClassLatencyPercentile(QueryClass cls,
+                                                     double p) const {
+  std::vector<double> ns;
+  for (const QueryStat& q : queries) {
+    if (q.query_class == cls) ns.push_back(q.Latency().nanos());
+  }
+  return dana::SimTime::Nanos(Percentile(std::move(ns), p));
+}
+
+double ScheduleReport::ClassThroughputQps(QueryClass cls) const {
+  if (makespan.seconds() <= 0) return 0.0;
+  return static_cast<double>(ClassQueries(cls)) / makespan.seconds();
 }
 
 Scheduler::Scheduler(SchedulerOptions options, QueryExecutor* executor)
     : options_(options), executor_(executor) {
   if (options_.slots == 0) options_.slots = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.batch_window < dana::SimTime::Zero()) {
+    options_.batch_window = dana::SimTime::Zero();
+  }
 }
 
 namespace {
@@ -94,21 +147,36 @@ class PendingQueue {
   /// slot offers that workload — the affinity signal. Null keeps the
   /// affinity-blind picks bit-for-bit.
   using WarmthFn = std::function<double(const std::string&)>;
+  /// Residency-aware SJF estimate in seconds: the expected service of
+  /// `workload` dispatched at `warmth` residency, interpolated the way a
+  /// dispatch is charged (QueryExecutor::EstimateAtWarmth). Only consulted
+  /// when a warmth function is supplied (affinity on).
+  using EstimateAtFn = std::function<double(const std::string&, double)>;
 
-  PendingQueue(Policy policy, double sjf_aging_weight, double affinity_weight,
+  PendingQueue(Policy policy, double sjf_aging_weight,
                const std::vector<QueryRequest>& requests,
                const std::map<std::string, dana::SimTime>& estimates,
-               std::vector<std::string> class_order)
+               std::vector<std::string> class_order,
+               EstimateAtFn estimate_at = nullptr)
       : policy_(policy),
         aging_weight_(sjf_aging_weight),
-        affinity_weight_(affinity_weight),
         requests_(requests),
         estimates_(estimates),
-        class_order_(std::move(class_order)) {}
+        class_order_(std::move(class_order)),
+        estimate_at_(std::move(estimate_at)) {}
 
   bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
 
   void Push(size_t request_index) { pending_.push_back(request_index); }
+
+  /// Re-inserts a request popped but never dispatched (a released batch
+  /// hold) at its admission-order position.
+  void Restore(size_t request_index) {
+    pending_.insert(
+        std::lower_bound(pending_.begin(), pending_.end(), request_index),
+        request_index);
+  }
 
   /// Removes and returns the next request index under the policy. `now` is
   /// the dispatch time, used by SJF aging to credit queue wait.
@@ -122,16 +190,14 @@ class PendingQueue {
         // affinity purely from the slot choice after the pop.
         break;
       case Policy::kSjf: {
-        if (warmth) {
-          // Affinity SJF: a warm pool is trusted to save
-          // `affinity_weight * warmth` of the service, so the effective
-          // estimate shrinks by that share (floored at free); aging credit
-          // still applies on top.
+        if (warmth && estimate_at_) {
+          // Affinity SJF: order by the residency-aware estimate — the
+          // executor's own cold/warm interpolation at the best free slot's
+          // warmth, the same way the dispatch will be charged — instead of
+          // a weight-tuned discount; aging credit still applies on top.
           auto effective = [&](size_t i) {
             const QueryRequest& r = requests_[pending_[i]];
-            const double discount = std::max(
-                0.0, 1.0 - affinity_weight_ * warmth(r.workload_id));
-            return estimates_.at(r.workload_id).seconds() * discount -
+            return estimate_at_(r.workload_id, warmth(r.workload_id)) -
                    aging_weight_ * (now - r.arrival).seconds();
           };
           double best = effective(0);
@@ -216,13 +282,38 @@ class PendingQueue {
  private:
   Policy policy_;
   double aging_weight_;
-  double affinity_weight_;
   const std::vector<QueryRequest>& requests_;
   const std::map<std::string, dana::SimTime>& estimates_;
   std::vector<size_t> pending_;
   std::vector<std::string> class_order_;
   size_t rr_cursor_ = 0;
+  EstimateAtFn estimate_at_;
 };
+
+/// Simulated compile-cache charging shared by both scheduling engines:
+/// `ready` records when each workload's design becomes available. The
+/// first dispatch of a workload is a miss and pays the full compile
+/// latency; a dispatch while that compile is still in flight on another
+/// slot waits out the residual; later dispatches pay nothing. A batch
+/// compiles its design once — the head pays the miss, riders are hits.
+struct CompileCharge {
+  dana::SimTime wait;
+  bool head_miss = false;
+};
+CompileCharge ChargeCompile(std::map<std::string, dana::SimTime>* ready,
+                            const std::string& workload, dana::SimTime now,
+                            dana::SimTime compile_cost) {
+  CompileCharge c;
+  auto it = ready->find(workload);
+  if (it == ready->end()) {
+    c.head_miss = true;
+    c.wait = compile_cost;
+    (*ready)[workload] = now + compile_cost;
+  } else {
+    c.wait = it->second > now ? it->second - now : dana::SimTime::Zero();
+  }
+  return c;
+}
 
 /// One Dispatch call's outcome: which request indices rode the batch and
 /// when the batch completes (= the slot's new free time).
@@ -231,12 +322,12 @@ struct DispatchOutcome {
   dana::SimTime completion;
 };
 
-/// Shared dispatch machinery of the open and closed-loop runs: pops the
-/// policy's head query (affinity-aware when enabled), picks the slot —
-/// earliest-free, or the warmest free one under affinity — coalesces up to
-/// max_batch-1 co-resident queries of the same algorithm, charges compile +
-/// batched service, and records one QueryStat per member (all complete
-/// together).
+/// Shared dispatch machinery of the open and closed-loop run-to-completion
+/// paths: pops the policy's head query (affinity-aware when enabled), picks
+/// the slot — earliest-free, or the warmest free one under affinity —
+/// coalesces up to max_batch-1 co-resident queries of the same algorithm,
+/// charges compile + batched service, and records one QueryStat per member
+/// (all complete together).
 class DispatchEngine {
  public:
   DispatchEngine(const SchedulerOptions& options, QueryExecutor* executor,
@@ -309,21 +400,10 @@ class DispatchEngine {
     for (size_t m : members) batch.query_ids.push_back(requests_[m].id);
     DANA_ASSIGN_OR_RETURN(BatchCost cost, executor_->Dispatch(batch));
 
-    // Simulated compile-cache state: when each workload's design becomes
-    // available. A dispatch before that point waits for the in-flight
-    // compile instead of using a design that does not exist yet. A batch
-    // compiles its design once: the head pays the miss, riders are hits.
-    dana::SimTime compile_wait;
-    bool head_miss = false;
-    auto ready = compile_ready_.find(head.workload_id);
-    if (ready == compile_ready_.end()) {
-      head_miss = true;
-      compile_wait = cost.compile;
-      compile_ready_[head.workload_id] = now + cost.compile;
-    } else {
-      compile_wait = ready->second > now ? ready->second - now
-                                         : dana::SimTime::Zero();
-    }
+    const CompileCharge charge =
+        ChargeCompile(&compile_ready_, head.workload_id, now, cost.compile);
+    const dana::SimTime compile_wait = charge.wait;
+    const bool head_miss = charge.head_miss;
 
     const dana::SimTime completion = now + compile_wait + cost.service;
     for (size_t j = 0; j < members.size(); ++j) {
@@ -331,6 +411,7 @@ class DispatchEngine {
       QueryStat stat;
       stat.id = req.id;
       stat.workload_id = req.workload_id;
+      stat.query_class = req.query_class;
       stat.slot = slot;
       stat.arrival = req.arrival;
       stat.start = now;
@@ -341,6 +422,7 @@ class DispatchEngine {
       stat.shared_service = cost.shared;
       stat.private_service = cost.per_query;
       stat.warm_fraction = cost.warm_fraction;
+      stat.residency_modeled = cost.residency_modeled;
       stat.completion = completion;
       if (stat.compile_hit) {
         ++report_->compile_hits;
@@ -367,6 +449,24 @@ class DispatchEngine {
   std::map<std::string, dana::SimTime> compile_ready_;
 };
 
+/// Residency-aware SJF estimate with a fallback to the precomputed static
+/// estimate when the executor cannot price the warmth. Non-null only when
+/// affinity SJF is on; the returned closure borrows `estimates`, which
+/// must outlive it.
+PendingQueue::EstimateAtFn MakeEstimateAtFn(
+    const SchedulerOptions& options, QueryExecutor* executor,
+    const std::map<std::string, dana::SimTime>& estimates) {
+  if (options.policy != Policy::kSjf || options.affinity_weight <= 0.0) {
+    return nullptr;
+  }
+  return [executor, &estimates](const std::string& id, double warmth) {
+    auto est = executor->EstimateAtWarmth(id, warmth);
+    if (est.ok()) return est->seconds();
+    auto it = estimates.find(id);
+    return it != estimates.end() ? it->second.seconds() : 0.0;
+  };
+}
+
 /// Class rotation order for round-robin: first appearance in `ids`.
 std::vector<std::string> FirstAppearanceOrder(
     const std::vector<std::string>& ids) {
@@ -377,6 +477,479 @@ std::vector<std::string> FirstAppearanceOrder(
   }
   return order;
 }
+
+// ---------------------------------------------------------------------------
+// Preemptive (epoch-sliced, event-driven) scheduling path
+// ---------------------------------------------------------------------------
+
+/// Event-driven engine for the preemptive features: priority classes,
+/// epoch-boundary preemption of batch runs, and the batch-formation
+/// window. Active executions advance through the executor's slice ABI
+/// (QueryExecutor::Begin); all costs are peeked deterministically, so the
+/// planned completion of a run is exact unless a preemption truncates it.
+class PreemptiveEngine {
+ public:
+  PreemptiveEngine(const SchedulerOptions& options, QueryExecutor* executor,
+                   const std::vector<QueryRequest>& requests,
+                   const std::map<std::string, dana::SimTime>& estimates,
+                   PendingQueue::EstimateAtFn estimate_at,
+                   std::vector<std::string> class_order,
+                   ScheduleReport* report)
+      : options_(options),
+        executor_(executor),
+        requests_(requests),
+        report_(report),
+        interactive_(options.policy, options.sjf_aging_weight, requests,
+                     estimates, class_order, estimate_at),
+        batch_(options.policy, options.sjf_aging_weight, requests, estimates,
+               class_order, std::move(estimate_at)),
+        active_(options.slots),
+        holds_(options.slots),
+        free_since_(options.slots, dana::SimTime::Zero()) {}
+
+  dana::Status Run() {
+    dana::SimTime clock;
+    while (true) {
+      while (true) {
+        DANA_ASSIGN_OR_RETURN(bool dispatched, TryDispatchOne(clock));
+        if (!dispatched) break;
+      }
+      DANA_RETURN_NOT_OK(ArmPreemptions(clock));
+
+      dana::SimTime next;
+      if (!NextEventTime(&next)) break;
+      clock = dana::SimTime::Max(clock, next);
+
+      DANA_RETURN_NOT_OK(ProcessSlotEvents(clock));
+      DANA_RETURN_NOT_OK(ProcessHoldExpiries(clock));
+      DANA_RETURN_NOT_OK(AdmitArrivals(clock));
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// One preempted (or in-flight) run's cross-slice state.
+  struct RunState {
+    std::unique_ptr<BatchExecution> exec;
+    std::vector<size_t> members;   ///< request indices
+    std::vector<size_t> stat_idx;  ///< indices into report_->queries
+    QueryClass cls = QueryClass::kBatch;
+    dana::SimTime service_acc;     ///< summed slice occupancy so far
+    dana::SimTime shared_acc;
+    dana::SimTime per_query_acc;
+    uint32_t preemptions = 0;
+    dana::SimTime preempt_overhead_acc;
+  };
+
+  struct Active {
+    RunState run;
+    dana::SimTime curve_origin;  ///< dispatch + compile wait: epoch 1 starts
+    dana::SimTime completion;    ///< planned completion if undisturbed
+    bool preempt_armed = false;
+    uint32_t preempt_epochs = 0;   ///< epochs to run until the boundary
+    dana::SimTime preempt_free;    ///< boundary + context-switch cost
+  };
+
+  /// A freed slot held open for batch formation (batch_window > 0): the
+  /// popped head and any same-algorithm arrivals gathered so far.
+  struct Hold {
+    bool active = false;
+    std::vector<size_t> members;
+    dana::SimTime expires;
+  };
+
+  bool SlotFree(uint32_t s) const {
+    return !active_[s].has_value() && !holds_[s].active;
+  }
+
+  std::vector<uint32_t> AvailableSlots() const {
+    std::vector<uint32_t> out;
+    for (uint32_t s = 0; s < options_.slots; ++s) {
+      if (SlotFree(s)) out.push_back(s);
+    }
+    return out;
+  }
+
+  /// Mirrors the run-to-completion slot rule: among free slots, the one
+  /// free the longest (lowest index on ties); under affinity, the warmest
+  /// (ties by the blind rule).
+  uint32_t ChooseSlot(const std::vector<uint32_t>& available,
+                      const std::string& workload) const {
+    uint32_t slot = available[0];
+    for (uint32_t s : available) {
+      if (free_since_[s] < free_since_[slot]) slot = s;
+    }
+    if (options_.affinity_weight > 0.0) {
+      double best_warm = -1.0;
+      for (uint32_t s : available) {
+        const double w = executor_->WarmFraction(workload, s);
+        if (w > best_warm ||
+            (w == best_warm && free_since_[s] < free_since_[slot])) {
+          best_warm = w;
+          slot = s;
+        }
+      }
+    }
+    return slot;
+  }
+
+  PendingQueue::WarmthFn MakeWarmthFn(
+      const std::vector<uint32_t>& available) const {
+    if (options_.affinity_weight <= 0.0) return nullptr;
+    return [this, &available](const std::string& workload_id) {
+      double best = 0.0;
+      for (uint32_t s : available) {
+        best = std::max(best, executor_->WarmFraction(workload_id, s));
+      }
+      return best;
+    };
+  }
+
+  /// Dispatches the highest-priority available work onto a free slot at
+  /// `now`: interactive queries first, then preempted remainders, then
+  /// fresh batch work (which may instead open a formation hold). Returns
+  /// false when nothing could start.
+  dana::Result<bool> TryDispatchOne(dana::SimTime now) {
+    std::vector<uint32_t> available = AvailableSlots();
+    if (available.empty() && !interactive_.empty()) {
+      // Interactive work outranks batch formation: with every free slot
+      // held, seize one — its members return to the batch queue (never
+      // dispatched, nothing charged) and the slot serves the interactive
+      // query. Holds on other slots keep their windows.
+      for (uint32_t s = 0; s < options_.slots && available.empty(); ++s) {
+        if (!holds_[s].active) continue;
+        for (size_t m : holds_[s].members) batch_.Restore(m);
+        holds_[s].members.clear();
+        holds_[s].active = false;
+        available.push_back(s);
+      }
+    }
+    if (available.empty()) return false;
+    const PendingQueue::WarmthFn warmth = MakeWarmthFn(available);
+
+    if (!interactive_.empty()) {
+      std::vector<size_t> members;
+      members.push_back(interactive_.Pop(now, warmth));
+      const QueryRequest& head = requests_[members[0]];
+      if (options_.max_batch > 1) {
+        interactive_.TakeSameClass(head.workload_id, options_.max_batch - 1,
+                                   &members);
+      }
+      const uint32_t slot = ChooseSlot(available, head.workload_id);
+      return DispatchBatch(std::move(members), QueryClass::kInteractive, slot,
+                           now);
+    }
+
+    if (!continuations_.empty()) {
+      // Resume the preempted remainder with the earliest original arrival.
+      size_t pick = 0;
+      auto key = [&](size_t c) {
+        const QueryRequest& r = requests_[continuations_[c].members[0]];
+        return std::make_pair(r.arrival, r.id);
+      };
+      for (size_t c = 1; c < continuations_.size(); ++c) {
+        if (key(c) < key(pick)) pick = c;
+      }
+      RunState run = std::move(continuations_[pick]);
+      continuations_.erase(continuations_.begin() +
+                           static_cast<ptrdiff_t>(pick));
+      const uint32_t slot =
+          ChooseSlot(available, run.exec->batch().workload_id);
+      return ResumeDispatch(std::move(run), slot, now);
+    }
+
+    if (!batch_.empty()) {
+      std::vector<size_t> members;
+      members.push_back(batch_.Pop(now, warmth));
+      const QueryRequest& head = requests_[members[0]];
+      if (options_.max_batch > 1) {
+        batch_.TakeSameClass(head.workload_id, options_.max_batch - 1,
+                             &members);
+      }
+      const uint32_t slot = ChooseSlot(available, head.workload_id);
+      if (options_.batch_window > dana::SimTime::Zero() &&
+          options_.max_batch > 1 &&
+          members.size() < options_.max_batch &&
+          next_arrival_ < requests_.size()) {
+        // Hold the slot open: future same-algorithm arrivals join until
+        // the batch fills or the window expires.
+        holds_[slot].active = true;
+        holds_[slot].members = std::move(members);
+        holds_[slot].expires = now + options_.batch_window;
+        return true;
+      }
+      return DispatchBatch(std::move(members), QueryClass::kBatch, slot, now);
+    }
+    return false;
+  }
+
+  dana::Result<bool> DispatchBatch(std::vector<size_t> members, QueryClass cls,
+                                   uint32_t slot, dana::SimTime now) {
+    const QueryRequest& head = requests_[members[0]];
+    QueryBatch batch;
+    batch.workload_id = head.workload_id;
+    batch.slot = slot;
+    for (size_t m : members) batch.query_ids.push_back(requests_[m].id);
+    DANA_ASSIGN_OR_RETURN(std::unique_ptr<BatchExecution> exec,
+                          executor_->Begin(batch));
+
+    const CompileCharge charge = ChargeCompile(
+        &compile_ready_, head.workload_id, now, exec->compile_cost());
+    const dana::SimTime compile_wait = charge.wait;
+    const bool head_miss = charge.head_miss;
+
+    Active a;
+    a.run.cls = cls;
+    a.run.members = std::move(members);
+    a.curve_origin = now + compile_wait;
+    DANA_ASSIGN_OR_RETURN(dana::SimTime remaining, exec->PeekService(0));
+    a.completion = a.curve_origin + remaining;
+    for (size_t j = 0; j < a.run.members.size(); ++j) {
+      const QueryRequest& req = requests_[a.run.members[j]];
+      QueryStat stat;
+      stat.id = req.id;
+      stat.workload_id = req.workload_id;
+      stat.query_class = req.query_class;
+      stat.slot = slot;
+      stat.arrival = req.arrival;
+      stat.start = now;
+      stat.compile = compile_wait;
+      stat.compile_hit = !(head_miss && j == 0);
+      stat.batch_size = static_cast<uint32_t>(a.run.members.size());
+      stat.warm_fraction = exec->warm_fraction();
+      stat.residency_modeled = exec->residency_modeled();
+      if (stat.compile_hit) {
+        ++report_->compile_hits;
+      } else {
+        ++report_->compile_misses;
+      }
+      a.run.stat_idx.push_back(report_->queries.size());
+      report_->queries.push_back(std::move(stat));
+    }
+    ++report_->batches;
+    a.run.exec = std::move(exec);
+    active_[slot] = std::move(a);
+    return true;
+  }
+
+  dana::Result<bool> ResumeDispatch(RunState run, uint32_t slot,
+                                    dana::SimTime now) {
+    DANA_RETURN_NOT_OK(run.exec->Resume(slot));
+    Active a;
+    a.curve_origin = now;  // no compile on resume: the design is cached
+    DANA_ASSIGN_OR_RETURN(dana::SimTime remaining, run.exec->PeekService(0));
+    a.completion = now + remaining;
+    a.run = std::move(run);
+    for (size_t idx : a.run.stat_idx) report_->queries[idx].slot = slot;
+    active_[slot] = std::move(a);
+    return true;
+  }
+
+  /// Arms one epoch-boundary preemption per waiting interactive query:
+  /// the longest-remaining unarmed batch-class run with a usable boundary
+  /// is checkpointed at its next quantum boundary at or after `now` —
+  /// provided freeing it there (boundary + context switch) actually beats
+  /// letting it finish. Whether a run can arm depends on its remaining
+  /// *epochs*, not its completion time, so when the longest-remaining run
+  /// has no boundary left the next-longest candidates still get their
+  /// turn.
+  dana::Status ArmPreemptions(dana::SimTime now) {
+    if (options_.preemption_quantum_epochs == 0) return Status::OK();
+    size_t armed = 0;
+    std::vector<uint32_t> candidates;
+    for (uint32_t s = 0; s < options_.slots; ++s) {
+      if (!active_[s].has_value()) continue;
+      if (active_[s]->preempt_armed) {
+        ++armed;
+      } else if (active_[s]->run.cls == QueryClass::kBatch) {
+        candidates.push_back(s);
+      }
+    }
+    // Longest remaining first; slot index breaks completion ties.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return active_[a]->completion > active_[b]->completion;
+                     });
+    for (uint32_t s : candidates) {
+      if (interactive_.size() <= armed) break;
+      DANA_ASSIGN_OR_RETURN(bool did_arm, TryArm(*active_[s], now));
+      if (did_arm) ++armed;
+    }
+    return Status::OK();
+  }
+
+  dana::Result<bool> TryArm(Active& a, dana::SimTime now) {
+    const uint32_t q = options_.preemption_quantum_epochs;
+    const uint32_t remaining =
+        a.run.exec->total_epochs() - a.run.exec->epochs_run();
+    for (uint32_t j = q; j < remaining; j += q) {
+      DANA_ASSIGN_OR_RETURN(dana::SimTime through, a.run.exec->PeekService(j));
+      const dana::SimTime boundary = a.curve_origin + through;
+      if (boundary < now) continue;  // boundary already passed
+      const dana::SimTime freed = boundary + options_.context_switch_cost;
+      if (freed >= a.completion) return false;  // cheaper to let it finish
+      a.preempt_armed = true;
+      a.preempt_epochs = j;
+      a.preempt_free = freed;
+      return true;
+    }
+    return false;
+  }
+
+  bool NextEventTime(dana::SimTime* next) const {
+    bool any = false;
+    auto consider = [&](dana::SimTime t) {
+      if (!any || t < *next) *next = t;
+      any = true;
+    };
+    if (next_arrival_ < requests_.size()) {
+      consider(requests_[next_arrival_].arrival);
+    }
+    for (uint32_t s = 0; s < options_.slots; ++s) {
+      if (active_[s].has_value()) {
+        consider(active_[s]->preempt_armed ? active_[s]->preempt_free
+                                           : active_[s]->completion);
+      }
+      if (holds_[s].active) consider(holds_[s].expires);
+    }
+    return any;
+  }
+
+  dana::Status ProcessSlotEvents(dana::SimTime now) {
+    // Completions first: a slot finishing on this tick serves waiting
+    // interactive queries for free. Armed preemptions then fire only for
+    // demand beyond the slots already freed, so two boundaries landing on
+    // one tick cannot both pay a context switch for a single waiting
+    // query.
+    size_t freed = 0;
+    for (uint32_t s = 0; s < options_.slots; ++s) {
+      if (!active_[s].has_value()) continue;
+      if (!active_[s]->preempt_armed && active_[s]->completion <= now) {
+        DANA_RETURN_NOT_OK(Complete(s, now));
+        ++freed;
+      }
+    }
+    for (uint32_t s = 0; s < options_.slots; ++s) {
+      if (!active_[s].has_value()) continue;
+      Active& a = *active_[s];
+      if (a.preempt_armed && a.preempt_free <= now) {
+        if (interactive_.size() <= freed) {
+          // The demand that armed this was (or will be) served by slots
+          // already freed: cancel instead of paying the context switch
+          // for nothing (a later arrival re-arms at its next boundary).
+          a.preempt_armed = false;
+          continue;
+        }
+        DANA_RETURN_NOT_OK(Preempt(s, now));
+        ++freed;
+      }
+    }
+    return Status::OK();
+  }
+
+  dana::Status Complete(uint32_t slot, dana::SimTime now) {
+    Active a = std::move(*active_[slot]);
+    active_[slot].reset();
+    free_since_[slot] = now;
+    DANA_ASSIGN_OR_RETURN(SliceCost slice, a.run.exec->NextSlice(0));
+    a.run.service_acc += slice.service;
+    a.run.shared_acc += slice.shared;
+    a.run.per_query_acc += slice.per_query;
+    for (size_t idx : a.run.stat_idx) {
+      QueryStat& stat = report_->queries[idx];
+      stat.slot = slot;
+      stat.completion = a.completion;
+      stat.service = a.run.service_acc;
+      stat.shared_service = a.run.shared_acc;
+      stat.private_service = a.run.per_query_acc;
+      stat.preemptions = a.run.preemptions;
+      stat.preempt_overhead = a.run.preempt_overhead_acc;
+    }
+    report_->shared_service += a.run.shared_acc;
+    report_->private_service +=
+        a.run.per_query_acc * static_cast<double>(a.run.members.size());
+    report_->makespan = dana::SimTime::Max(report_->makespan, a.completion);
+    return Status::OK();
+  }
+
+  dana::Status Preempt(uint32_t slot, dana::SimTime now) {
+    Active a = std::move(*active_[slot]);
+    active_[slot].reset();
+    free_since_[slot] = now;
+    DANA_ASSIGN_OR_RETURN(SliceCost slice,
+                          a.run.exec->NextSlice(a.preempt_epochs));
+    DANA_RETURN_NOT_OK(a.run.exec->Checkpoint());
+    a.run.service_acc += slice.service;
+    a.run.shared_acc += slice.shared;
+    a.run.per_query_acc += slice.per_query;
+    ++a.run.preemptions;
+    a.run.preempt_overhead_acc += options_.context_switch_cost;
+    ++report_->preemptions;
+    report_->preemption_overhead += options_.context_switch_cost;
+    continuations_.push_back(std::move(a.run));
+    return Status::OK();
+  }
+
+  dana::Status ProcessHoldExpiries(dana::SimTime now) {
+    for (uint32_t s = 0; s < options_.slots; ++s) {
+      if (!holds_[s].active || holds_[s].expires > now) continue;
+      std::vector<size_t> members = std::move(holds_[s].members);
+      holds_[s].active = false;
+      DANA_RETURN_NOT_OK(
+          DispatchBatch(std::move(members), QueryClass::kBatch, s, now)
+              .status());
+    }
+    return Status::OK();
+  }
+
+  dana::Status AdmitArrivals(dana::SimTime now) {
+    while (next_arrival_ < requests_.size() &&
+           requests_[next_arrival_].arrival <= now) {
+      const size_t idx = next_arrival_++;
+      const QueryRequest& req = requests_[idx];
+      if (req.query_class == QueryClass::kInteractive) {
+        // Queued here; the dispatch phase serves it from a free slot and
+        // seizes a batch-formation hold only when every free slot is held
+        // (TryDispatchOne), so holds survive while idle capacity exists.
+        interactive_.Push(idx);
+        continue;
+      }
+      // Batch arrival: join an open formation hold for its algorithm if
+      // one has room (lowest slot first); dispatch the hold the moment it
+      // fills.
+      bool joined = false;
+      for (uint32_t s = 0; s < options_.slots && !joined; ++s) {
+        if (!holds_[s].active) continue;
+        const QueryRequest& head = requests_[holds_[s].members[0]];
+        if (head.workload_id != req.workload_id) continue;
+        holds_[s].members.push_back(idx);
+        joined = true;
+        if (holds_[s].members.size() >= options_.max_batch) {
+          std::vector<size_t> members = std::move(holds_[s].members);
+          holds_[s].active = false;
+          DANA_RETURN_NOT_OK(
+              DispatchBatch(std::move(members), QueryClass::kBatch, s, now)
+                  .status());
+        }
+      }
+      if (!joined) batch_.Push(idx);
+    }
+    return Status::OK();
+  }
+
+  const SchedulerOptions& options_;
+  QueryExecutor* executor_;
+  const std::vector<QueryRequest>& requests_;
+  ScheduleReport* report_;
+  PendingQueue interactive_;
+  PendingQueue batch_;
+  std::vector<std::optional<Active>> active_;
+  std::vector<Hold> holds_;
+  std::vector<dana::SimTime> free_since_;
+  std::vector<RunState> continuations_;
+  std::map<std::string, dana::SimTime> compile_ready_;
+  size_t next_arrival_ = 0;
+};
 
 }  // namespace
 
@@ -399,6 +972,11 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
     }
   }
 
+  if (options_.preemption_quantum_epochs != 0 ||
+      options_.batch_window > dana::SimTime::Zero()) {
+    return RunPreemptive(std::move(requests), estimates);
+  }
+
   ScheduleReport report;
   report.policy = options_.policy;
   report.slots = options_.slots;
@@ -407,9 +985,9 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
   std::vector<std::string> stream_ids;
   stream_ids.reserve(requests.size());
   for (const QueryRequest& r : requests) stream_ids.push_back(r.workload_id);
-  PendingQueue pending(options_.policy, options_.sjf_aging_weight,
-                       options_.affinity_weight, requests, estimates,
-                       FirstAppearanceOrder(stream_ids));
+  PendingQueue pending(options_.policy, options_.sjf_aging_weight, requests,
+                       estimates, FirstAppearanceOrder(stream_ids),
+                       MakeEstimateAtFn(options_, executor_, estimates));
   DispatchEngine engine(options_, executor_, requests, &report);
   size_t next_arrival = 0;
   // Monotone dispatch clock: a query admitted during an idle advance must
@@ -434,9 +1012,33 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
   return report;
 }
 
+Result<ScheduleReport> Scheduler::RunPreemptive(
+    std::vector<QueryRequest> requests,
+    const std::map<std::string, dana::SimTime>& estimates) {
+  ScheduleReport report;
+  report.policy = options_.policy;
+  report.slots = options_.slots;
+  report.queries.reserve(requests.size());
+
+  std::vector<std::string> stream_ids;
+  stream_ids.reserve(requests.size());
+  for (const QueryRequest& r : requests) stream_ids.push_back(r.workload_id);
+  PreemptiveEngine engine(options_, executor_, requests, estimates,
+                          MakeEstimateAtFn(options_, executor_, estimates),
+                          FirstAppearanceOrder(stream_ids), &report);
+  DANA_RETURN_NOT_OK(engine.Run());
+  return report;
+}
+
 Result<ScheduleReport> Scheduler::RunClosedLoop(
     const std::vector<std::vector<std::string>>& sessions,
     dana::SimTime think_time) {
+  if (options_.preemption_quantum_epochs != 0 ||
+      options_.batch_window > dana::SimTime::Zero()) {
+    return Status::InvalidArgument(
+        "preemption and the batching window are open-stream features; "
+        "closed-loop mode requires both knobs at zero");
+  }
   size_t total = 0;
   std::vector<std::string> submit_order_ids;
   for (const auto& script : sessions) total += script.size();
@@ -485,9 +1087,9 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
   std::vector<size_t> owner;  ///< request index -> session index
   owner.reserve(total);
 
-  PendingQueue pending(options_.policy, options_.sjf_aging_weight,
-                       options_.affinity_weight, requests, estimates,
-                       FirstAppearanceOrder(submit_order_ids));
+  PendingQueue pending(options_.policy, options_.sjf_aging_weight, requests,
+                       estimates, FirstAppearanceOrder(submit_order_ids),
+                       MakeEstimateAtFn(options_, executor_, estimates));
   DispatchEngine engine(options_, executor_, requests, &report);
   uint64_t next_id = 0;
   // Monotone dispatch clock (see Run): keeps a second idle slot from

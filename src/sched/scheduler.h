@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,28 +24,45 @@ const char* PolicyName(Policy policy);
 /// Parses "fcfs" / "sjf" / "rr"; InvalidArgument otherwise.
 dana::Result<Policy> ParsePolicy(const std::string& name);
 
+/// Priority class of a query. Interactive queries are latency-sensitive:
+/// the preemptive scheduler dispatches them ahead of all batch work and,
+/// when epoch-sliced preemption is armed, lets them preempt a running
+/// batch training at its next epoch boundary. Batch queries are the long
+/// training runs that absorb those preemptions. With preemption and the
+/// batching window both off the class is recorded for SLO reporting but
+/// does not change the schedule.
+enum class QueryClass : uint8_t { kBatch, kInteractive };
+
+/// Short name for reporting ("batch", "interactive").
+const char* QueryClassName(QueryClass cls);
+
 /// One analytics query request: "train <workload>'s UDF on its table",
 /// arriving at a point of the simulated clock.
 struct QueryRequest {
   uint64_t id = 0;
   std::string workload_id;
   dana::SimTime arrival;
+  QueryClass query_class = QueryClass::kBatch;
 };
 
 /// Per-query outcome of a scheduled run.
 struct QueryStat {
   uint64_t id = 0;
   std::string workload_id;
+  QueryClass query_class = QueryClass::kBatch;
+  /// Slot the run occupied (of its final slice, if it was preempted and
+  /// resumed elsewhere).
   uint32_t slot = 0;
   dana::SimTime arrival;
-  dana::SimTime start;       ///< dispatch time (compile, if any, runs first)
+  dana::SimTime start;       ///< first dispatch time (compile, if any, first)
   dana::SimTime completion;
   /// Compile time charged: the full latency on a cache miss, the residual
   /// wait when the design is still compiling on another slot, zero once it
   /// is cached.
   dana::SimTime compile;
   /// Slot occupancy of the batched run this query rode in (the whole
-  /// batch's service, not a per-query share).
+  /// batch's service across all of its slices, not a per-query share;
+  /// excludes compile and context-switch costs).
   dana::SimTime service;
   bool compile_hit = false;
   /// Queries co-dispatched in this query's batch (1 = unbatched).
@@ -57,11 +75,20 @@ struct QueryStat {
   /// query's batch started (BatchCost::warm_fraction): 0 = genuinely cold
   /// pool, 1 = fully warm repeat.
   double warm_fraction = 0.0;
+  /// True when `warm_fraction` came from a tracked residency model (see
+  /// BatchCost::residency_modeled); static-cache executors report false
+  /// and are excluded from warm-hit rates.
+  bool residency_modeled = false;
+  /// Times this query's run was preempted at an epoch boundary, and the
+  /// summed context-switch cost those preemptions charged.
+  uint32_t preemptions = 0;
+  dana::SimTime preempt_overhead;
 
   dana::SimTime Wait() const { return start - arrival; }
   dana::SimTime Latency() const { return completion - arrival; }
   /// A warm hit is a run that found at least half its table resident —
-  /// placement paid off for this query.
+  /// placement paid off for this query. Only meaningful when
+  /// `residency_modeled`; report aggregates exclude unmodeled queries.
   bool WarmHit() const { return warm_fraction >= 0.5; }
 };
 
@@ -69,7 +96,7 @@ struct QueryStat {
 struct ScheduleReport {
   Policy policy = Policy::kFcfs;
   uint32_t slots = 1;
-  std::vector<QueryStat> queries;  ///< in dispatch order
+  std::vector<QueryStat> queries;  ///< in (first-)dispatch order
   dana::SimTime makespan;          ///< last completion on the simulated clock
   uint64_t compile_hits = 0;
   uint64_t compile_misses = 0;
@@ -79,6 +106,10 @@ struct ScheduleReport {
   uint64_t batches = 0;
   dana::SimTime shared_service;
   dana::SimTime private_service;
+  /// Preemption accounting: epoch-boundary preemptions performed and the
+  /// summed context-switch (checkpoint + resume) cost they charged.
+  uint64_t preemptions = 0;
+  dana::SimTime preemption_overhead;
 
   /// Completed queries per simulated second.
   double ThroughputQps() const;
@@ -88,12 +119,24 @@ struct ScheduleReport {
   dana::SimTime LatencyPercentile(double p) const;
   /// Queries per accelerator pass (1.0 when batching is off).
   double MeanBatchSize() const;
-  /// Fraction of queries whose run found >= half its table resident on the
-  /// dispatch slot (QueryStat::WarmHit); 0 under executors with no
-  /// residency model reporting cold.
+  /// Fraction of residency-modeled queries whose run found >= half its
+  /// table resident on the dispatch slot (QueryStat::WarmHit). Queries
+  /// from executors without a residency model report a static
+  /// warm_fraction that says nothing about placement; they are excluded,
+  /// and the rate is NaN when no query was modeled.
   double WarmHitRate() const;
-  /// Mean per-query warm fraction at dispatch.
+  /// Mean warm fraction at dispatch over residency-modeled queries; NaN
+  /// when no query was modeled.
   double MeanWarmFraction() const;
+
+  /// @name Per-class SLO accounting
+  ///@{
+  uint64_t ClassQueries(QueryClass cls) const;
+  dana::SimTime ClassMeanLatency(QueryClass cls) const;
+  dana::SimTime ClassLatencyPercentile(QueryClass cls, double p) const;
+  /// Completed queries of `cls` per simulated second of the makespan.
+  double ClassThroughputQps(QueryClass cls) const;
+  ///@}
 };
 
 struct SchedulerOptions {
@@ -114,16 +157,36 @@ struct SchedulerOptions {
   /// placement on: the dispatched query runs on the free slot whose pool is
   /// warmest for its table (QueryExecutor::WarmFraction) instead of the
   /// earliest-free one. FCFS and RR keep their queue order (reordering for
-  /// warmth trades older arrivals' wait for placement); SJF folds the
-  /// affinity score into its cost estimate, discounting a candidate to
-  /// `estimate * max(0, 1 - affinity_weight * warmth)` — the weight is the
-  /// share of the service a fully warm pool is trusted to save, and values
-  /// >= 1 make any warm candidate beat every cold one.
+  /// warmth trades older arrivals' wait for placement); SJF orders the
+  /// queue by the executor's residency-aware estimate
+  /// (QueryExecutor::EstimateAtWarmth at the best free slot's warmth) —
+  /// the same cold/warm interpolation a dispatch is charged — so the
+  /// discount is self-consistent instead of weight-tuned.
   double affinity_weight = 0.0;
+  /// Epoch-sliced preemption. 0 (the default) keeps run-to-completion
+  /// dispatch: the schedule is the affinity scheduler's bit for bit. > 0
+  /// arms preemption: when an interactive query waits on a fully occupied
+  /// machine, the longest-remaining batch-class run is checkpointed at its
+  /// next epoch boundary (the next multiple of this many epochs past its
+  /// dispatch) and its remainder is re-enqueued with the checkpointed
+  /// model, resuming — warm or cold, as residency dictates — when a slot
+  /// frees.
+  uint32_t preemption_quantum_epochs = 0;
+  /// Cost charged per preemption (model checkpoint write-back plus the
+  /// resumed run's re-dispatch setup): the preempted slot stays occupied
+  /// this much longer after the epoch boundary.
+  dana::SimTime context_switch_cost = dana::SimTime::Zero();
+  /// Batch-formation window: a freed slot holds its next batch-class
+  /// dispatch up to this long while further same-algorithm arrivals join
+  /// the batch, trading the head query's wait for batch amortization.
+  /// Interactive arrivals seize held slots immediately. Zero (the
+  /// default) dispatches the moment a slot frees, reproducing the
+  /// windowless schedule bit-for-bit.
+  dana::SimTime batch_window = dana::SimTime::Zero();
 };
 
-/// Non-preemptive discrete-event scheduler multiplexing N simulated
-/// accelerator slots over an admission queue of query requests.
+/// Discrete-event scheduler multiplexing N simulated accelerator slots
+/// over an admission queue of query requests.
 ///
 /// The simulation advances a single virtual clock: a request is admitted at
 /// its arrival time, waits in the queue until a slot frees, then occupies
@@ -134,8 +197,17 @@ struct SchedulerOptions {
 /// model is per run: the first dispatch of each workload is a miss and pays
 /// the compile latency; repeats hit and skip it, except that a repeat
 /// dispatched while the first compile is still in flight on another slot
-/// waits for it to finish. Determinism: ties break by arrival then request
-/// id, so the same request stream always produces the same schedule.
+/// waits for it to finish.
+///
+/// With `preemption_quantum_epochs` or `batch_window` nonzero the run uses
+/// the preemptive event-driven path: executions advance through the
+/// executor's epoch-slice ABI (QueryExecutor::Begin), interactive queries
+/// dispatch ahead of batch work and preempt it at epoch boundaries, and
+/// freed slots may briefly hold for batch formation. With both knobs zero
+/// the run-to-completion path is taken and the schedule is bit-for-bit the
+/// PR 3 scheduler's (pinned by the sched_golden suite). Determinism: ties
+/// break by arrival then request id (and by slot index), so the same
+/// request stream always produces the same schedule.
 class Scheduler {
  public:
   Scheduler(SchedulerOptions options, QueryExecutor* executor);
@@ -149,12 +221,17 @@ class Scheduler {
   /// modeling interactive analysts instead of an open Poisson stream.
   /// `sessions[s]` is session s's ordered workload-id script; every session
   /// submits its first query at time zero. Request ids number submissions
-  /// in order (ties broken by session index).
+  /// in order (ties broken by session index). Preemption and the batching
+  /// window are open-stream features; nonzero knobs are rejected here.
   dana::Result<ScheduleReport> RunClosedLoop(
       const std::vector<std::vector<std::string>>& sessions,
       dana::SimTime think_time);
 
  private:
+  dana::Result<ScheduleReport> RunPreemptive(
+      std::vector<QueryRequest> requests,
+      const std::map<std::string, dana::SimTime>& estimates);
+
   SchedulerOptions options_;
   QueryExecutor* executor_;
 };

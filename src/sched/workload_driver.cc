@@ -107,6 +107,9 @@ Result<std::vector<QueryRequest>> WorkloadDriver::Generate() const {
     req.id = i;
     req.workload_id = catalog_[rank];
     req.arrival = clock;
+    req.query_class = rank < options_.interactive_ranks
+                          ? QueryClass::kInteractive
+                          : QueryClass::kBatch;
     requests.push_back(std::move(req));
   }
   return requests;

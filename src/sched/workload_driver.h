@@ -45,6 +45,13 @@ struct DriverOptions {
   /// Closed-loop mode (GenerateSessions): number of concurrent analyst
   /// sessions the queries are dealt across.
   uint32_t sessions = 4;
+  /// Priority classes: requests for the first this-many catalog ranks are
+  /// tagged QueryClass::kInteractive, the rest QueryClass::kBatch. The
+  /// catalog's order defines the ranks — position 0 is the Zipf-hottest,
+  /// so a caller who wants "the short, popular algorithms" interactive
+  /// should rank the catalog by estimated service (as bench_sched does).
+  /// 0 (the default) tags everything batch — the classless PR 3 stream.
+  uint32_t interactive_ranks = 0;
 };
 
 /// Generates reproducible multi-query request streams over a catalog of

@@ -10,6 +10,10 @@ namespace {
 constexpr double kResidencyFloor = 1e-3;
 }  // namespace
 
+double CacheResidencyModel::PostRunResidency(double size_ratio) {
+  return std::min(1.0, 1.0 / std::max(size_ratio, 1e-9));
+}
+
 double CacheResidencyModel::ResidentFraction(uint32_t slot,
                                              const std::string& table) const {
   auto s = slots_.find(slot);
@@ -58,7 +62,7 @@ void CacheResidencyModel::OnRun(uint32_t slot, const std::string& table,
   // fits, its trailing pool-sized window otherwise.
   Entry& e = tables[table];
   e.size_ratio = size_ratio;
-  e.resident = std::min(1.0, 1.0 / size_ratio);
+  e.resident = PostRunResidency(size_ratio);
 }
 
 std::vector<std::string> CacheResidencyModel::ResidentTables(

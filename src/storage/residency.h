@@ -36,7 +36,17 @@ class CacheResidencyModel {
   /// the table fully resident, larger tables end with `1 / size_ratio` of
   /// their pages resident. Only the scan's installs (its miss share, less
   /// whatever free pool space absorbs) evict other tables' frames.
+  /// Epoch-sliced runs call this once per slice: every epoch is a full
+  /// sweep, and the update is idempotent for an undisturbed repeat, so a
+  /// preempted table stays resident until an intervening query's sweep
+  /// evicts it.
   void OnRun(uint32_t slot, const std::string& table, double size_ratio);
+
+  /// Residency a run of size ratio `size_ratio` leaves behind: the whole
+  /// table when it fits the pool, its trailing pool-sized window otherwise.
+  /// The single definition shared by OnRun and by executors that need to
+  /// recognise an undisturbed slot when resuming preempted work.
+  static double PostRunResidency(double size_ratio);
 
   /// Drops all residency state (fresh, fully cold slots).
   void Reset() { slots_.clear(); }

@@ -1,0 +1,814 @@
+// Preemptible epoch-sliced execution suite (ctest label: sched_preempt).
+//
+// Three layers of the resumable-execution stack are pinned here:
+//  - accel::Accelerator's segmented-run mode: any split of a training run
+//    into epoch segments (chained through final_models checkpoints over an
+//    undisturbed buffer pool) reproduces the unsegmented run's per-epoch
+//    timings and final model bit for bit, with cold I/O paid only by the
+//    segment that runs the first epoch;
+//  - the executor slice ABI: DanaQueryExecutor's slice costs telescope to
+//    the unsegmented Dispatch charge, and Resume re-prices the remainder
+//    from the new slot's residency;
+//  - the scheduler's preemptive path: priority classes, epoch-boundary
+//    preemption with a bounded interactive latency, the batching window,
+//    and bit-identity of the knobs-off path with the run-to-completion
+//    scheduler.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "compiler/compiler.h"
+#include "ml/algorithms.h"
+#include "ml/datasets.h"
+#include "ml/workloads.h"
+#include "sched/executor.h"
+#include "sched/scheduler.h"
+#include "sched/workload_driver.h"
+#include "storage/buffer_pool.h"
+
+namespace dana {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Accelerator segmented-run mode
+// ---------------------------------------------------------------------------
+
+struct SegmentFixture {
+  std::unique_ptr<storage::Table> table;
+  std::unique_ptr<storage::BufferPool> pool;
+  compiler::CompiledUdf udf;
+  ml::AlgoParams params;
+  ml::AlgoKind kind = ml::AlgoKind::kLinearRegression;
+
+  static SegmentFixture Make(uint32_t epochs) {
+    SegmentFixture f;
+    f.params.dims = 8;
+    f.params.rank = 4;
+    f.params.merge_coef = 4;
+    f.params.epochs = epochs;
+    f.params.learning_rate = 0.3;
+    ml::DatasetSpec spec;
+    spec.kind = f.kind;
+    spec.dims = f.params.dims;
+    spec.rank = f.params.rank;
+    spec.tuples = 512;
+    ml::Dataset data = ml::GenerateDataset(spec);
+    storage::PageLayout layout;
+    f.table = std::move(ml::BuildTable("t", data, layout)).ValueOrDie();
+    f.pool = std::make_unique<storage::BufferPool>(64ull << 20, 32 * 1024,
+                                                   storage::DiskModel{});
+    auto algo = std::move(ml::BuildAlgo(f.kind, f.params)).ValueOrDie();
+    compiler::WorkloadShape shape;
+    shape.num_tuples = f.table->num_tuples();
+    shape.num_pages = f.table->num_pages();
+    shape.tuples_per_page = f.table->TuplesOnPage(0);
+    shape.tuple_payload_bytes = f.table->schema().RowBytes();
+    compiler::UdfCompiler compiler{compiler::FpgaSpec{},
+                                   compiler::HardwareGenerator::Options{}};
+    f.udf = std::move(compiler.Compile(*algo, layout, shape)).ValueOrDie();
+    return f;
+  }
+
+  /// Fresh cold pool (cleared frames, zeroed stats).
+  void ResetPool() {
+    pool->Clear();
+    pool->ResetStats();
+  }
+
+  accel::RunReport Train(accel::RunOptions opt) {
+    if (opt.initial_models.empty()) {
+      opt.initial_models = {ml::InitialModel(kind, params)};
+    }
+    accel::Accelerator acc(udf);
+    return std::move(acc.Train(*table, pool.get(), opt)).ValueOrDie();
+  }
+};
+
+/// Runs the fixture's training split into the given segment sizes (0 size
+/// = all remaining), chaining model checkpoints, without disturbing the
+/// pool between segments. Returns the concatenated segment reports.
+std::vector<accel::RunReport> RunSegments(SegmentFixture& f,
+                                          const std::vector<uint32_t>& sizes) {
+  std::vector<accel::RunReport> reports;
+  std::vector<std::vector<float>> models = {
+      ml::InitialModel(f.kind, f.params)};
+  uint32_t done = 0;
+  for (uint32_t size : sizes) {
+    accel::RunOptions opt;
+    opt.epoch_limit = size;
+    opt.epochs_completed = done;
+    opt.initial_models = models;
+    accel::RunReport r = f.Train(opt);
+    done = r.epochs_completed;
+    models = r.final_models;
+    reports.push_back(std::move(r));
+    if (!reports.back().resumable) break;
+  }
+  return reports;
+}
+
+TEST(SegmentedRunTest, AnySplitReproducesTheUnsegmentedRun) {
+  const uint32_t kEpochs = 8;
+  SegmentFixture f = SegmentFixture::Make(kEpochs);
+
+  f.ResetPool();
+  accel::RunReport whole = f.Train({});
+  ASSERT_EQ(whole.epochs_run, kEpochs);
+  EXPECT_EQ(whole.epochs_completed, kEpochs);
+  EXPECT_FALSE(whole.resumable);
+
+  const std::vector<std::vector<uint32_t>> splits = {
+      {1, 1, 1, 1, 1, 1, 1, 1},  // size 1
+      {2, 2, 2, 2},              // size 2
+      {7, 1},                    // k-1 then 1
+      {3, 1, 4},                 // "random"
+      {5, 0},                    // explicit remainder
+  };
+  for (const auto& split : splits) {
+    f.ResetPool();
+    std::vector<accel::RunReport> segments = RunSegments(f, split);
+
+    // Per-epoch timings concatenate to the unsegmented run's bit for bit:
+    // the first segment pays the cold I/O, every later segment runs warm.
+    std::vector<accel::EpochBreakdown> epochs;
+    dana::SimTime total;
+    uint64_t tuples = 0;
+    for (const accel::RunReport& r : segments) {
+      epochs.insert(epochs.end(), r.epochs.begin(), r.epochs.end());
+      total += r.total_time;
+      tuples += r.tuples_processed;
+    }
+    ASSERT_EQ(epochs.size(), whole.epochs.size());
+    for (size_t e = 0; e < epochs.size(); ++e) {
+      EXPECT_EQ(epochs[e].wall.nanos(), whole.epochs[e].wall.nanos())
+          << "epoch " << e;
+      EXPECT_EQ(epochs[e].io.nanos(), whole.epochs[e].io.nanos())
+          << "epoch " << e;
+      EXPECT_EQ(epochs[e].engine.nanos(), whole.epochs[e].engine.nanos())
+          << "epoch " << e;
+    }
+    EXPECT_NEAR(total.nanos(), whole.total_time.nanos(), 1.0);
+    EXPECT_EQ(tuples, whole.tuples_processed);
+
+    // The chained checkpoint ends at the identical model, bit for bit.
+    const accel::RunReport& last = segments.back();
+    EXPECT_EQ(last.epochs_completed, kEpochs);
+    EXPECT_FALSE(last.resumable);
+    ASSERT_EQ(last.final_models.size(), whole.final_models.size());
+    for (size_t m = 0; m < whole.final_models.size(); ++m) {
+      EXPECT_EQ(last.final_models[m], whole.final_models[m]);
+    }
+  }
+}
+
+TEST(SegmentedRunTest, ColdIoPaidOnlyInTheFirstSegment) {
+  SegmentFixture f = SegmentFixture::Make(6);
+  f.ResetPool();
+  std::vector<accel::RunReport> segments = RunSegments(f, {2, 2, 2});
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_GT(segments[0].io_time.nanos(), 0.0);
+  EXPECT_EQ(segments[1].io_time.nanos(), 0.0);
+  EXPECT_EQ(segments[2].io_time.nanos(), 0.0);
+  // The configuration FSM programs the design once, in the first segment.
+  EXPECT_GT(segments[0].fpga_cycles, segments[1].fpga_cycles);
+}
+
+TEST(SegmentedRunTest, SegmentReportsBudgetAccounting) {
+  SegmentFixture f = SegmentFixture::Make(5);
+  f.ResetPool();
+  accel::RunOptions opt;
+  opt.epoch_limit = 3;
+  opt.initial_models = {ml::InitialModel(f.kind, f.params)};
+  accel::RunReport first = f.Train(opt);
+  EXPECT_EQ(first.epochs_run, 3u);
+  EXPECT_EQ(first.epochs_completed, 3u);
+  EXPECT_TRUE(first.resumable);
+
+  opt.epochs_completed = 3;
+  opt.epoch_limit = 10;  // clamped to the remaining budget
+  opt.initial_models = first.final_models;
+  accel::RunReport rest = f.Train(opt);
+  EXPECT_EQ(rest.epochs_run, 2u);
+  EXPECT_EQ(rest.epochs_completed, 5u);
+  EXPECT_FALSE(rest.resumable);
+
+  // A segment past the budget runs nothing.
+  opt.epochs_completed = 5;
+  accel::RunReport none = f.Train(opt);
+  EXPECT_EQ(none.epochs_run, 0u);
+  EXPECT_FALSE(none.resumable);
+}
+
+// ---------------------------------------------------------------------------
+// DanaQueryExecutor slice ABI
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorSliceTest, SlicesTelescopeToTheDispatchCharge) {
+  sched::DanaQueryExecutor executor;
+  auto whole = executor.Dispatch(sched::QueryBatch::Single("wlan", 0, 0));
+  ASSERT_TRUE(whole.ok());
+
+  // A fresh cold machine again: slicing epoch by epoch must charge the
+  // same total occupancy as the one-shot dispatch.
+  executor.ResetResidency();
+  auto exec = executor.Begin(sched::QueryBatch::Single("wlan", 1, 0));
+  ASSERT_TRUE(exec.ok());
+  const uint32_t total_epochs = (*exec)->total_epochs();
+  ASSERT_GT(total_epochs, 1u);
+  dana::SimTime sum;
+  uint32_t slices = 0;
+  while (!(*exec)->finished()) {
+    auto slice = (*exec)->NextSlice(1);
+    ASSERT_TRUE(slice.ok());
+    EXPECT_EQ(slice->epochs, 1u);
+    sum += slice->service;
+    ++slices;
+  }
+  EXPECT_EQ(slices, total_epochs);
+  EXPECT_NEAR(sum.nanos(), whole->service.nanos(), 1.0);
+
+  // Draining an already-finished execution is a contract violation.
+  EXPECT_TRUE((*exec)->NextSlice(1).status().IsFailedPrecondition());
+}
+
+TEST(ExecutorSliceTest, PeekNeverPerturbsAndMatchesSlices) {
+  sched::DanaQueryExecutor executor;
+  auto exec = executor.Begin(sched::QueryBatch::Single("wlan", 0, 0));
+  ASSERT_TRUE(exec.ok());
+  auto all = (*exec)->PeekService(0);
+  auto again = (*exec)->PeekService(0);
+  ASSERT_TRUE(all.ok() && again.ok());
+  EXPECT_EQ(all->nanos(), again->nanos());
+  auto first_two = (*exec)->PeekService(2);
+  ASSERT_TRUE(first_two.ok());
+  auto slice = (*exec)->NextSlice(2);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->service.nanos(), first_two->nanos());
+  auto rest = (*exec)->PeekService(0);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_NEAR(slice->service.nanos() + rest->nanos(), all->nanos(), 1.0);
+}
+
+TEST(ExecutorSliceTest, ResumeElsewhereIsColdSameSlotIsWarm) {
+  sched::DanaQueryExecutor executor;
+  auto exec = executor.Begin(sched::QueryBatch::Single("wlan", 0, 0));
+  ASSERT_TRUE(exec.ok());
+  auto slice = (*exec)->NextSlice(2);
+  ASSERT_TRUE(slice.ok());
+  ASSERT_TRUE((*exec)->Checkpoint().ok());
+
+  // Undisturbed same-slot resume: the cost curve continues exactly.
+  auto before = (*exec)->PeekService(0);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE((*exec)->Resume(0).ok());
+  auto same = (*exec)->PeekService(0);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->nanos(), before->nanos());
+
+  // Resuming on a never-used slot re-pays the cold transient: the
+  // remainder is strictly more expensive than the warm continuation.
+  ASSERT_TRUE((*exec)->Resume(1).ok());
+  auto elsewhere = (*exec)->PeekService(0);
+  ASSERT_TRUE(elsewhere.ok());
+  EXPECT_GT(elsewhere->nanos(), same->nanos());
+}
+
+TEST(ExecutorSliceTest, SliceUpdatesResidencyPerSweep) {
+  sched::DanaQueryExecutor executor;
+  auto exec = executor.Begin(sched::QueryBatch::Single("wlan", 0, 0));
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(executor.WarmFraction("wlan", 0), 0.0);
+  ASSERT_TRUE((*exec)->NextSlice(1).ok());
+  // One epoch swept the whole table: the slot is warm for it now, so an
+  // intervening query would find it and the resumed remainder stays warm
+  // until something else evicts it.
+  EXPECT_GT(executor.WarmFraction("wlan", 0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler preemptive path (synthetic epoch-sliced executor)
+// ---------------------------------------------------------------------------
+
+/// Deterministic synthetic epoch-sliced execution: every epoch of `id`
+/// costs shared_s + size * per_query_s seconds of slot occupancy, over
+/// `epochs` epochs. Warmth is not modeled (Resume never re-prices).
+class SlicedExecutor : public sched::QueryExecutor {
+ public:
+  void Set(const std::string& id, uint32_t epochs, double epoch_shared_s,
+           double epoch_per_query_s, double estimate_s,
+           double compile_s = 0.0) {
+    specs_[id] = {epochs, epoch_shared_s, epoch_per_query_s, compile_s};
+    estimates_[id] = dana::SimTime::Seconds(estimate_s);
+  }
+
+  Result<std::unique_ptr<sched::BatchExecution>> Begin(
+      const sched::QueryBatch& batch) override {
+    auto it = specs_.find(batch.workload_id);
+    if (it == specs_.end()) return Status::NotFound(batch.workload_id);
+    begun_.push_back(batch);
+    return std::unique_ptr<sched::BatchExecution>(
+        new Execution(batch, it->second));
+  }
+
+  Result<dana::SimTime> Estimate(const std::string& id) override {
+    auto it = estimates_.find(id);
+    if (it == estimates_.end()) return Status::NotFound(id);
+    return it->second;
+  }
+
+  const std::vector<sched::QueryBatch>& begun() const { return begun_; }
+
+ private:
+  struct Spec {
+    uint32_t epochs;
+    double shared_s;
+    double per_query_s;
+    double compile_s;
+  };
+
+  class Execution : public sched::BatchExecution {
+   public:
+    Execution(sched::QueryBatch batch, Spec spec)
+        : BatchExecution(std::move(batch)), spec_(spec) {}
+
+    uint32_t total_epochs() const override { return spec_.epochs; }
+    uint32_t epochs_run() const override { return done_; }
+    dana::SimTime compile_cost() const override {
+      return dana::SimTime::Seconds(spec_.compile_s);
+    }
+    double warm_fraction() const override { return 0.0; }
+    bool residency_modeled() const override { return false; }
+
+    dana::SimTime EpochCost() const {
+      return dana::SimTime::Seconds(
+          spec_.shared_s + spec_.per_query_s * batch_.size());
+    }
+
+    Result<sched::SliceCost> NextSlice(uint32_t max_epochs) override {
+      const uint32_t remaining = spec_.epochs - done_;
+      if (remaining == 0) {
+        return Status::FailedPrecondition("already finished");
+      }
+      const uint32_t n =
+          max_epochs == 0 ? remaining : std::min(max_epochs, remaining);
+      sched::SliceCost s;
+      s.epochs = n;
+      s.service = EpochCost() * static_cast<double>(n);
+      s.shared = dana::SimTime::Seconds(spec_.shared_s) *
+                 static_cast<double>(n);
+      s.per_query = dana::SimTime::Seconds(spec_.per_query_s) *
+                    static_cast<double>(n);
+      done_ += n;
+      s.finished = done_ == spec_.epochs;
+      return s;
+    }
+
+    Result<dana::SimTime> PeekService(uint32_t epochs) const override {
+      const uint32_t remaining = spec_.epochs - done_;
+      const uint32_t n =
+          epochs == 0 ? remaining : std::min(epochs, remaining);
+      return EpochCost() * static_cast<double>(n);
+    }
+
+    Status Checkpoint() override { return Status::OK(); }
+    Status Resume(uint32_t slot) override {
+      batch_.slot = slot;
+      return Status::OK();
+    }
+
+   private:
+    Spec spec_;
+    uint32_t done_ = 0;
+  };
+
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, dana::SimTime> estimates_;
+  std::vector<sched::QueryBatch> begun_;
+};
+
+sched::QueryRequest Req(uint64_t id, const std::string& workload,
+                        double arrival_s,
+                        sched::QueryClass cls = sched::QueryClass::kBatch) {
+  sched::QueryRequest r;
+  r.id = id;
+  r.workload_id = workload;
+  r.arrival = dana::SimTime::Seconds(arrival_s);
+  r.query_class = cls;
+  return r;
+}
+
+TEST(PreemptionTest, InteractiveLatencyBoundedByQuantumPlusContextSwitch) {
+  SlicedExecutor exec;
+  exec.Set("training", /*epochs=*/100, /*shared=*/1.0, /*pq=*/0.0,
+           /*estimate=*/100);
+  exec.Set("lookup", /*epochs=*/1, /*shared=*/2.0, /*pq=*/0.0,
+           /*estimate=*/2);
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "training", 0),
+      Req(1, "lookup", 10.5, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 1,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 4,
+                          .context_switch_cost = dana::SimTime::Seconds(0.5)},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 2u);
+
+  const sched::QueryStat* lookup = nullptr;
+  const sched::QueryStat* training = nullptr;
+  for (const sched::QueryStat& q : report->queries) {
+    (q.id == 1 ? lookup : training) = &q;
+  }
+  ASSERT_NE(lookup, nullptr);
+  ASSERT_NE(training, nullptr);
+
+  // The arrival at t=10.5 preempts the run at its next 4-epoch boundary,
+  // t=12, and the slot frees after the 0.5 s context switch.
+  EXPECT_DOUBLE_EQ(lookup->start.seconds(), 12.5);
+  EXPECT_DOUBLE_EQ(lookup->completion.seconds(), 14.5);
+  // Latency bound: one quantum of epochs + context switch + own service.
+  const double bound = 4 * 1.0 + 0.5 + 2.0;
+  EXPECT_LE(lookup->Latency().seconds(), bound);
+
+  // The preempted run resumed at 14.5 and finished its remaining 88
+  // epochs; its service excludes the context switch, which is reported
+  // separately.
+  EXPECT_EQ(training->preemptions, 1u);
+  EXPECT_DOUBLE_EQ(training->preempt_overhead.seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(training->service.seconds(), 100.0);
+  EXPECT_DOUBLE_EQ(training->completion.seconds(), 102.5);
+  EXPECT_EQ(report->preemptions, 1u);
+  EXPECT_DOUBLE_EQ(report->preemption_overhead.seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 102.5);
+}
+
+TEST(PreemptionTest, LongestRemainingRunIsTheVictim) {
+  SlicedExecutor exec;
+  exec.Set("long", 100, 1.0, 0.0, 100);
+  exec.Set("short_train", 20, 1.0, 0.0, 20);
+  exec.Set("lookup", 1, 1.0, 0.0, 1);
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "long", 0), Req(1, "short_train", 0),
+      Req(2, "lookup", 5.5, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 2,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 2,
+                          .context_switch_cost = dana::SimTime::Zero()},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  const sched::QueryStat* longest = nullptr;
+  for (const sched::QueryStat& q : report->queries) {
+    if (q.id == 0) longest = &q;
+  }
+  ASSERT_NE(longest, nullptr);
+  EXPECT_EQ(longest->preemptions, 1u);
+  for (const sched::QueryStat& q : report->queries) {
+    if (q.id == 1) {
+      EXPECT_EQ(q.preemptions, 0u);
+    }
+  }
+}
+
+TEST(PreemptionTest, BoundarylessLongestRunYieldsToNextCandidate) {
+  // The longest-remaining run (by completion time) has too few epochs
+  // left for a quantum boundary; the next-longest run still offers one,
+  // and the arming must fall through to it instead of giving up.
+  SlicedExecutor exec;
+  exec.Set("fat", /*epochs=*/2, /*shared=*/10.0, /*pq=*/0.0, 20);
+  exec.Set("thin", /*epochs=*/12, /*shared=*/1.0, /*pq=*/0.0, 12);
+  exec.Set("lookup", 1, 2.0, 0.0, 2);
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "fat", 0), Req(1, "thin", 0),
+      Req(2, "lookup", 1, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 2,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 4,
+                          .context_switch_cost = dana::SimTime::Zero()},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->preemptions, 1u);
+  for (const sched::QueryStat& q : report->queries) {
+    if (q.id == 2) {
+      // Preempted "thin" at its first boundary (t=4), not at either run's
+      // completion (t=12 / t=20).
+      EXPECT_DOUBLE_EQ(q.start.seconds(), 4.0);
+    }
+    if (q.id == 1) {
+      EXPECT_EQ(q.preemptions, 1u);
+    }
+    if (q.id == 0) {
+      EXPECT_EQ(q.preemptions, 0u);
+    }
+  }
+}
+
+TEST(PreemptionTest, ExecutorOverridingNeitherDispatchNorBeginErrors) {
+  // Dispatch and Begin are defaulted in terms of each other; a subclass
+  // implementing neither must get a status, not a stack overflow.
+  class NeitherExecutor : public sched::QueryExecutor {
+   public:
+    Result<dana::SimTime> Estimate(const std::string&) override {
+      return dana::SimTime::Seconds(1);
+    }
+  };
+  NeitherExecutor exec;
+  EXPECT_TRUE(exec.Dispatch(sched::QueryBatch::Single("a"))
+                  .status()
+                  .IsUnimplemented());
+  EXPECT_TRUE(exec.Begin(sched::QueryBatch::Single("a"))
+                  .status()
+                  .IsUnimplemented());
+  // The guard resets: repeated calls keep reporting cleanly.
+  EXPECT_TRUE(exec.Dispatch(sched::QueryBatch::Single("a"))
+                  .status()
+                  .IsUnimplemented());
+}
+
+TEST(BatchWindowTest, InteractiveArrivalPrefersAFreeSlotOverSeizingTheHold) {
+  SlicedExecutor exec;
+  exec.Set("train", 1, 10.0, 2.0, 12);
+  exec.Set("lookup", 1, 1.0, 0.0, 1);
+  // Two slots: the batch head holds slot 0 collecting riders; slot 1 is
+  // idle. The interactive arrival must run on the free slot and leave the
+  // hold (and its window) untouched.
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "train", 0),
+      Req(1, "lookup", 1, sched::QueryClass::kInteractive),
+      Req(2, "train", 2)};
+  sched::Scheduler sched({.slots = 2,
+                          .policy = sched::Policy::kFcfs,
+                          .max_batch = 2,
+                          .batch_window = dana::SimTime::Seconds(6)},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 3u);
+  for (const sched::QueryStat& q : report->queries) {
+    if (q.id == 1) {
+      EXPECT_DOUBLE_EQ(q.start.seconds(), 1.0);
+    }
+    if (q.id == 0 || q.id == 2) {
+      // The hold survived and filled at t=2: both trainings ride one
+      // batch dispatched then, not re-windowed after the lookup.
+      EXPECT_EQ(q.batch_size, 2u);
+      EXPECT_DOUBLE_EQ(q.start.seconds(), 2.0);
+    }
+  }
+}
+
+TEST(PreemptionTest, NoInteractiveWaitersMeansNoPreemptions) {
+  SlicedExecutor exec;
+  exec.Set("a", 10, 1.0, 0.0, 10);
+  exec.Set("b", 4, 1.0, 0.0, 4);
+  std::vector<sched::QueryRequest> reqs;
+  for (int i = 0; i < 10; ++i) {
+    reqs.push_back(Req(static_cast<uint64_t>(i), i % 2 ? "a" : "b", 1.5 * i));
+  }
+  sched::Scheduler sched({.slots = 2,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 2,
+                          .context_switch_cost = dana::SimTime::Seconds(1)},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->preemptions, 0u);
+  EXPECT_DOUBLE_EQ(report->preemption_overhead.seconds(), 0.0);
+}
+
+TEST(PreemptionTest, EventDrivenPathWithNothingToPreemptMatchesLegacy) {
+  // An all-batch stream under the event-driven path (quantum armed but no
+  // interactive query ever waits) must reproduce the run-to-completion
+  // schedule bit for bit: the preemptive machinery may not perturb
+  // dispatch order, slot choice, or timing when it never fires.
+  SlicedExecutor sliced;
+  sliced.Set("x", 4, 1.0, 0.5, 6);
+  sliced.Set("y", 8, 0.5, 0.25, 6);
+  sched::DriverOptions opts;
+  opts.num_queries = 60;
+  opts.arrival_rate_qps = 0.4;
+  sched::WorkloadDriver driver({"x", "y"}, opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  for (sched::Policy policy :
+       {sched::Policy::kFcfs, sched::Policy::kSjf,
+        sched::Policy::kRoundRobin}) {
+    auto off = sched::Scheduler({.slots = 2,
+                                 .policy = policy,
+                                 .max_batch = 2},
+                                &sliced)
+                   .Run(*stream);
+    auto on = sched::Scheduler({.slots = 2,
+                                .policy = policy,
+                                .max_batch = 2,
+                                .preemption_quantum_epochs = 3,
+                                .context_switch_cost =
+                                    dana::SimTime::Seconds(9)},
+                               &sliced)
+                  .Run(*stream);
+    ASSERT_TRUE(off.ok() && on.ok());
+    ASSERT_EQ(off->queries.size(), on->queries.size());
+    for (size_t i = 0; i < off->queries.size(); ++i) {
+      EXPECT_EQ(off->queries[i].id, on->queries[i].id);
+      EXPECT_EQ(off->queries[i].slot, on->queries[i].slot);
+      EXPECT_EQ(off->queries[i].start.nanos(), on->queries[i].start.nanos());
+      EXPECT_EQ(off->queries[i].completion.nanos(),
+                on->queries[i].completion.nanos());
+    }
+    EXPECT_EQ(on->preemptions, 0u);
+  }
+}
+
+TEST(PreemptionTest, PreemptiveScheduleIsDeterministic) {
+  sched::DriverOptions opts;
+  opts.num_queries = 80;
+  opts.arrival_rate_qps = 0.5;
+  opts.interactive_ranks = 1;
+  opts.zipf_exponent = 1.1;
+  sched::WorkloadDriver driver({"hot", "mid", "tail"}, opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  for (sched::Policy policy :
+       {sched::Policy::kFcfs, sched::Policy::kSjf,
+        sched::Policy::kRoundRobin}) {
+    auto run = [&] {
+      SlicedExecutor exec;
+      exec.Set("hot", 1, 2.0, 0.5, 3);
+      exec.Set("mid", 6, 1.5, 0.5, 10);
+      exec.Set("tail", 20, 2.0, 0.5, 45);
+      return sched::Scheduler(
+                 {.slots = 2,
+                  .policy = policy,
+                  .max_batch = 2,
+                  .preemption_quantum_epochs = 3,
+                  .context_switch_cost = dana::SimTime::Seconds(0.2)},
+                 &exec)
+          .Run(*stream);
+    };
+    auto a = run();
+    auto b = run();
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->queries.size(), b->queries.size());
+    for (size_t i = 0; i < a->queries.size(); ++i) {
+      EXPECT_EQ(a->queries[i].id, b->queries[i].id);
+      EXPECT_EQ(a->queries[i].slot, b->queries[i].slot);
+      EXPECT_EQ(a->queries[i].completion.nanos(),
+                b->queries[i].completion.nanos());
+      EXPECT_EQ(a->queries[i].preemptions, b->queries[i].preemptions);
+    }
+    EXPECT_EQ(a->preemptions, b->preemptions);
+  }
+}
+
+TEST(PreemptionTest, ClosedLoopRejectsPreemptiveKnobs) {
+  SlicedExecutor exec;
+  exec.Set("a", 2, 1.0, 0.0, 2);
+  sched::Scheduler sched({.slots = 1,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 1},
+                         &exec);
+  EXPECT_TRUE(sched.RunClosedLoop({{"a"}}, dana::SimTime::Zero())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Batching window
+// ---------------------------------------------------------------------------
+
+TEST(BatchWindowTest, HeldSlotCoalescesArrivalsUpToTheWindow) {
+  SlicedExecutor exec;
+  exec.Set("a", 1, 10.0, 2.0, 12);
+  // q0 frees the slot at t=0 with nothing else queued: a windowless
+  // scheduler dispatches it alone; the window holds the slot and q1, q2
+  // (arriving inside the window) ride the same pass, dispatched the
+  // moment the batch fills.
+  std::vector<sched::QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 2),
+                                           Req(2, "a", 4)};
+  sched::Scheduler sched({.slots = 1,
+                          .policy = sched::Policy::kFcfs,
+                          .max_batch = 3,
+                          .batch_window = dana::SimTime::Seconds(5)},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 3u);
+  EXPECT_EQ(report->batches, 1u);
+  for (const sched::QueryStat& q : report->queries) {
+    EXPECT_EQ(q.batch_size, 3u);
+    EXPECT_DOUBLE_EQ(q.start.seconds(), 4.0);
+    // One epoch: 10 + 3 * 2 = 16 s of batched service.
+    EXPECT_DOUBLE_EQ(q.completion.seconds(), 20.0);
+  }
+}
+
+TEST(BatchWindowTest, ExpiredWindowDispatchesThePartialBatch) {
+  SlicedExecutor exec;
+  exec.Set("a", 1, 10.0, 2.0, 12);
+  // The rider arrives past the window: the head dispatches alone at the
+  // expiry, the rider dispatches behind it (then waits out the pass).
+  std::vector<sched::QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 9)};
+  sched::Scheduler sched({.slots = 1,
+                          .policy = sched::Policy::kFcfs,
+                          .max_batch = 3,
+                          .batch_window = dana::SimTime::Seconds(3)},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 2u);
+  EXPECT_EQ(report->queries[0].batch_size, 1u);
+  EXPECT_DOUBLE_EQ(report->queries[0].start.seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(report->queries[0].completion.seconds(), 15.0);
+}
+
+TEST(BatchWindowTest, InteractiveArrivalSeizesTheHeldSlot) {
+  SlicedExecutor exec;
+  exec.Set("train", 1, 10.0, 2.0, 12);
+  exec.Set("lookup", 1, 1.0, 0.0, 1);
+  // The batch head's hold starts at t=0; the interactive arrival at t=1
+  // takes the slot instead, and the head goes back to the queue.
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "train", 0),
+      Req(1, "lookup", 1, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 1,
+                          .policy = sched::Policy::kFcfs,
+                          .max_batch = 4,
+                          .batch_window = dana::SimTime::Seconds(6)},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 2u);
+  EXPECT_EQ(report->queries[0].id, 1u);  // the lookup dispatched first
+  EXPECT_DOUBLE_EQ(report->queries[0].start.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(report->queries[0].completion.seconds(), 2.0);
+  EXPECT_EQ(report->queries[1].id, 0u);
+}
+
+TEST(BatchWindowTest, ZeroWindowMatchesTheLegacySchedule) {
+  SlicedExecutor exec;
+  exec.Set("x", 2, 3.0, 1.0, 8);
+  exec.Set("y", 3, 2.0, 0.5, 7);
+  sched::DriverOptions opts;
+  opts.num_queries = 50;
+  opts.arrival_rate_qps = 0.3;
+  sched::WorkloadDriver driver({"x", "y"}, opts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+  auto legacy = sched::Scheduler({.slots = 2,
+                                  .policy = sched::Policy::kFcfs,
+                                  .max_batch = 3},
+                                 &exec)
+                    .Run(*stream);
+  auto windowed = sched::Scheduler({.slots = 2,
+                                    .policy = sched::Policy::kFcfs,
+                                    .max_batch = 3,
+                                    .batch_window = dana::SimTime::Zero()},
+                                   &exec)
+                      .Run(*stream);
+  ASSERT_TRUE(legacy.ok() && windowed.ok());
+  ASSERT_EQ(legacy->queries.size(), windowed->queries.size());
+  for (size_t i = 0; i < legacy->queries.size(); ++i) {
+    EXPECT_EQ(legacy->queries[i].id, windowed->queries[i].id);
+    EXPECT_EQ(legacy->queries[i].completion.nanos(),
+              windowed->queries[i].completion.nanos());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-class SLO accounting
+// ---------------------------------------------------------------------------
+
+TEST(SloAccountingTest, PerClassPercentilesSplitTheStream) {
+  SlicedExecutor exec;
+  exec.Set("train", 4, 2.5, 0.0, 10);
+  exec.Set("lookup", 1, 1.0, 0.0, 1);
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "train", 0), Req(1, "lookup", 1, sched::QueryClass::kInteractive),
+      Req(2, "train", 2), Req(3, "lookup", 3, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 1,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 1,
+                          .context_switch_cost = dana::SimTime::Zero()},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ClassQueries(sched::QueryClass::kInteractive), 2u);
+  EXPECT_EQ(report->ClassQueries(sched::QueryClass::kBatch), 2u);
+  EXPECT_LT(
+      report->ClassLatencyPercentile(sched::QueryClass::kInteractive, 95)
+          .seconds(),
+      report->ClassLatencyPercentile(sched::QueryClass::kBatch, 95)
+          .seconds());
+  EXPECT_GT(report->ClassThroughputQps(sched::QueryClass::kBatch), 0.0);
+}
+
+}  // namespace
+}  // namespace dana

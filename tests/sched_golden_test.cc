@@ -175,6 +175,28 @@ TEST(SchedulerGoldenTest, DefaultOptionsReproduceTheGoldens) {
   }
 }
 
+/// Preemption off is the golden scheduler: explicit zero preemption and
+/// batching-window knobs (with every other preemptive option primed) must
+/// keep reproducing the pinned PR 3 schedules bit for bit, no matter how
+/// the epoch-slicing machinery evolves.
+TEST(SchedulerGoldenTest, PreemptionOffReproducesTheGoldens) {
+  for (Policy policy : {Policy::kFcfs, Policy::kSjf, Policy::kRoundRobin}) {
+    GoldenExecutor exec;
+    Scheduler scheduler({.slots = 2,
+                         .policy = policy,
+                         .max_batch = 2,
+                         .sjf_aging_weight = 0,
+                         .affinity_weight = 0,
+                         .preemption_quantum_epochs = 0,
+                         .context_switch_cost = dana::SimTime::Seconds(30),
+                         .batch_window = dana::SimTime::Zero()},
+                        &exec);
+    auto report = scheduler.Run(GoldenStream());
+    ASSERT_TRUE(report.ok());
+    ExpectMatchesGolden(*report, GoldenFor(policy));
+  }
+}
+
 /// Back-to-back runs are bit-for-bit identical — the property the CI
 /// determinism step double-checks by diffing two -L sched_golden logs.
 TEST(SchedulerGoldenTest, RepeatRunsAreBitForBit) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <utility>
@@ -210,6 +211,13 @@ class FakeExecutor : public QueryExecutor {
     warmth_[{id, slot}] = fraction;
   }
 
+  /// Pins the fully-warm estimate for residency-aware SJF ordering;
+  /// EstimateAtWarmth interpolates between Estimate() (cold) and this.
+  /// Unset ids estimate warmth-blind, like an executor without endpoints.
+  void SetWarmEstimate(const std::string& id, double estimate_s) {
+    warm_estimates_[id] = dana::SimTime::Seconds(estimate_s);
+  }
+
   Result<BatchCost> Dispatch(const QueryBatch& batch) override {
     auto it = costs_.find(batch.workload_id);
     if (it == costs_.end()) return Status::NotFound(batch.workload_id);
@@ -222,6 +230,7 @@ class FakeExecutor : public QueryExecutor {
         it->second.per_query * static_cast<double>(batch.size());
     cost.compile = it->second.compile;
     cost.warm_fraction = WarmFraction(batch.workload_id, batch.slot);
+    cost.residency_modeled = true;
     return cost;
   }
 
@@ -229,6 +238,14 @@ class FakeExecutor : public QueryExecutor {
     auto it = estimates_.find(id);
     if (it == estimates_.end()) return Status::NotFound(id);
     return it->second;
+  }
+
+  Result<dana::SimTime> EstimateAtWarmth(const std::string& id,
+                                         double warm_fraction) override {
+    auto warm = warm_estimates_.find(id);
+    if (warm == warm_estimates_.end()) return Estimate(id);
+    DANA_ASSIGN_OR_RETURN(dana::SimTime cold, Estimate(id));
+    return warm->second + (cold - warm->second) * (1.0 - warm_fraction);
   }
 
   double WarmFraction(const std::string& id, uint32_t slot) override {
@@ -246,6 +263,7 @@ class FakeExecutor : public QueryExecutor {
   };
   std::map<std::string, Split> costs_;
   std::map<std::string, dana::SimTime> estimates_;
+  std::map<std::string, dana::SimTime> warm_estimates_;
   std::map<std::pair<std::string, uint32_t>, double> warmth_;
   std::vector<QueryBatch> dispatched_;
 };
@@ -781,22 +799,25 @@ TEST(AffinityTest, FcfsKeepsArrivalOrderUnderAffinity) {
   EXPECT_EQ(DispatchOrder(*report), (std::vector<uint64_t>{0, 1, 2}));
 }
 
-TEST(AffinityTest, SjfDiscountsWarmCandidates) {
+TEST(AffinityTest, SjfOrdersByResidencyAwareEstimate) {
   FakeExecutor exec;
   exec.Set("blocker", 100, 100);
   exec.Set("coldshort", 10, 10);
   exec.Set("warmlong", 12, 12);
   exec.SetWarm("warmlong", 0, 1.0);
+  // The executor's own cold/warm interpolation: a fully warm "warmlong"
+  // run is expected to take 6 s, not its cold 12 s estimate.
+  exec.SetWarmEstimate("warmlong", 6);
   std::vector<QueryRequest> reqs = {Req(0, "blocker", 0),
                                     Req(1, "coldshort", 1),
                                     Req(2, "warmlong", 2)};
-  // Pure SJF: the shorter estimate goes first.
+  // Pure SJF: the shorter a-priori estimate goes first.
   auto pure = Scheduler({.slots = 1, .policy = Policy::kSjf}, &exec)
                   .Run(reqs);
   ASSERT_TRUE(pure.ok());
   EXPECT_EQ(DispatchOrder(*pure), (std::vector<uint64_t>{0, 1, 2}));
-  // Affinity SJF at weight 0.5: the warm candidate's effective estimate is
-  // 12 * (1 - 0.5) = 6 < 10, so it overtakes the cold short job.
+  // Affinity SJF orders by EstimateAtWarmth at the free slot's warmth: the
+  // warm candidate's 6 s beats the cold short job's 10 s, so it overtakes.
   auto warm = Scheduler(
                   {.slots = 1, .policy = Policy::kSjf, .affinity_weight = 0.5},
                   &exec)
@@ -842,6 +863,46 @@ TEST(AffinityTest, WeightZeroNeverConsultsWarmthBitForBit) {
                 b->queries[i].completion.nanos());
     }
   }
+}
+
+/// Executor with no residency model: it reports a static warm fraction
+/// (the fixed-cache regime), which says nothing about placement.
+class StaticCacheExecutor : public QueryExecutor {
+ public:
+  Result<BatchCost> Dispatch(const QueryBatch& batch) override {
+    (void)batch;
+    BatchCost cost;
+    cost.service = dana::SimTime::Seconds(5);
+    cost.warm_fraction = 1.0;       // static: every run "warm"
+    cost.residency_modeled = false; // ...but nothing tracked it
+    return cost;
+  }
+  Result<dana::SimTime> Estimate(const std::string&) override {
+    return dana::SimTime::Seconds(5);
+  }
+};
+
+TEST(WarmHitAccountingTest, UnmodeledExecutorsAreExcludedNotCold) {
+  // A static-cache executor must not skew warm-hit rates: with no
+  // residency-modeled query in the report, the rate is NaN ("-"), not 0%
+  // (all-cold) and not 100% (its static fraction).
+  StaticCacheExecutor unmodeled;
+  std::vector<QueryRequest> reqs = {Req(0, "a", 0), Req(1, "a", 1)};
+  auto report = Scheduler({.slots = 1, .policy = Policy::kFcfs}, &unmodeled)
+                    .Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(std::isnan(report->WarmHitRate()));
+  EXPECT_TRUE(std::isnan(report->MeanWarmFraction()));
+
+  // A residency-modeled executor keeps reporting real rates.
+  FakeExecutor modeled;
+  modeled.Set("a", 5, 5);
+  modeled.SetWarm("a", 0, 1.0);
+  auto tracked = Scheduler({.slots = 1, .policy = Policy::kFcfs}, &modeled)
+                     .Run(reqs);
+  ASSERT_TRUE(tracked.ok());
+  EXPECT_DOUBLE_EQ(tracked->WarmHitRate(), 1.0);
+  EXPECT_DOUBLE_EQ(tracked->MeanWarmFraction(), 1.0);
 }
 
 // ---------------------------------------------------------------------------

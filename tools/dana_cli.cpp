@@ -23,12 +23,14 @@
 //   dana --help
 //       Detailed verb and option listing.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "compiler/report.h"
 #include "compiler/serialization.h"
@@ -68,6 +70,7 @@ void PrintHelp(std::FILE* out) {
       "        [--rate QPS] [--dist zipf|uniform] [--theta S] [--seed N]\n"
       "        [--group public|sn|se|all] [--batch K] [--aging W]\n"
       "        [--affinity W] [--closed-loop] [--think-ms MS] [--sessions N]\n"
+      "        [--interactive R] [--quantum E] [--ctx-ms MS] [--window-ms MS]\n"
       "                            schedule a multi-query request stream\n"
       "                            onto N simulated accelerator slots;\n"
       "                            --batch K coalesces up to K same-algorithm\n"
@@ -75,12 +78,22 @@ void PrintHelp(std::FILE* out) {
       "                            sets the SJF starvation bonus, --affinity\n"
       "                            turns on slot-affinity placement (dispatch\n"
       "                            to the slot whose pool is warm for the\n"
-      "                            query's table; W discounts SJF estimates\n"
-      "                            by W x warmth), and --closed-loop drives\n"
-      "                            think-time sessions instead of an open\n"
-      "                            Poisson stream. Slots charge real cache\n"
-      "                            residency: a slot's first run of a table\n"
-      "                            is cold, repeats are warm until evicted\n"
+      "                            query's table; SJF then orders by the\n"
+      "                            residency-aware estimate), --closed-loop\n"
+      "                            drives think-time sessions instead of an\n"
+      "                            open Poisson stream. Slots charge real\n"
+      "                            cache residency: a slot's first run of a\n"
+      "                            table is cold, repeats warm until evicted.\n"
+      "                            Priority classes & preemption:\n"
+      "                            --interactive R tags the R hottest\n"
+      "                            catalog ranks latency-sensitive; with\n"
+      "                            --quantum E an interactive query waiting\n"
+      "                            on a full machine preempts the longest\n"
+      "                            batch run at its next E-epoch boundary\n"
+      "                            (checkpointed model, resumed later),\n"
+      "                            charging --ctx-ms per switch; --window-ms\n"
+      "                            holds a freed slot to coalesce bigger\n"
+      "                            batches before dispatching\n"
       "  help | --help | -h        this message\n",
       out);
 }
@@ -329,9 +342,25 @@ int CmdSched(int argc, char** argv) {
     std::fprintf(stderr, "--think-ms must be >= 0 and --sessions positive\n");
     return 2;
   }
+  const int interactive_ranks =
+      std::atoi(Flag(argc, argv, "--interactive", "0"));
+  const int quantum = std::atoi(Flag(argc, argv, "--quantum", "0"));
+  const double ctx_ms = std::atof(Flag(argc, argv, "--ctx-ms", "50"));
+  const double window_ms = std::atof(Flag(argc, argv, "--window-ms", "0"));
+  if (interactive_ranks < 0 || quantum < 0 || ctx_ms < 0 || window_ms < 0) {
+    std::fprintf(stderr, "--interactive, --quantum, --ctx-ms and "
+                         "--window-ms must be non-negative\n");
+    return 2;
+  }
+  if (closed_loop && (quantum > 0 || window_ms > 0)) {
+    std::fprintf(stderr, "--quantum and --window-ms are open-stream "
+                         "features; drop --closed-loop\n");
+    return 2;
+  }
 
   sched::DriverOptions driver_opts;
   driver_opts.num_queries = static_cast<uint32_t>(queries);
+  driver_opts.interactive_ranks = static_cast<uint32_t>(interactive_ranks);
   driver_opts.seed = static_cast<uint64_t>(
       std::atoll(Flag(argc, argv, "--seed", "3735928559")));
   driver_opts.zipf_exponent = std::atof(Flag(argc, argv, "--theta", "0.99"));
@@ -433,19 +462,35 @@ int CmdSched(int argc, char** argv) {
                 static_cast<unsigned long long>(driver_opts.seed));
   }
 
-  TablePrinter table({"policy", "throughput (q/h)", "mean lat", "p50", "p95",
-                      "p99", "mean wait", "makespan", "mean batch",
-                      "warm hits", "shared/private", "compile hits"});
+  // Executors without a residency model report NaN warm-hit rates (their
+  // static warm fractions say nothing about placement).
+  auto warm_hits_cell = [](double rate) {
+    return std::isnan(rate) ? std::string("-")
+                            : TablePrinter::Fmt(rate * 100.0, 0) + "%";
+  };
+  const bool preemptive = quantum > 0 || window_ms > 0;
+  std::vector<std::string> columns = {
+      "policy", "throughput (q/h)", "mean lat", "p50", "p95", "p99",
+      "mean wait", "makespan", "mean batch", "warm hits", "shared/private",
+      "compile hits"};
+  if (preemptive) {
+    columns.insert(columns.begin() + 6, {"int p95", "batch p95", "preempts"});
+  }
+  TablePrinter table(columns);
   for (sched::Policy policy : policies) {
     // Every policy starts from the same cold machine: no slot inherits
     // residency from the previous policy's run (or the calibration pass).
     executor.ResetResidency();
-    sched::Scheduler scheduler({.slots = static_cast<uint32_t>(slots),
-                                .policy = policy,
-                                .max_batch = static_cast<uint32_t>(max_batch),
-                                .sjf_aging_weight = aging,
-                                .affinity_weight = affinity},
-                               &executor);
+    sched::Scheduler scheduler(
+        {.slots = static_cast<uint32_t>(slots),
+         .policy = policy,
+         .max_batch = static_cast<uint32_t>(max_batch),
+         .sjf_aging_weight = aging,
+         .affinity_weight = affinity,
+         .preemption_quantum_epochs = static_cast<uint32_t>(quantum),
+         .context_switch_cost = dana::SimTime::Millis(ctx_ms),
+         .batch_window = dana::SimTime::Millis(window_ms)},
+        &executor);
     auto report =
         closed_loop
             ? scheduler.RunClosedLoop(session_scripts,
@@ -456,20 +501,36 @@ int CmdSched(int argc, char** argv) {
                    report.status().ToString().c_str());
       return 1;
     }
-    table.AddRow({sched::PolicyName(policy),
-                  TablePrinter::Fmt(report->ThroughputQps() * 3600.0, 1),
-                  report->MeanLatency().ToString(),
-                  report->LatencyPercentile(50).ToString(),
-                  report->LatencyPercentile(95).ToString(),
-                  report->LatencyPercentile(99).ToString(),
-                  report->MeanWait().ToString(), report->makespan.ToString(),
-                  TablePrinter::Fmt(report->MeanBatchSize(), 2),
-                  TablePrinter::Fmt(report->WarmHitRate() * 100.0, 0) + "%",
-                  report->shared_service.ToString() + "/" +
-                      report->private_service.ToString(),
-                  std::to_string(report->compile_hits) + "/" +
-                      std::to_string(report->compile_hits +
-                                     report->compile_misses)});
+    std::vector<std::string> row = {
+        sched::PolicyName(policy),
+        TablePrinter::Fmt(report->ThroughputQps() * 3600.0, 1),
+        report->MeanLatency().ToString(),
+        report->LatencyPercentile(50).ToString(),
+        report->LatencyPercentile(95).ToString(),
+        report->LatencyPercentile(99).ToString(),
+        report->MeanWait().ToString(),
+        report->makespan.ToString(),
+        TablePrinter::Fmt(report->MeanBatchSize(), 2),
+        warm_hits_cell(report->WarmHitRate()),
+        report->shared_service.ToString() + "/" +
+            report->private_service.ToString(),
+        std::to_string(report->compile_hits) + "/" +
+            std::to_string(report->compile_hits + report->compile_misses)};
+    if (preemptive) {
+      const auto kInt = sched::QueryClass::kInteractive;
+      const auto kBatch = sched::QueryClass::kBatch;
+      row.insert(
+          row.begin() + 6,
+          {report->ClassQueries(kInt)
+               ? report->ClassLatencyPercentile(kInt, 95).ToString()
+               : "-",
+           report->ClassQueries(kBatch)
+               ? report->ClassLatencyPercentile(kBatch, 95).ToString()
+               : "-",
+           std::to_string(report->preemptions) + " (" +
+               report->preemption_overhead.ToString() + ")"});
+    }
+    table.AddRow(row);
   }
   table.Print();
   std::printf("\ncompiler ran %llu time(s); compile cache served %llu "
