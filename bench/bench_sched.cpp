@@ -214,17 +214,20 @@ int main() {
                   : "batching does NOT beat per-query dispatch somewhere");
 
   // --- Slot-affinity / cache-residency sweep ------------------------------
-  // Placement realism on: this executor tracks per-slot cache residency, so
-  // a slot's first run of a table is charged a genuinely cold pool, a
-  // repeat on the same slot is warm, and residency decays as other tables
-  // evict frames. Affinity dispatch (affinity_weight > 0) sends each query
-  // to the slot already warm for its table and prefers warm queued
-  // candidates; weight 0 is the affinity-blind PR 2 dispatch rule
-  // bit-for-bit (pinned by the sched_golden test suite), so the two rows
-  // differ only in placement. The mix is the synthetic suite — tables of
-  // 0.2x to 4.8x the buffer pool — because that is where placement has
-  // teeth: every big-table run sweeps a slot's pool, so a misplaced query
-  // pays minutes of re-streamed I/O that a warm slot would have skipped.
+  // Placement realism on: this executor prices per-slot cache residency
+  // from one shared *physical* pool per slot (the default; each table's
+  // sweep passes through the pool in scale-normalized frames), so a slot's
+  // first run of a table is charged a genuinely cold pool, a repeat on the
+  // same slot is warm, and residency is whatever the clock sweep actually
+  // left resident after other tables' installs. Affinity dispatch
+  // (affinity_weight > 0) sends each query to the slot already warm for
+  // its table and prefers warm queued candidates; weight 0 is the
+  // affinity-blind PR 2 dispatch rule bit-for-bit (pinned by the
+  // sched_golden test suite), so the two rows differ only in placement.
+  // The mix is the synthetic suite — tables of 0.2x to 4.8x the buffer
+  // pool — because that is where placement has teeth: every big-table run
+  // sweeps a slot's pool, so a misplaced query pays minutes of re-streamed
+  // I/O that a warm slot would have skipped.
   sched::DanaQueryExecutor res_executor;
   std::vector<std::pair<double, std::string>> big_ranked;
   for (const auto& group :
@@ -265,8 +268,9 @@ int main() {
                  affinity_stream.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nSlot-affinity sweep (per-slot cache residency charged): "
-              "synthetic suite, 4 slots, batch 4, zipf s=%.2f, %.3f qps\n",
+  std::printf("\nSlot-affinity sweep (physical per-slot shared pools charge "
+              "residency): synthetic suite, 4 slots, batch 4, zipf s=%.2f, "
+              "%.3f qps\n",
               affinity_opts.zipf_exponent, affinity_opts.arrival_rate_qps);
   TablePrinter atable({"policy", "affinity", "throughput (q/h)", "mean lat",
                        "p95", "warm hits", "mean warm", "mean batch"});

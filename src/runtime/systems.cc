@@ -61,6 +61,12 @@ double WorkloadInstance::PoolSizeRatio() const {
   return static_cast<double>(table_->num_pages()) / std::max(frames, 1.0);
 }
 
+uint64_t WorkloadInstance::NormalizedPages(uint64_t shared_frames) const {
+  const double pages =
+      PoolSizeRatio() * static_cast<double>(shared_frames) + 0.5;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(pages));
+}
+
 namespace {
 
 /// Charges one full scan of the table through the pool and returns the

@@ -95,8 +95,20 @@ class WorkloadInstance {
 
   /// This table's page count over one slot pool's frame count: the
   /// size-ratio input of storage::CacheResidencyModel::OnRun. <= 1 means a
-  /// run leaves the table fully resident.
+  /// run leaves the table fully resident. Because each pool is sized to
+  /// 8 GB / scale, the ratio reduces to paper-scale table bytes over the
+  /// paper's 8 GB shared_buffers — a scale-free quantity, comparable
+  /// across workloads generated at different scales.
   double PoolSizeRatio() const;
+
+  /// Scale-normalized footprint of this table in a *shared* slot pool of
+  /// `shared_frames` frames: the logical page count whose sweep occupies
+  /// the same proportion of that pool as the paper-scale table occupies of
+  /// the paper's 8 GB pool (PoolSizeRatio() * shared_frames, at least 1).
+  /// This is the page count an executor's physical residency pool scans
+  /// per epoch, so tables generated at different scales share one pool in
+  /// consistent units.
+  uint64_t NormalizedPages(uint64_t shared_frames) const;
 
   /// Virtual size multiplier (paper tuples / generated tuples).
   double scale() const { return workload_.scale; }

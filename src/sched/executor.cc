@@ -120,13 +120,16 @@ class DanaBatchExecution : public BatchExecution {
  public:
   DanaBatchExecution(DanaQueryExecutor* owner, QueryBatch batch,
                      DanaQueryExecutor::EpochProfile profile,
-                     double warm_fraction, bool modeled, double size_ratio)
+                     double warm_fraction, bool modeled, double size_ratio,
+                     uint64_t norm_pages)
       : BatchExecution(std::move(batch)),
         owner_(owner),
         profile_(profile),
         warm_at_begin_(warm_fraction),
+        last_left_(warm_fraction),
         modeled_(modeled),
-        size_ratio_(size_ratio) {}
+        size_ratio_(size_ratio),
+        norm_pages_(norm_pages) {}
 
   uint32_t total_epochs() const override { return profile_.epochs; }
   uint32_t epochs_run() const override { return done_; }
@@ -151,8 +154,22 @@ class DanaBatchExecution : public BatchExecution {
     // Each epoch sweeps the table once, so any slice reshapes the slot's
     // cache exactly like a full run: the scanned table ends as resident as
     // the pool allows, co-located tables decay under the install pressure.
+    // The physical pool takes the sweep for real (install + clock
+    // eviction); the logical ledger is updated in parallel as the
+    // predictor it is cross-checked against. Both apply one sweep per
+    // slice — an undisturbed repeat sweep is idempotent for the scanned
+    // table itself.
     if (modeled_) {
       owner_->residency_.OnRun(batch_.slot, batch_.workload_id, size_ratio_);
+      if (owner_->options_.physical_pools) {
+        owner_->slot_pools_.pool(batch_.slot)
+            ->ScanTable(batch_.workload_id, norm_pages_);
+        last_left_ =
+            owner_->PhysicalWarmFraction(batch_.workload_id, batch_.slot);
+      } else {
+        last_left_ =
+            storage::CacheResidencyModel::PostRunResidency(size_ratio_);
+      }
     }
     return s;
   }
@@ -182,13 +199,16 @@ class DanaBatchExecution : public BatchExecution {
       batch_.slot = slot;
       return Status::OK();
     }
+    // Residency of the resume slot — physical pools measure it, the
+    // legacy ledger predicts it.
     const double warm =
-        owner_->residency_.ResidentFraction(slot, batch_.workload_id);
+        owner_->options_.physical_pools
+            ? owner_->PhysicalWarmFraction(batch_.workload_id, slot)
+            : owner_->residency_.ResidentFraction(slot, batch_.workload_id);
     // Undisturbed same-slot resume: the table is exactly as resident as
-    // the run left it, so the original cost curve continues bit for bit.
-    const double left_behind =
-        done_ > 0 ? storage::CacheResidencyModel::PostRunResidency(size_ratio_)
-                  : warm_at_begin_;
+    // the last slice left it (last_left_ captured that, measured or
+    // modeled), so the original cost curve continues bit for bit.
+    const double left_behind = done_ > 0 ? last_left_ : warm_at_begin_;
     if (slot == batch_.slot && warm == left_behind) return Status::OK();
     // Re-base: the remaining epochs run as a fresh segment at the new
     // slot's warmth — its first epoch re-reads the missing share of the
@@ -232,8 +252,12 @@ class DanaBatchExecution : public BatchExecution {
   DanaQueryExecutor* owner_;
   DanaQueryExecutor::EpochProfile profile_;
   double warm_at_begin_;
+  /// Residency the last slice left on its slot (warm_at_begin_ until the
+  /// first slice) — the "undisturbed" reference a Resume compares against.
+  double last_left_;
   bool modeled_;
   double size_ratio_;
+  uint64_t norm_pages_;
   uint32_t done_ = 0;
   uint32_t base_ = 0;  ///< absolute epoch index the current segment starts at
 };
@@ -242,11 +266,24 @@ class DanaBatchExecution : public BatchExecution {
 // DanaQueryExecutor
 // ---------------------------------------------------------------------------
 
+namespace {
+/// Page size of the shared residency pools. Pure bookkeeping units: the
+/// pools hold data-less frames, so this only converts `pool_frames` into
+/// the BufferPool byte-capacity constructor. Matches the workload tables'
+/// 32 KB pages for consistency.
+constexpr uint32_t kSharedPoolPageSize = 32 * 1024;
+}  // namespace
+
 DanaQueryExecutor::DanaQueryExecutor() : DanaQueryExecutor(Options{}) {}
 
 DanaQueryExecutor::DanaQueryExecutor(Options options)
     : options_(options),
-      system_(cost_model_, MakeSystemOptions(options.functional_epoch_cap)) {}
+      system_(cost_model_, MakeSystemOptions(options.functional_epoch_cap)),
+      slot_pools_(std::max<uint64_t>(options.pool_frames, 1) *
+                      kSharedPoolPageSize,
+                  kSharedPoolPageSize, storage::DiskModel{}) {
+  options_.pool_frames = std::max<uint64_t>(options_.pool_frames, 1);
+}
 
 Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
     const std::string& id) {
@@ -347,21 +384,37 @@ Result<std::unique_ptr<BatchExecution>> DanaQueryExecutor::Begin(
     const double warm =
         options_.cache == runtime::CacheState::kWarm ? 1.0 : 0.0;
     return std::unique_ptr<BatchExecution>(new DanaBatchExecution(
-        this, batch, *p, warm, /*modeled=*/false, instance->PoolSizeRatio()));
+        this, batch, *p, warm, /*modeled=*/false, instance->PoolSizeRatio(),
+        instance->NormalizedPages(options_.pool_frames)));
   }
-  // Residency regime: price this slot's actual cache state.
+  // Residency regime: price this slot's actual cache state — measured
+  // from the shared physical pool, or predicted by the ledger in legacy
+  // mode.
   const double warm =
-      residency_.ResidentFraction(batch.slot, batch.workload_id);
+      options_.physical_pools
+          ? PhysicalWarmFraction(batch.workload_id, batch.slot)
+          : residency_.ResidentFraction(batch.slot, batch.workload_id);
   DANA_ASSIGN_OR_RETURN(EpochProfile profile, ProfileAt(batch, warm));
   return std::unique_ptr<BatchExecution>(new DanaBatchExecution(
-      this, batch, profile, warm, /*modeled=*/true,
-      instance->PoolSizeRatio()));
+      this, batch, profile, warm, /*modeled=*/true, instance->PoolSizeRatio(),
+      instance->NormalizedPages(options_.pool_frames)));
+}
+
+double DanaQueryExecutor::PhysicalWarmFraction(const std::string& id,
+                                               uint32_t slot) {
+  auto instance = Instance(id);
+  if (!instance.ok()) return 0.0;
+  const uint64_t pages = (*instance)->NormalizedPages(options_.pool_frames);
+  return slot_pools_.pool(slot)->ResidentShare(id, pages);
 }
 
 double DanaQueryExecutor::WarmFraction(const std::string& workload_id,
                                        uint32_t slot) {
   if (!options_.model_residency) {
     return options_.cache == runtime::CacheState::kWarm ? 1.0 : 0.0;
+  }
+  if (options_.physical_pools) {
+    return PhysicalWarmFraction(workload_id, slot);
   }
   return residency_.ResidentFraction(slot, workload_id);
 }

@@ -12,6 +12,7 @@
 #include "common/sim_time.h"
 #include "runtime/systems.h"
 #include "sched/compile_cache.h"
+#include "storage/buffer_pool.h"
 #include "storage/residency.h"
 
 namespace dana::sched {
@@ -209,18 +210,28 @@ class QueryExecutor {
 /// reference it. Each slot trains against its own buffer pool from the
 /// instance's pool group (per-slot execution contexts).
 ///
-/// Cache realism: by default the executor keeps a per-slot
-/// storage::CacheResidencyModel. A slot's first run of a workload is
-/// charged the genuinely cold service (nothing resident), a repeat on the
-/// same slot the warm one, and a partially-evicted slot (other tables ran
-/// in between) a linear interpolation between the two measured endpoints —
-/// I/O shrinks in proportion to the pages still resident. Every slice of
-/// every execution updates the model: the scanned table ends resident,
-/// co-located tables decay. A preempted run's table therefore stays
-/// resident until an intervening query's sweep evicts it — resuming on the
-/// same slot is warm, resuming elsewhere is cold — and WarmFraction()
-/// exposes the ledger so affinity dispatch can route resumed work back to
-/// its warm slot.
+/// Cache realism: by default the executor keeps one *physical* shared
+/// storage::BufferPool per slot (sized in frames, shared across that
+/// slot's tables in scale-normalized units — WorkloadInstance::
+/// NormalizedPages) and prices every run from what is actually resident:
+/// a slot's first run of a workload is charged the genuinely cold service
+/// (nothing resident), a repeat on the same slot the warm one, and a
+/// partially-evicted slot (other tables' sweeps installed over its frames)
+/// a linear interpolation between the two measured endpoints — I/O shrinks
+/// in proportion to the frames still resident. Every slice of every
+/// execution sweeps the slot's shared pool (ScanTable), so the pool's
+/// resident_frames()/last_table()/eviction order are the ground truth:
+/// DAnA's Striders read RDBMS pages straight out of the buffer pool, so
+/// placement cost comes from measured occupancy, not a model of it. The
+/// logical storage::CacheResidencyModel ledger is still maintained in
+/// parallel as a cross-checked *predictor* (PredictedWarmFraction); where
+/// clock-sweep eviction order makes the two disagree, the physical answer
+/// is charged. `Options::physical_pools = false` restores the PR 3/PR 4
+/// ledger-priced executor bit for bit. A preempted run's table stays
+/// resident until an intervening sweep evicts it — resuming on the same
+/// slot is warm, resuming elsewhere is cold — and WarmFraction() exposes
+/// the pool so affinity dispatch can route resumed work back to its warm
+/// slot.
 class DanaQueryExecutor : public QueryExecutor {
  public:
   struct Options {
@@ -234,6 +245,19 @@ class DanaQueryExecutor : public QueryExecutor {
     /// silently re-prepared to `cache` and placement is costless. true
     /// (the default) charges each slot its tracked residency instead.
     bool model_residency = true;
+    /// Residency ground truth (only meaningful with `model_residency`).
+    /// true (the default): each slot owns one shared physical BufferPool;
+    /// warm fractions are measured per-table frame counts. false: the
+    /// legacy mode — warm fractions come from the logical
+    /// CacheResidencyModel ledger, reproducing the PR 3/PR 4 executor
+    /// bit for bit.
+    bool physical_pools = true;
+    /// Frames in each slot's shared residency pool. Scale-normalized
+    /// units: a workload's sweep touches PoolSizeRatio() * pool_frames
+    /// logical pages, so this is pure resolution — warm fractions quantize
+    /// to 1/pages — not a byte budget. 4096 keeps quantization below
+    /// 0.1% for every Table 3 ratio while a sweep stays cheap.
+    uint64_t pool_frames = 4096;
     /// Buffer-pool state every query trains under when `model_residency`
     /// is false (the legacy fixed-cache regime).
     runtime::CacheState cache = runtime::CacheState::kWarm;
@@ -268,16 +292,43 @@ class DanaQueryExecutor : public QueryExecutor {
   double WarmFraction(const std::string& workload_id, uint32_t slot) override;
 
   const CompileCache& compile_cache() const { return compile_cache_; }
+  /// The logical ledger — with physical pools on this is the cross-checked
+  /// *predictor*, not what dispatches are charged (see
+  /// PredictedWarmFraction); with them off it is the pricing source.
   const storage::CacheResidencyModel& residency() const { return residency_; }
-  /// Forgets all slot residency (fresh cold slots) while keeping measured
-  /// service endpoints and compiled designs. Sweeps call this between
+  /// What the logical ledger predicts `workload_id`'s residency on `slot`
+  /// to be. With physical pools on, WarmFraction() (the charged value) can
+  /// disagree — proportional decay vs the clock sweep's hand-order
+  /// evictions — and the divergence suite pins that the physical answer
+  /// wins.
+  double PredictedWarmFraction(const std::string& workload_id, uint32_t slot)
+      const {
+    return residency_.ResidentFraction(slot, workload_id);
+  }
+  /// Slot `slot`'s shared physical residency pool (created on demand).
+  /// Ground truth for placement when `Options::physical_pools` is on:
+  /// per-table resident frames, last_table(), and eviction order are
+  /// readable directly.
+  storage::BufferPool* slot_pool(uint32_t slot) {
+    return slot_pools_.pool(slot);
+  }
+  /// Forgets all slot residency (fresh cold slots) — both the physical
+  /// pools and the logical ledger — while keeping measured service
+  /// endpoints and compiled designs. Sweeps call this between
   /// configurations so every run starts from the same cold machine.
-  void ResetResidency() { residency_.Reset(); }
+  void ResetResidency() {
+    residency_.Reset();
+    slot_pools_.ClearAll();
+  }
 
  private:
   friend class DanaBatchExecution;
 
   dana::Result<runtime::WorkloadInstance*> Instance(const std::string& id);
+  /// Measured residency of `id` on `slot`'s shared pool: the table's
+  /// resident frames over its normalized footprint. 0 when the workload is
+  /// unknown (the later Begin/Estimate reports the error properly).
+  double PhysicalWarmFraction(const std::string& id, uint32_t slot);
   /// Measured (or memoized) epoch profile at a cache endpoint.
   dana::Result<const EpochProfile*> MeasureEndpoint(const QueryBatch& batch,
                                                     runtime::CacheState cache);
@@ -290,7 +341,13 @@ class DanaQueryExecutor : public QueryExecutor {
   runtime::CpuCostModel cost_model_;
   runtime::DanaSystem system_;
   CompileCache compile_cache_;
+  /// Logical per-slot ledger: the predictor the physical pools are
+  /// cross-checked against (and the pricing source in legacy mode).
   storage::CacheResidencyModel residency_;
+  /// One shared physical pool per slot, sized in `Options::pool_frames`
+  /// scale-normalized frames: every workload's sweep passes through its
+  /// slot's pool, so cross-table eviction is measured, not modeled.
+  storage::BufferPoolGroup slot_pools_;
   std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_;
   /// Measured epoch profiles, keyed by (workload, batch size, warm?).
   std::map<std::tuple<std::string, uint32_t, bool>, EpochProfile> measured_;

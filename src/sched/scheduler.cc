@@ -745,6 +745,13 @@ class PreemptiveEngine {
     return true;
   }
 
+  /// A candidate victim's first usable quantum boundary, found by FindArm.
+  struct ArmPlan {
+    uint32_t epochs = 0;      ///< epochs to run until the boundary
+    dana::SimTime boundary;   ///< the boundary on the simulated clock
+    dana::SimTime freed;      ///< boundary + context-switch cost
+  };
+
   /// Arms one epoch-boundary preemption per waiting interactive query:
   /// the longest-remaining unarmed batch-class run with a usable boundary
   /// is checkpointed at its next quantum boundary at or after `now` —
@@ -752,7 +759,17 @@ class PreemptiveEngine {
   /// letting it finish. Whether a run can arm depends on its remaining
   /// *epochs*, not its completion time, so when the longest-remaining run
   /// has no boundary left the next-longest candidates still get their
-  /// turn.
+  /// turn. Ties on remaining time break by (1) checkpoint-to-boundary
+  /// distance — the victim whose usable boundary frees a slot soonest
+  /// serves the waiting query fastest and yields the most remaining work
+  /// per context switch, so an equal-length run one epoch short of its
+  /// completion no longer gets checkpointed while a mid-quantum run with a
+  /// near boundary sits untouched — then (2) expected cold-resume
+  /// residency loss: the extra service a cold resume pays versus the
+  /// victim's current warmth, priced by the executor's own interpolation
+  /// (EstimateAtWarmth at 0 minus at the current warm fraction), so a
+  /// barely-warm huge table outweighs a fully-warm tiny one — then
+  /// (3) slot index, keeping the schedule deterministic.
   dana::Status ArmPreemptions(dana::SimTime now) {
     if (options_.preemption_quantum_epochs == 0) return Status::OK();
     size_t armed = 0;
@@ -765,35 +782,92 @@ class PreemptiveEngine {
         candidates.push_back(s);
       }
     }
-    // Longest remaining first; slot index breaks completion ties.
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [&](uint32_t a, uint32_t b) {
-                       return active_[a]->completion > active_[b]->completion;
-                     });
+    if (candidates.empty() || interactive_.size() <= armed) {
+      return Status::OK();
+    }
+    // Rank every candidate before choosing: the tie-breaks need each run's
+    // boundary plan, not just its completion time.
+    struct Ranked {
+      uint32_t slot;
+      bool usable;
+      ArmPlan plan;
+      double residency_loss;
+    };
+    std::vector<Ranked> ranked;
+    ranked.reserve(candidates.size());
     for (uint32_t s : candidates) {
+      Ranked r;
+      r.slot = s;
+      DANA_ASSIGN_OR_RETURN(auto plan, FindArm(*active_[s], now));
+      r.usable = plan.has_value();
+      if (r.usable) r.plan = *plan;
+      // What a cold resume would throw away: the extra service the
+      // executor prices at warmth 0 over the victim's current warmth (the
+      // re-streamed I/O the resident share was saving). Counted only for
+      // residency_modeled executions — unmodeled warmth is a static
+      // constant, not a loss — with the bare warm fraction as the
+      // fallback when the executor cannot price warmth.
+      r.residency_loss = 0.0;
+      if (active_[s]->run.exec->residency_modeled()) {
+        const std::string& id = active_[s]->run.exec->batch().workload_id;
+        const double warm = executor_->WarmFraction(id, s);
+        auto cold_est = executor_->EstimateAtWarmth(id, 0.0);
+        auto warm_est = executor_->EstimateAtWarmth(id, warm);
+        r.residency_loss = cold_est.ok() && warm_est.ok()
+                               ? cold_est->seconds() - warm_est->seconds()
+                               : warm;
+      }
+      ranked.push_back(r);
+    }
+    std::stable_sort(
+        ranked.begin(), ranked.end(), [&](const Ranked& a, const Ranked& b) {
+          const dana::SimTime ca = active_[a.slot]->completion;
+          const dana::SimTime cb = active_[b.slot]->completion;
+          if (ca != cb) return ca > cb;  // longest remaining first
+          if (a.usable != b.usable) return a.usable;  // armable first
+          if (a.usable && a.plan.boundary != b.plan.boundary) {
+            return a.plan.boundary < b.plan.boundary;  // nearest boundary
+          }
+          if (a.residency_loss != b.residency_loss) {
+            return a.residency_loss < b.residency_loss;  // least to lose
+          }
+          return a.slot < b.slot;
+        });
+    for (const Ranked& r : ranked) {
       if (interactive_.size() <= armed) break;
-      DANA_ASSIGN_OR_RETURN(bool did_arm, TryArm(*active_[s], now));
-      if (did_arm) ++armed;
+      if (!r.usable) continue;
+      Active& a = *active_[r.slot];
+      a.preempt_armed = true;
+      a.preempt_epochs = r.plan.epochs;
+      a.preempt_free = r.plan.freed;
+      ++armed;
     }
     return Status::OK();
   }
 
-  dana::Result<bool> TryArm(Active& a, dana::SimTime now) {
+  /// Finds `a`'s first usable quantum boundary at or after `now`, or
+  /// nullopt when none beats letting the run finish. Boundaries sit at
+  /// *global* epoch indices — multiples of the quantum counted from the
+  /// run's original dispatch (its absolute epochs_run position), not from
+  /// the current re-dispatch — so a resumed run keeps its original
+  /// boundary phase no matter where a checkpoint cut it.
+  dana::Result<std::optional<ArmPlan>> FindArm(const Active& a,
+                                               dana::SimTime now) const {
     const uint32_t q = options_.preemption_quantum_epochs;
-    const uint32_t remaining =
-        a.run.exec->total_epochs() - a.run.exec->epochs_run();
-    for (uint32_t j = q; j < remaining; j += q) {
+    const uint32_t done = a.run.exec->epochs_run();
+    const uint32_t total = a.run.exec->total_epochs();
+    for (uint32_t global = (done / q + 1) * q; global < total; global += q) {
+      const uint32_t j = global - done;
       DANA_ASSIGN_OR_RETURN(dana::SimTime through, a.run.exec->PeekService(j));
       const dana::SimTime boundary = a.curve_origin + through;
       if (boundary < now) continue;  // boundary already passed
       const dana::SimTime freed = boundary + options_.context_switch_cost;
-      if (freed >= a.completion) return false;  // cheaper to let it finish
-      a.preempt_armed = true;
-      a.preempt_epochs = j;
-      a.preempt_free = freed;
-      return true;
+      if (freed >= a.completion) {
+        return std::optional<ArmPlan>();  // cheaper to let it finish
+      }
+      return std::optional<ArmPlan>(ArmPlan{j, boundary, freed});
     }
-    return false;
+    return std::optional<ArmPlan>();
   }
 
   bool NextEventTime(dana::SimTime* next) const {
@@ -1033,11 +1107,27 @@ Result<ScheduleReport> Scheduler::RunPreemptive(
 Result<ScheduleReport> Scheduler::RunClosedLoop(
     const std::vector<std::vector<std::string>>& sessions,
     dana::SimTime think_time) {
-  if (options_.preemption_quantum_epochs != 0 ||
-      options_.batch_window > dana::SimTime::Zero()) {
+  // Known limitation (ROADMAP "Closed-loop preemption"): the closed-loop
+  // driver plans each session's next submission from its previous query's
+  // completion at dispatch time, but under preemption a completion is not
+  // known at dispatch — a later interactive arrival can truncate the run —
+  // and a batch-formation hold delays completions the same way. Supporting
+  // these knobs needs the event-driven path to admit submissions whose
+  // times depend on in-flight completions. Until then each knob is
+  // rejected with its own actionable error instead of a blanket abort, so
+  // callers know which option to drop.
+  if (options_.preemption_quantum_epochs != 0) {
     return Status::InvalidArgument(
-        "preemption and the batching window are open-stream features; "
-        "closed-loop mode requires both knobs at zero");
+        "preemption_quantum_epochs is an open-stream feature: closed-loop "
+        "sessions submit from completions the preemptive path cannot "
+        "pre-compute; set the quantum to zero (see ROADMAP closed-loop "
+        "preemption follow-up)");
+  }
+  if (options_.batch_window > dana::SimTime::Zero()) {
+    return Status::InvalidArgument(
+        "batch_window is an open-stream feature: a held slot defers the "
+        "completions closed-loop sessions submit from; set the window to "
+        "zero (see ROADMAP closed-loop preemption follow-up)");
   }
   size_t total = 0;
   std::vector<std::string> submit_order_ids;

@@ -167,10 +167,14 @@ struct SchedulerOptions {
   /// dispatch: the schedule is the affinity scheduler's bit for bit. > 0
   /// arms preemption: when an interactive query waits on a fully occupied
   /// machine, the longest-remaining batch-class run is checkpointed at its
-  /// next epoch boundary (the next multiple of this many epochs past its
-  /// dispatch) and its remainder is re-enqueued with the checkpointed
-  /// model, resuming — warm or cold, as residency dictates — when a slot
-  /// frees.
+  /// next epoch boundary — the next multiple of this many epochs of the
+  /// run's *global* epoch count, so a resumed run keeps its original
+  /// boundary phase instead of restarting the count from re-dispatch —
+  /// and its remainder is re-enqueued with the checkpointed model,
+  /// resuming — warm or cold, as residency dictates — when a slot frees.
+  /// Equal-remaining victims tie-break by checkpoint-to-boundary distance
+  /// (nearest usable boundary first), then least expected cold-resume
+  /// residency loss, then slot index.
   uint32_t preemption_quantum_epochs = 0;
   /// Cost charged per preemption (model checkpoint write-back plus the
   /// resumed run's re-dispatch setup): the preempted slot stays occupied
@@ -221,8 +225,16 @@ class Scheduler {
   /// modeling interactive analysts instead of an open Poisson stream.
   /// `sessions[s]` is session s's ordered workload-id script; every session
   /// submits its first query at time zero. Request ids number submissions
-  /// in order (ties broken by session index). Preemption and the batching
-  /// window are open-stream features; nonzero knobs are rejected here.
+  /// in order (ties broken by session index).
+  ///
+  /// Limitation: preemption and the batching window are open-stream
+  /// features. Closed-loop submissions are derived from completions known
+  /// at dispatch time; preemption makes completions depend on future
+  /// arrivals and a formation hold defers them, so nonzero
+  /// `preemption_quantum_epochs` or `batch_window` return InvalidArgument
+  /// (never abort) naming the offending knob. Lifting this needs the
+  /// event-driven path to admit submissions whose times depend on
+  /// in-flight completions (ROADMAP "closed-loop preemption").
   dana::Result<ScheduleReport> RunClosedLoop(
       const std::vector<std::vector<std::string>>& sessions,
       dana::SimTime think_time);

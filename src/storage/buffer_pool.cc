@@ -28,13 +28,21 @@ Result<const uint8_t*> BufferPool::FetchPage(const Table& table,
                               " past end of table " + table.name());
   }
 
-  const Key key{&table, page_no};
-  last_table_ = table.name();
+  const KeyView key{table.name(), page_no};
+  if (last_table_ != table.name()) last_table_ = table.name();
   auto it = map_.find(key);
   if (it != map_.end()) {
     ++stats_.hits;
-    frames_[it->second].referenced = true;
-    return static_cast<const uint8_t*>(frames_[it->second].data.get());
+    Frame& frame = frames_[it->second];
+    frame.referenced = true;
+    // A residency probe (TouchPage) may have installed this page without
+    // an image; a data-consuming fetch materializes it now, for free (the
+    // page is resident — only the simulator's host copy was elided).
+    if (!frame.data) {
+      frame.data = std::make_unique<uint8_t[]>(page_size_);
+      std::memcpy(frame.data.get(), table.PageData(page_no), page_size_);
+    }
+    return static_cast<const uint8_t*>(frame.data.get());
   }
 
   ++stats_.misses;
@@ -42,7 +50,7 @@ Result<const uint8_t*> BufferPool::FetchPage(const Table& table,
   // SeqReadTime of one page accounts for its bandwidth share plus its share
   // of a read-ahead request. Re-reads of OS-cache-resident pages skip the
   // device and pay a kernel memory copy instead.
-  if (os_cached_.count(key)) {
+  if (os_cached_.find(key) != os_cached_.end()) {
     stats_.io_time += dana::SimTime::Seconds(
         static_cast<double>(page_size_) / disk_.os_cache_bw);
   } else {
@@ -50,12 +58,44 @@ Result<const uint8_t*> BufferPool::FetchPage(const Table& table,
                                              disk_.seq_read_bw) +
                       disk_.request_latency /
                           static_cast<double>(disk_.readahead_pages);
-    if (os_cached_.size() < os_cache_pages_) os_cached_.insert(key);
+    if (os_cached_.size() < os_cache_pages_) {
+      os_cached_.insert(Key{table.name(), page_no});
+    }
   }
 
   const size_t idx = EvictOne();
-  Install(idx, table, page_no);
+  Install(idx, table.name(), page_no, table.PageData(page_no));
   return static_cast<const uint8_t*>(frames_[idx].data.get());
+}
+
+bool BufferPool::TouchPage(const std::string& table, uint64_t page_no) {
+  const KeyView key{table, page_no};
+  if (last_table_ != table) last_table_ = table;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    frames_[it->second].referenced = true;
+    return true;
+  }
+  // A data-less install: occupancy and eviction behave exactly like
+  // FetchPage, but no page image is copied and no I/O time is charged —
+  // the shared slot pools are residency ground truth, not data servers.
+  ++stats_.misses;
+  const size_t idx = EvictOne();
+  Install(idx, table, page_no, nullptr);
+  return false;
+}
+
+void BufferPool::ScanTable(const std::string& table, uint64_t pages) {
+  for (uint64_t p = 0; p < pages; ++p) TouchPage(table, p);
+}
+
+double BufferPool::ResidentShare(const std::string& table,
+                                 uint64_t pages) const {
+  if (pages == 0) return 1.0;
+  const double share = static_cast<double>(resident_frames(table)) /
+                       static_cast<double>(pages);
+  return share > 1.0 ? 1.0 : share;
 }
 
 size_t BufferPool::EvictOne() {
@@ -72,21 +112,31 @@ size_t BufferPool::EvictOne() {
     map_.erase(Key{f.table, f.page_no});
     f.valid = false;
     --resident_frames_;
+    auto per_table = per_table_frames_.find(f.table);
+    if (per_table != per_table_frames_.end() && --per_table->second == 0) {
+      per_table_frames_.erase(per_table);
+    }
     ++stats_.evictions;
     return idx;
   }
 }
 
-void BufferPool::Install(size_t idx, const Table& table, uint64_t page_no) {
+void BufferPool::Install(size_t idx, std::string_view table,
+                         uint64_t page_no, const uint8_t* src) {
   Frame& f = frames_[idx];
   if (!f.valid) ++resident_frames_;
-  if (!f.data) f.data = std::make_unique<uint8_t[]>(page_size_);
-  std::memcpy(f.data.get(), table.PageData(page_no), page_size_);
-  f.table = &table;
+  if (src != nullptr) {
+    if (!f.data) f.data = std::make_unique<uint8_t[]>(page_size_);
+    std::memcpy(f.data.get(), src, page_size_);
+  } else {
+    f.data.reset();
+  }
+  f.table = table;
   f.page_no = page_no;
   f.valid = true;
   f.referenced = true;
-  map_[Key{&table, page_no}] = idx;
+  ++per_table_frames_[f.table];
+  map_[Key{f.table, page_no}] = idx;
 }
 
 void BufferPool::Prewarm(const Table& table, double fraction) {
@@ -94,11 +144,11 @@ void BufferPool::Prewarm(const Table& table, double fraction) {
   const uint64_t want = static_cast<uint64_t>(
       fraction * static_cast<double>(table.num_pages()) + 0.5);
   const uint64_t n = std::min<uint64_t>(want, frames_.size());
-  last_table_ = table.name();
+  if (last_table_ != table.name()) last_table_ = table.name();
   for (uint64_t p = 0; p < n; ++p) {
-    if (map_.count(Key{&table, p})) continue;
+    if (map_.find(KeyView{table.name(), p}) != map_.end()) continue;
     const size_t idx = EvictOne();
-    Install(idx, table, p);
+    Install(idx, table.name(), p, table.PageData(p));
   }
   MarkOsCached(table);
 }
@@ -106,7 +156,7 @@ void BufferPool::Prewarm(const Table& table, double fraction) {
 void BufferPool::MarkOsCached(const Table& table) {
   for (uint64_t p = 0; p < table.num_pages(); ++p) {
     if (os_cached_.size() >= os_cache_pages_) break;
-    os_cached_.insert(Key{&table, p});
+    os_cached_.insert(Key{table.name(), p});
   }
 }
 
@@ -114,10 +164,15 @@ double BufferPool::ResidentFraction(const Table& table) const {
   if (table.num_pages() == 0) return 1.0;
   uint64_t resident = 0;
   for (uint64_t p = 0; p < table.num_pages(); ++p) {
-    if (map_.count(Key{&table, p})) ++resident;
+    if (map_.find(KeyView{table.name(), p}) != map_.end()) ++resident;
   }
   return static_cast<double>(resident) /
          static_cast<double>(table.num_pages());
+}
+
+uint64_t BufferPool::resident_frames(const std::string& table) const {
+  auto it = per_table_frames_.find(table);
+  return it == per_table_frames_.end() ? 0 : it->second;
 }
 
 void BufferPool::Clear() {
@@ -129,6 +184,7 @@ void BufferPool::Clear() {
   os_cached_.clear();
   clock_hand_ = 0;
   resident_frames_ = 0;
+  per_table_frames_.clear();
   last_table_.clear();
 }
 
@@ -171,6 +227,13 @@ uint64_t BufferPoolGroup::TotalResidentFrames() const {
   uint64_t total = 0;
   for (const auto& p : pools_) total += p->resident_frames();
   return total;
+}
+
+void BufferPoolGroup::ClearAll() {
+  for (const auto& p : pools_) {
+    p->Clear();
+    p->ResetStats();
+  }
 }
 
 }  // namespace dana::storage

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -35,6 +37,13 @@ struct BufferPoolStats {
 /// pages directly. All systems in the reproduction (MADlib CPU engines and
 /// the DAnA accelerator) fetch pages through the same pool so that I/O time
 /// and warm/cold behaviour are identical across systems.
+///
+/// Pages are identified by (table name, page number) — catalog semantics:
+/// two Table objects with the same name alias the same cached pages. This
+/// is what lets one pool be shared across a slot's tables (the scheduler's
+/// physical residency ground truth) while per-workload pools keep their
+/// original behaviour, and it gives the pool exact per-table frame
+/// accounting (resident_frames(table)).
 class BufferPool {
  public:
   /// Pool of `capacity_bytes / page_size` frames; `disk` supplies miss
@@ -44,11 +53,39 @@ class BufferPool {
   BufferPool(uint64_t capacity_bytes, uint32_t page_size, DiskModel disk,
              uint64_t os_cache_bytes = UINT64_MAX);
 
+  /// Pool sized directly in frames — the shared per-slot residency pools
+  /// are specified this way (scale-normalized units, not bytes).
+  static BufferPool SizedInFrames(uint64_t frames, uint32_t page_size,
+                                  DiskModel disk) {
+    return BufferPool(frames * static_cast<uint64_t>(page_size), page_size,
+                      disk);
+  }
+
   /// Returns the frame holding page `page_no` of `table`, fetching it from
   /// the (modeled) disk on a miss. The returned pointer is valid until the
   /// next Fetch that evicts it; callers in this single-threaded simulator
   /// consume it immediately.
   dana::Result<const uint8_t*> FetchPage(const Table& table, uint64_t page_no);
+
+  /// Data-free residency probe for shared (cross-table) pools: page
+  /// `page_no` of logical table `table` is referenced on a hit and
+  /// installed — evicting a victim under capacity pressure, exactly like
+  /// FetchPage — on a miss. No page image is copied and no I/O time is
+  /// charged (the caller prices I/O from measured service profiles; the
+  /// pool's job here is to be the occupancy/eviction ground truth).
+  /// Hit/miss/eviction counters still advance. Returns true on a hit.
+  bool TouchPage(const std::string& table, uint64_t page_no);
+
+  /// One full sequential sweep of a logical table of `pages` pages through
+  /// the pool via TouchPage — the cache footprint of one training epoch's
+  /// Strider scan. A table larger than the pool ends with its trailing
+  /// pool-sized window resident (clock replacement under a sequential
+  /// scan); co-located tables are evicted only under install pressure.
+  void ScanTable(const std::string& table, uint64_t pages);
+
+  /// Fraction of a `pages`-page logical table currently resident, in
+  /// [0, 1]: resident_frames(table) / pages, clamped.
+  double ResidentShare(const std::string& table, uint64_t pages) const;
 
   /// Loads the leading `fraction` of `table`'s pages (capped by the pool
   /// size) without charging I/O time — models a previously-run query having
@@ -73,11 +110,15 @@ class BufferPool {
   /// *state*, not an event counter: ResetStats() does not touch it, only
   /// Clear() and evictions do. Never exceeds num_frames().
   uint64_t resident_frames() const { return resident_frames_; }
-  /// Name of the table the pool most recently served (FetchPage/Prewarm);
-  /// empty for a fresh or cleared pool. Diagnostic ground truth for what a
-  /// slot's pool last held — the scheduler-facing residency signal itself
-  /// lives in storage::CacheResidencyModel, which tracks cross-table
-  /// shares these per-workload pools cannot observe.
+  /// Frames currently holding pages of `table` — the per-table partition
+  /// of resident_frames(). This is the physical residency signal the
+  /// scheduler's executor prices placement from when a slot's tables share
+  /// one pool; storage::CacheResidencyModel remains as the logical
+  /// predictor it is cross-checked against.
+  uint64_t resident_frames(const std::string& table) const;
+  /// Name of the table the pool most recently served (FetchPage, TouchPage,
+  /// or Prewarm); empty for a fresh or cleared pool. In shared-pool mode
+  /// this is the table whose sweep last reshaped the cache.
   const std::string& last_table() const { return last_table_; }
 
   uint64_t num_frames() const { return frames_.size(); }
@@ -87,39 +128,69 @@ class BufferPool {
  private:
   struct Frame {
     std::unique_ptr<uint8_t[]> data;
-    const Table* table = nullptr;
+    std::string table;
     uint64_t page_no = 0;
     bool valid = false;
     bool referenced = false;
   };
   struct Key {
-    const Table* table;
+    std::string table;
     uint64_t page_no;
     bool operator==(const Key&) const = default;
   };
+  /// Borrowed-key view for lookups: FetchPage/TouchPage run once per page
+  /// per epoch sweep, so probes must not allocate a std::string each. The
+  /// transparent hash/equality below let the maps be queried with a view
+  /// (C++20 heterogeneous lookup); only an actual install copies the name.
+  struct KeyView {
+    std::string_view table;
+    uint64_t page_no;
+  };
   struct KeyHash {
-    size_t operator()(const Key& k) const {
-      return std::hash<const void*>()(k.table) ^
-             std::hash<uint64_t>()(k.page_no * 0x9E3779B97F4A7C15ull);
+    using is_transparent = void;
+    static size_t Mix(std::string_view table, uint64_t page_no) {
+      return std::hash<std::string_view>()(table) ^
+             std::hash<uint64_t>()(page_no * 0x9E3779B97F4A7C15ull);
+    }
+    size_t operator()(const Key& k) const { return Mix(k.table, k.page_no); }
+    size_t operator()(const KeyView& k) const {
+      return Mix(k.table, k.page_no);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const {
+      return a.page_no == b.page_no && a.table == b.table;
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return a.page_no == b.page_no && a.table == b.table;
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return a.page_no == b.page_no && a.table == b.table;
     }
   };
 
   /// Picks a victim frame via the clock hand and returns its index.
   size_t EvictOne();
 
-  /// Copies the page image into frame `idx` and indexes it.
-  void Install(size_t idx, const Table& table, uint64_t page_no);
+  /// Indexes frame `idx` as (table, page_no), copying the page image from
+  /// `src` when given (FetchPage/Prewarm) and leaving the frame data-less
+  /// for residency probes (TouchPage).
+  void Install(size_t idx, std::string_view table, uint64_t page_no,
+               const uint8_t* src);
 
   uint32_t page_size_;
   DiskModel disk_;
   std::vector<Frame> frames_;
-  std::unordered_map<Key, size_t, KeyHash> map_;
+  std::unordered_map<Key, size_t, KeyHash, KeyEq> map_;
   size_t clock_hand_ = 0;
   BufferPoolStats stats_;
   uint64_t resident_frames_ = 0;
+  /// table name -> frames currently held; values partition resident_frames_.
+  std::unordered_map<std::string, uint64_t> per_table_frames_;
   std::string last_table_;
   /// Pages currently held by the (modeled) OS page cache.
-  std::unordered_set<Key, KeyHash> os_cached_;
+  std::unordered_set<Key, KeyHash, KeyEq> os_cached_;
   uint64_t os_cache_pages_ = UINT64_MAX;
 };
 
@@ -153,6 +224,11 @@ class BufferPoolGroup {
   /// Sum of every pool's resident_frames(); the per-pool counts partition
   /// this total (each bounded by its pool's num_frames()).
   uint64_t TotalResidentFrames() const;
+
+  /// Clears every pool's cached state and statistics — the whole machine
+  /// back to cold (sweeps reset shared slot pools this way between
+  /// configurations).
+  void ClearAll();
 
  private:
   uint64_t capacity_bytes_;

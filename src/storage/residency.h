@@ -9,10 +9,15 @@ namespace dana::storage {
 
 /// Logical per-slot cache-residency ledger over the accelerator slots.
 ///
-/// Each slot's buffer pool physically caches pages, but the pools live
-/// inside per-workload instances (every table is generated at its own
-/// scale, so workloads cannot share one physical pool). This model keeps
-/// the cross-workload bookkeeping the physical pools cannot: per slot, the
+/// Historically the pricing source for placement: per-workload pools lived
+/// inside per-workload instances (every table generated at its own scale),
+/// so this model kept the cross-workload bookkeeping no physical pool
+/// could. The executor now owns one scale-normalized shared BufferPool per
+/// slot and prices from its measured per-table frames; this ledger remains
+/// as the cross-checked *predictor* (and the legacy pricing mode) — it
+/// decays co-located tables proportionally, where the physical clock sweep
+/// evicts in hand order, and the sched_pool divergence suite pins where
+/// the two part ways. It predicts, per slot, the
 /// fraction of each table's working set still resident after any sequence
 /// of runs. A run of table T on slot s leaves T resident (up to what the
 /// pool can hold); the scan installs frames only for its misses (an

@@ -19,7 +19,9 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/accelerator.h"
@@ -297,7 +299,10 @@ TEST(ExecutorSliceTest, SliceUpdatesResidencyPerSweep) {
 
 /// Deterministic synthetic epoch-sliced execution: every epoch of `id`
 /// costs shared_s + size * per_query_s seconds of slot occupancy, over
-/// `epochs` epochs. Warmth is not modeled (Resume never re-prices).
+/// `epochs` epochs. Warmth is static unless pinned with SetWarm (Resume
+/// never re-prices either way); pinned warmth marks the run
+/// residency-modeled so the scheduler's cold-resume-loss tie-break sees
+/// it.
 class SlicedExecutor : public sched::QueryExecutor {
  public:
   void Set(const std::string& id, uint32_t epochs, double epoch_shared_s,
@@ -307,13 +312,41 @@ class SlicedExecutor : public sched::QueryExecutor {
     estimates_[id] = dana::SimTime::Seconds(estimate_s);
   }
 
+  /// Pins `id`'s warmth on `slot` (and marks its runs residency-modeled):
+  /// the victim tie-break prices what a cold resume of it would forfeit.
+  void SetWarm(const std::string& id, uint32_t slot, double fraction) {
+    warmth_[{id, slot}] = fraction;
+    modeled_.insert(id);
+  }
+
+  /// Pins the fully-warm estimate; EstimateAtWarmth then interpolates
+  /// between Estimate() (cold) and this, like the Dana executor's own
+  /// cold/warm pricing. Unset ids estimate warmth-blind.
+  void SetWarmEstimate(const std::string& id, double estimate_s) {
+    warm_estimates_[id] = dana::SimTime::Seconds(estimate_s);
+  }
+
+  double WarmFraction(const std::string& id, uint32_t slot) override {
+    auto it = warmth_.find({id, slot});
+    return it == warmth_.end() ? 0.0 : it->second;
+  }
+
+  Result<dana::SimTime> EstimateAtWarmth(const std::string& id,
+                                         double warm_fraction) override {
+    auto warm = warm_estimates_.find(id);
+    if (warm == warm_estimates_.end()) return Estimate(id);
+    DANA_ASSIGN_OR_RETURN(dana::SimTime cold, Estimate(id));
+    return warm->second + (cold - warm->second) * (1.0 - warm_fraction);
+  }
+
   Result<std::unique_ptr<sched::BatchExecution>> Begin(
       const sched::QueryBatch& batch) override {
     auto it = specs_.find(batch.workload_id);
     if (it == specs_.end()) return Status::NotFound(batch.workload_id);
     begun_.push_back(batch);
-    return std::unique_ptr<sched::BatchExecution>(
-        new Execution(batch, it->second));
+    return std::unique_ptr<sched::BatchExecution>(new Execution(
+        batch, it->second, WarmFraction(batch.workload_id, batch.slot),
+        modeled_.count(batch.workload_id) > 0));
   }
 
   Result<dana::SimTime> Estimate(const std::string& id) override {
@@ -334,16 +367,20 @@ class SlicedExecutor : public sched::QueryExecutor {
 
   class Execution : public sched::BatchExecution {
    public:
-    Execution(sched::QueryBatch batch, Spec spec)
-        : BatchExecution(std::move(batch)), spec_(spec) {}
+    Execution(sched::QueryBatch batch, Spec spec, double warm = 0.0,
+              bool modeled = false)
+        : BatchExecution(std::move(batch)),
+          spec_(spec),
+          warm_(warm),
+          modeled_(modeled) {}
 
     uint32_t total_epochs() const override { return spec_.epochs; }
     uint32_t epochs_run() const override { return done_; }
     dana::SimTime compile_cost() const override {
       return dana::SimTime::Seconds(spec_.compile_s);
     }
-    double warm_fraction() const override { return 0.0; }
-    bool residency_modeled() const override { return false; }
+    double warm_fraction() const override { return warm_; }
+    bool residency_modeled() const override { return modeled_; }
 
     dana::SimTime EpochCost() const {
       return dana::SimTime::Seconds(
@@ -384,11 +421,16 @@ class SlicedExecutor : public sched::QueryExecutor {
 
    private:
     Spec spec_;
+    double warm_;
+    bool modeled_;
     uint32_t done_ = 0;
   };
 
   std::map<std::string, Spec> specs_;
   std::map<std::string, dana::SimTime> estimates_;
+  std::map<std::string, dana::SimTime> warm_estimates_;
+  std::map<std::pair<std::string, uint32_t>, double> warmth_;
+  std::set<std::string> modeled_;
   std::vector<sched::QueryBatch> begun_;
 };
 
@@ -507,6 +549,156 @@ TEST(PreemptionTest, BoundarylessLongestRunYieldsToNextCandidate) {
     }
     if (q.id == 0) {
       EXPECT_EQ(q.preemptions, 0u);
+    }
+  }
+}
+
+TEST(PreemptionTest, EqualRemainingTiesBreakByBoundaryDistance) {
+  // Two batch runs finish at exactly t=10; the interactive arrival at
+  // t=4.5 needs one preempted. "wide" (slot 0, dispatched at 0) has
+  // already passed its t=4 boundary, so its next usable boundary is t=8;
+  // "late" (slot 1, dispatched at 2) offers t=6. The old slot-index
+  // tie-break checkpointed "wide" and made the lookup wait until t=8 while
+  // the nearer boundary sat unused; the checkpoint-to-boundary tie-break
+  // must take "late" at t=6.
+  SlicedExecutor exec;
+  exec.Set("wide", /*epochs=*/10, /*shared=*/1.0, /*pq=*/0.0, 10);
+  exec.Set("late", /*epochs=*/8, /*shared=*/1.0, /*pq=*/0.0, 8);
+  exec.Set("lookup", 1, 1.0, 0.0, 1);
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "wide", 0), Req(1, "late", 2),
+      Req(2, "lookup", 4.5, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 2,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 4,
+                          .context_switch_cost = dana::SimTime::Zero()},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->preemptions, 1u);
+  for (const sched::QueryStat& q : report->queries) {
+    if (q.id == 2) {
+      EXPECT_DOUBLE_EQ(q.start.seconds(), 6.0);
+    }
+    if (q.id == 1) {
+      EXPECT_EQ(q.preemptions, 1u);
+    }
+    if (q.id == 0) {
+      EXPECT_EQ(q.preemptions, 0u);
+    }
+  }
+}
+
+TEST(PreemptionTest, FullTiesBreakByExpectedResidencyLoss) {
+  // Identical runs on both slots: completions tie and both offer the same
+  // boundary, so the victim choice comes down to expected cold-resume
+  // residency loss — the extra service the executor prices at warmth 0
+  // over each run's current warmth. Slot 0's table is 90% warm (a cold
+  // resume forfeits 0.9 of the 6 s warm/cold spread), slot 1's only 10%:
+  // the scheduler must checkpoint the run with less to lose, not default
+  // to slot 0.
+  SlicedExecutor exec;
+  exec.Set("hotrun", /*epochs=*/12, /*shared=*/1.0, /*pq=*/0.0, 12);
+  exec.Set("coldrun", /*epochs=*/12, /*shared=*/1.0, /*pq=*/0.0, 12);
+  exec.Set("lookup", 1, 1.0, 0.0, 1);
+  exec.SetWarm("hotrun", /*slot=*/0, 0.9);
+  exec.SetWarm("coldrun", /*slot=*/1, 0.1);
+  exec.SetWarmEstimate("hotrun", 6);
+  exec.SetWarmEstimate("coldrun", 6);
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "hotrun", 0), Req(1, "coldrun", 0),
+      Req(2, "lookup", 1.5, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 2,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 4,
+                          .context_switch_cost = dana::SimTime::Zero()},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->preemptions, 1u);
+  for (const sched::QueryStat& q : report->queries) {
+    if (q.id == 0) {
+      EXPECT_EQ(q.preemptions, 0u);  // the warm run survives
+    }
+    if (q.id == 1) {
+      EXPECT_EQ(q.preemptions, 1u);
+    }
+    if (q.id == 2) {
+      EXPECT_DOUBLE_EQ(q.start.seconds(), 4.0);
+    }
+  }
+}
+
+TEST(PreemptionTest, ResidencyLossWeighsTableSizeNotBareWarmth) {
+  // A fully-warm *cheap* table forfeits less on a cold resume than a
+  // barely-warm huge one: the loss metric is the executor-priced warm/cold
+  // service spread at the victim's warmth, not the bare warm fraction.
+  // "hotsmall" is 100% warm but re-streams in 0.2 s (loss 0.2 s);
+  // "coldhuge" is only 30% warm but its cold resume costs 18 s more than
+  // its current warmth — the scheduler must sacrifice hotsmall.
+  SlicedExecutor exec;
+  exec.Set("hotsmall", /*epochs=*/12, /*shared=*/1.0, /*pq=*/0.0, 4);
+  exec.Set("coldhuge", /*epochs=*/12, /*shared=*/1.0, /*pq=*/0.0, 100);
+  exec.Set("lookup", 1, 1.0, 0.0, 1);
+  exec.SetWarm("hotsmall", /*slot=*/0, 1.0);
+  exec.SetWarm("coldhuge", /*slot=*/1, 0.3);
+  exec.SetWarmEstimate("hotsmall", 3.8);
+  exec.SetWarmEstimate("coldhuge", 40);
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "hotsmall", 0), Req(1, "coldhuge", 0),
+      Req(2, "lookup", 1.5, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 2,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 4,
+                          .context_switch_cost = dana::SimTime::Zero()},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->preemptions, 1u);
+  for (const sched::QueryStat& q : report->queries) {
+    if (q.id == 0) {
+      EXPECT_EQ(q.preemptions, 1u);  // warmest run, but cheapest to lose
+    }
+    if (q.id == 1) {
+      EXPECT_EQ(q.preemptions, 0u);
+    }
+  }
+}
+
+TEST(PreemptionTest, ResumedRunKeepsItsGlobalBoundaryPhase) {
+  // Quantum boundaries sit at global epoch indices of each run — multiples
+  // of q counted from the run's own epoch 0, not from its latest
+  // (re-)dispatch. One long training absorbs two preemptions: the first at
+  // epoch 4 (t=4); after the lookup (2 s) it resumes at t=6, and the
+  // second interactive arrival must cut it at global epoch 8 — t=10, four
+  // *global* epochs on from the checkpoint — with the run's full 20-epoch
+  // service preserved across the three segments.
+  SlicedExecutor exec;
+  exec.Set("training", /*epochs=*/20, /*shared=*/1.0, /*pq=*/0.0, 20);
+  exec.Set("lookup", 1, 2.0, 0.0, 2);
+  std::vector<sched::QueryRequest> reqs = {
+      Req(0, "training", 0),
+      Req(1, "lookup", 1.5, sched::QueryClass::kInteractive),
+      Req(2, "lookup", 6.5, sched::QueryClass::kInteractive)};
+  sched::Scheduler sched({.slots = 1,
+                          .policy = sched::Policy::kFcfs,
+                          .preemption_quantum_epochs = 4,
+                          .context_switch_cost = dana::SimTime::Zero()},
+                         &exec);
+  auto report = sched.Run(reqs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->preemptions, 2u);
+  for (const sched::QueryStat& q : report->queries) {
+    if (q.id == 1) {
+      EXPECT_DOUBLE_EQ(q.start.seconds(), 4.0);
+    }
+    if (q.id == 2) {
+      EXPECT_DOUBLE_EQ(q.start.seconds(), 10.0);
+    }
+    if (q.id == 0) {
+      EXPECT_EQ(q.preemptions, 2u);
+      EXPECT_DOUBLE_EQ(q.service.seconds(), 20.0);
+      EXPECT_DOUBLE_EQ(q.completion.seconds(), 24.0);
     }
   }
 }
@@ -669,15 +861,35 @@ TEST(PreemptionTest, PreemptiveScheduleIsDeterministic) {
 }
 
 TEST(PreemptionTest, ClosedLoopRejectsPreemptiveKnobs) {
+  // Closed-loop sessions submit from completions known at dispatch time;
+  // preemption and the batching window make completions depend on future
+  // events, so each knob must come back as its own actionable Status (a
+  // proper error naming the offending option — never an abort), and the
+  // knobs-off run on the same scheduler options must still work.
   SlicedExecutor exec;
   exec.Set("a", 2, 1.0, 0.0, 2);
-  sched::Scheduler sched({.slots = 1,
-                          .policy = sched::Policy::kFcfs,
-                          .preemption_quantum_epochs = 1},
-                         &exec);
-  EXPECT_TRUE(sched.RunClosedLoop({{"a"}}, dana::SimTime::Zero())
-                  .status()
-                  .IsInvalidArgument());
+  sched::Scheduler preemptive({.slots = 1,
+                               .policy = sched::Policy::kFcfs,
+                               .preemption_quantum_epochs = 1},
+                              &exec);
+  const Status quantum_err =
+      preemptive.RunClosedLoop({{"a"}}, dana::SimTime::Zero()).status();
+  EXPECT_TRUE(quantum_err.IsInvalidArgument());
+  EXPECT_NE(quantum_err.ToString().find("preemption_quantum_epochs"),
+            std::string::npos);
+
+  sched::Scheduler windowed({.slots = 1,
+                             .policy = sched::Policy::kFcfs,
+                             .max_batch = 2,
+                             .batch_window = dana::SimTime::Seconds(1)},
+                            &exec);
+  const Status window_err =
+      windowed.RunClosedLoop({{"a"}}, dana::SimTime::Zero()).status();
+  EXPECT_TRUE(window_err.IsInvalidArgument());
+  EXPECT_NE(window_err.ToString().find("batch_window"), std::string::npos);
+
+  sched::Scheduler plain({.slots = 1, .policy = sched::Policy::kFcfs}, &exec);
+  EXPECT_TRUE(plain.RunClosedLoop({{"a"}}, dana::SimTime::Zero()).ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -262,8 +262,9 @@ TEST(TableTest, PagesValidateAsPostgresPages) {
 // BufferPool
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<Table> MakeTable(uint32_t pages_wanted) {
-  auto t = std::make_unique<Table>("bp", Schema::Dense(100), SmallLayout());
+std::unique_ptr<Table> MakeTable(uint32_t pages_wanted,
+                                 const std::string& name = "bp") {
+  auto t = std::make_unique<Table>(name, Schema::Dense(100), SmallLayout());
   std::vector<double> row(101, 1.0);
   while (t->num_pages() < pages_wanted) {
     EXPECT_TRUE(t->AppendRow(row).ok());
@@ -524,9 +525,15 @@ TEST(ResidencyIntrospectionTest, GroupRollupSumsResidentFrames) {
 /// exceed pool capacity, and match a recount of the frame table via
 /// ResidentFraction.
 TEST(ResidencyIntrospectionTest, PropertyResidencyAccountingInvariants) {
-  auto small = MakeTable(3);
-  auto big = MakeTable(10);
+  // Pages are keyed by table *name* (catalog semantics), so the two tables
+  // need distinct names to occupy distinct frames.
+  auto small = MakeTable(3, "bp_small");
+  auto big = MakeTable(10, "bp_big");
   const std::vector<const Table*> tables = {small.get(), big.get()};
+  // Logical tables mixed into the same pools via data-free TouchPage: the
+  // accounting invariants must hold across physical and logical frames.
+  const std::vector<std::pair<std::string, uint64_t>> logical = {
+      {"lg_half", 2}, {"lg_over", 7}};
   BufferPoolGroup group(4 * 8 * 1024, 8 * 1024, DiskModel{});  // 4 frames/pool
   constexpr size_t kSlots = 3;
   dana::Rng rng(20260726);
@@ -534,10 +541,17 @@ TEST(ResidencyIntrospectionTest, PropertyResidencyAccountingInvariants) {
     const size_t slot = rng.UniformInt(kSlots);
     const Table& table = *tables[rng.UniformInt(tables.size())];
     const uint64_t action = rng.UniformInt(100);
-    if (action < 88) {
+    if (action < 78) {
       ASSERT_TRUE(
           group.pool(slot)->FetchPage(table, rng.UniformInt(table.num_pages()))
               .ok());
+    } else if (action < 88) {
+      const auto& [name, pages] = logical[rng.UniformInt(logical.size())];
+      if (rng.UniformInt(2) == 0) {
+        group.pool(slot)->ScanTable(name, pages);
+      } else {
+        group.pool(slot)->TouchPage(name, rng.UniformInt(pages));
+      }
     } else if (action < 94) {
       group.pool(slot)->Prewarm(table, rng.Uniform());
     } else if (action < 97) {
@@ -556,19 +570,157 @@ TEST(ResidencyIntrospectionTest, PropertyResidencyAccountingInvariants) {
       hits += pool->stats().hits;
       misses += pool->stats().misses;
       // The incremental count agrees with a from-scratch recount of which
-      // pages each table has resident.
+      // pages each table has resident, and the per-table frame counts
+      // partition the pool total exactly.
       double fraction_pages = 0;
+      uint64_t per_table_sum = 0;
       for (const Table* t : tables) {
         fraction_pages += pool->ResidentFraction(*t) *
                           static_cast<double>(t->num_pages());
+        EXPECT_NEAR(pool->ResidentFraction(*t) *
+                        static_cast<double>(t->num_pages()),
+                    static_cast<double>(pool->resident_frames(t->name())),
+                    1e-6);
+        per_table_sum += pool->resident_frames(t->name());
+      }
+      for (const auto& [name, pages] : logical) {
+        const uint64_t frames = pool->resident_frames(name);
+        EXPECT_LE(frames, pages);
+        EXPECT_NEAR(pool->ResidentShare(name, pages),
+                    static_cast<double>(frames) / static_cast<double>(pages),
+                    1e-12);
+        fraction_pages += static_cast<double>(frames);
+        per_table_sum += frames;
       }
       EXPECT_NEAR(fraction_pages, static_cast<double>(pool->resident_frames()),
                   1e-6);
+      EXPECT_EQ(per_table_sum, pool->resident_frames());
     }
     ASSERT_EQ(sum, group.TotalResidentFrames());
     ASSERT_EQ(hits, rollup.hits);
     ASSERT_EQ(misses, rollup.misses);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-pool mode (data-free residency probes; physical ground truth)
+// ---------------------------------------------------------------------------
+
+TEST(SharedPoolTest, TouchPageHitsMissesAndEvictsLikeFetch) {
+  BufferPool pool = BufferPool::SizedInFrames(4, 8 * 1024, DiskModel{});
+  EXPECT_EQ(pool.num_frames(), 4u);
+  EXPECT_FALSE(pool.TouchPage("t", 0));  // miss installs
+  EXPECT_TRUE(pool.TouchPage("t", 0));   // repeat hits
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  // Data-free probes never charge I/O time: the shared pool is occupancy
+  // ground truth, not a data server.
+  EXPECT_EQ(pool.stats().io_time.nanos(), 0.0);
+  EXPECT_EQ(pool.last_table(), "t");
+  // Overflow evicts under install pressure, capacity never exceeded.
+  for (uint64_t p = 0; p < 8; ++p) pool.TouchPage("t", p);
+  EXPECT_EQ(pool.resident_frames(), 4u);
+  EXPECT_GE(pool.stats().evictions, 4u);
+}
+
+TEST(SharedPoolTest, ScanLeavesTrailingWindowOfOversizedTable) {
+  BufferPool pool = BufferPool::SizedInFrames(4, 8 * 1024, DiskModel{});
+  pool.ScanTable("big", 8);
+  // A sequential scan of a 2x-oversized table under clock replacement ends
+  // with the trailing pool-sized window resident.
+  EXPECT_EQ(pool.resident_frames("big"), 4u);
+  EXPECT_DOUBLE_EQ(pool.ResidentShare("big", 8), 0.5);
+  // A pool-fitting table ends fully resident, and a repeat sweep is an
+  // all-hit no-op for it.
+  pool.Clear();
+  pool.ScanTable("fits", 3);
+  EXPECT_DOUBLE_EQ(pool.ResidentShare("fits", 3), 1.0);
+  const uint64_t evictions = pool.stats().evictions;
+  pool.ScanTable("fits", 3);
+  EXPECT_DOUBLE_EQ(pool.ResidentShare("fits", 3), 1.0);
+  EXPECT_EQ(pool.stats().evictions, evictions);
+}
+
+TEST(SharedPoolTest, CrossTableEvictionFollowsClockHandOrder) {
+  // a and b fill the pool; c's installs must come out of whatever the
+  // clock hand reaches first — the physical behaviour the logical ledger
+  // (proportional decay) only approximates.
+  BufferPool pool = BufferPool::SizedInFrames(10, 8 * 1024, DiskModel{});
+  pool.ScanTable("a", 3);
+  pool.ScanTable("b", 3);
+  EXPECT_EQ(pool.resident_frames("a"), 3u);
+  EXPECT_EQ(pool.resident_frames("b"), 3u);
+  pool.ScanTable("c", 5);
+  // 4 free frames absorb, 1 install evicts: the hand (parked past b's
+  // frames) wraps and takes a's first frame — not 0.5 frames from each.
+  EXPECT_EQ(pool.resident_frames("c"), 5u);
+  EXPECT_EQ(pool.resident_frames("a") + pool.resident_frames("b"), 5u);
+  EXPECT_EQ(pool.resident_frames(), 10u);
+  EXPECT_NE(pool.resident_frames("a"), pool.resident_frames("b"));
+}
+
+TEST(SharedPoolTest, FetchMaterializesDataLessFrameOnHit) {
+  auto t = MakeTable(2);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  // A residency probe installed the page without an image; a later data
+  // fetch must serve the real bytes, as a hit.
+  EXPECT_FALSE(pool.TouchPage("bp", 1));
+  auto frame = pool.FetchPage(*t, 1);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(0, std::memcmp(*frame, t->PageData(1), 8 * 1024));
+}
+
+TEST(SharedPoolTest, TablesAliasByName) {
+  // Catalog semantics: pages are identified by (table name, page number),
+  // so two Table objects with one name share cached pages — what lets a
+  // slot's tables share one pool across workload instances.
+  auto t1 = MakeTable(2, "same");
+  auto t2 = MakeTable(2, "same");
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  ASSERT_TRUE(pool.FetchPage(*t1, 0).ok());
+  ASSERT_TRUE(pool.FetchPage(*t2, 0).ok());
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.resident_frames("same"), 1u);
+}
+
+TEST(PrewarmEdgeCaseTest, ZeroAndOverflowingFractionsClamp) {
+  auto t = MakeTable(8);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  pool.Prewarm(*t, 0.0);
+  EXPECT_EQ(pool.resident_frames(), 0u);
+  pool.Prewarm(*t, -3.0);  // clamped to 0
+  EXPECT_EQ(pool.resident_frames(), 0u);
+  pool.Prewarm(*t, 7.5);  // clamped to 1
+  EXPECT_DOUBLE_EQ(pool.ResidentFraction(*t), 1.0);
+  EXPECT_EQ(pool.resident_frames("bp"), 8u);
+}
+
+TEST(PrewarmEdgeCaseTest, RepeatedPrewarmNeverDoubleCounts) {
+  auto t = MakeTable(6);
+  BufferPool pool(16 * 8 * 1024, 8 * 1024, DiskModel{});
+  pool.Prewarm(*t, 0.5);
+  EXPECT_EQ(pool.resident_frames("bp"), 3u);
+  pool.Prewarm(*t, 0.5);  // already resident: no installs, no growth
+  EXPECT_EQ(pool.resident_frames("bp"), 3u);
+  pool.Prewarm(*t, 1.0);  // tops up the missing half only
+  EXPECT_EQ(pool.resident_frames("bp"), 6u);
+  EXPECT_EQ(pool.resident_frames(), 6u);
+}
+
+TEST(PrewarmEdgeCaseTest, PrewarmIntoPressureEvictsOtherTables) {
+  // Prewarm's installs obey the same eviction discipline as a scan: a
+  // co-located table's frames go under install pressure, and the per-table
+  // accounting tracks the handoff exactly.
+  auto t = MakeTable(3, "warmed");
+  BufferPool pool = BufferPool::SizedInFrames(4, 8 * 1024, DiskModel{});
+  pool.ScanTable("other", 3);
+  EXPECT_EQ(pool.resident_frames("other"), 3u);
+  pool.Prewarm(*t);  // 3 installs, 1 free frame: 2 of "other"'s evicted
+  EXPECT_EQ(pool.resident_frames("warmed"), 3u);
+  EXPECT_EQ(pool.resident_frames("other"), 1u);
+  EXPECT_EQ(pool.resident_frames(), 4u);
 }
 
 // ---------------------------------------------------------------------------

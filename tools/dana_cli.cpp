@@ -71,6 +71,7 @@ void PrintHelp(std::FILE* out) {
       "        [--group public|sn|se|all] [--batch K] [--aging W]\n"
       "        [--affinity W] [--closed-loop] [--think-ms MS] [--sessions N]\n"
       "        [--interactive R] [--quantum E] [--ctx-ms MS] [--window-ms MS]\n"
+      "        [--pool-frames F]\n"
       "                            schedule a multi-query request stream\n"
       "                            onto N simulated accelerator slots;\n"
       "                            --batch K coalesces up to K same-algorithm\n"
@@ -82,8 +83,15 @@ void PrintHelp(std::FILE* out) {
       "                            residency-aware estimate), --closed-loop\n"
       "                            drives think-time sessions instead of an\n"
       "                            open Poisson stream. Slots charge real\n"
-      "                            cache residency: a slot's first run of a\n"
-      "                            table is cold, repeats warm until evicted.\n"
+      "                            cache residency measured from one shared\n"
+      "                            physical pool per slot of --pool-frames\n"
+      "                            scale-normalized frames (default 4096):\n"
+      "                            a slot's first run of a table is cold,\n"
+      "                            repeats warm until another table's sweep\n"
+      "                            evicts the frames; the phys-warm column\n"
+      "                            reports the mean measured residency at\n"
+      "                            dispatch. --pool-frames 0 selects the\n"
+      "                            legacy logical-ledger pricing.\n"
       "                            Priority classes & preemption:\n"
       "                            --interactive R tags the R hottest\n"
       "                            catalog ranks latency-sensitive; with\n"
@@ -357,6 +365,18 @@ int CmdSched(int argc, char** argv) {
                          "features; drop --closed-loop\n");
     return 2;
   }
+  // Shared physical residency pools: frames per slot pool; 0 falls back to
+  // the legacy logical-ledger pricing (the PR 3 executor). Each slot's
+  // pool eagerly allocates its frame table, so the ceiling must be a
+  // count a process can actually hold (2^20 frames ~ 60 MB of frame
+  // metadata per slot); resolution gains above the 4096 default are
+  // already below 0.1% quantization.
+  const long long pool_frames =
+      std::atoll(Flag(argc, argv, "--pool-frames", "4096"));
+  if (pool_frames < 0 || pool_frames > (1ll << 20)) {
+    std::fprintf(stderr, "--pool-frames must be in 0..2^20\n");
+    return 2;
+  }
 
   sched::DriverOptions driver_opts;
   driver_opts.num_queries = static_cast<uint32_t>(queries);
@@ -389,7 +409,12 @@ int CmdSched(int argc, char** argv) {
     policies = {*policy};
   }
 
-  sched::DanaQueryExecutor executor;
+  sched::DanaQueryExecutor::Options executor_opts;
+  executor_opts.physical_pools = pool_frames > 0;
+  if (pool_frames > 0) {
+    executor_opts.pool_frames = static_cast<uint64_t>(pool_frames);
+  }
+  sched::DanaQueryExecutor executor(executor_opts);
   driver_opts.sessions = static_cast<uint32_t>(sessions);
 
   // Arrival rate (open stream only): explicit --rate, else calibrated to
@@ -468,11 +493,19 @@ int CmdSched(int argc, char** argv) {
     return std::isnan(rate) ? std::string("-")
                             : TablePrinter::Fmt(rate * 100.0, 0) + "%";
   };
+  auto warm_frac_cell = [](double fraction) {
+    return std::isnan(fraction) ? std::string("-")
+                                : TablePrinter::Fmt(fraction, 2);
+  };
   const bool preemptive = quantum > 0 || window_ms > 0;
+  // With physical pools on, the mean warm fraction is *measured* per-slot
+  // pool residency at dispatch ("phys warm"); with --pool-frames 0 it is
+  // the logical ledger's prediction.
+  const char* warm_column = pool_frames > 0 ? "phys warm" : "mean warm";
   std::vector<std::string> columns = {
       "policy", "throughput (q/h)", "mean lat", "p50", "p95", "p99",
-      "mean wait", "makespan", "mean batch", "warm hits", "shared/private",
-      "compile hits"};
+      "mean wait", "makespan", "mean batch", "warm hits", warm_column,
+      "shared/private", "compile hits"};
   if (preemptive) {
     columns.insert(columns.begin() + 6, {"int p95", "batch p95", "preempts"});
   }
@@ -512,6 +545,7 @@ int CmdSched(int argc, char** argv) {
         report->makespan.ToString(),
         TablePrinter::Fmt(report->MeanBatchSize(), 2),
         warm_hits_cell(report->WarmHitRate()),
+        warm_frac_cell(report->MeanWarmFraction()),
         report->shared_service.ToString() + "/" +
             report->private_service.ToString(),
         std::to_string(report->compile_hits) + "/" +
