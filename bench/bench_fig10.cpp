@@ -8,6 +8,9 @@
 int main() {
   using namespace dana;
   bench::Harness harness;
+  obs::StatsWriter stats("fig10");
+  stats.SetConfig("group", "se");
+  harness.set_stats(&stats);
   bench::Harness::PrintHeader(
       "Figure 10: end-to-end speedup, synthetic extensive datasets",
       "Mahajan et al., PVLDB 11(11), Figure 10a/10b");
@@ -19,6 +22,12 @@ int main() {
       std::fprintf(stderr, "fig10 failed: %s\n", st.ToString().c_str());
       return 1;
     }
+  }
+  auto st = bench::Harness::EmitBenchJson(stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "fig10 telemetry failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
   }
   return 0;
 }

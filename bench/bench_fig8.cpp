@@ -8,6 +8,9 @@
 int main() {
   using namespace dana;
   bench::Harness harness;
+  obs::StatsWriter stats("fig8");
+  stats.SetConfig("group", "public");
+  harness.set_stats(&stats);
   bench::Harness::PrintHeader(
       "Figure 8: end-to-end speedup, publicly available datasets",
       "Mahajan et al., PVLDB 11(11), Figure 8a/8b");
@@ -18,6 +21,12 @@ int main() {
       std::fprintf(stderr, "fig8 failed: %s\n", st.ToString().c_str());
       return 1;
     }
+  }
+  auto st = bench::Harness::EmitBenchJson(stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "fig8 telemetry failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -8,6 +8,9 @@
 int main() {
   using namespace dana;
   bench::Harness harness;
+  obs::StatsWriter stats("fig9");
+  stats.SetConfig("group", "sn");
+  harness.set_stats(&stats);
   bench::Harness::PrintHeader(
       "Figure 9: end-to-end speedup, synthetic nominal datasets",
       "Mahajan et al., PVLDB 11(11), Figure 9a/9b");
@@ -19,6 +22,12 @@ int main() {
       std::fprintf(stderr, "fig9 failed: %s\n", st.ToString().c_str());
       return 1;
     }
+  }
+  auto st = bench::Harness::EmitBenchJson(stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "fig9 telemetry failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -104,6 +104,23 @@ Status Harness::RunSpeedupFigure(const std::vector<ml::Workload>& workloads,
                 TablePrinter::Speedup(GeoMean(dana_paper)),
                 TablePrinter::Speedup(GeoMean(dana_ours)), ""});
   table.Print();
+  if (stats_ != nullptr) {
+    const std::string prefix = warm ? "warm." : "cold.";
+    stats_->Add(prefix + "gp_geomean_speedup", GeoMean(gp_ours),
+                obs::Direction::kHigherIsBetter);
+    stats_->Add(prefix + "dana_geomean_speedup", GeoMean(dana_ours),
+                obs::Direction::kHigherIsBetter);
+    stats_->Add(prefix + "workloads",
+                static_cast<double>(workloads.size()),
+                obs::Direction::kInfo);
+  }
+  return Status::OK();
+}
+
+Status Harness::EmitBenchJson(const obs::StatsWriter& writer) {
+  DANA_ASSIGN_OR_RETURN(std::string path, writer.Write());
+  std::printf("\nbench telemetry written to %s (%zu metrics)\n",
+              path.c_str(), writer.metric_count());
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "ml/workloads.h"
+#include "obs/stats_writer.h"
 #include "runtime/systems.h"
 
 namespace dana::bench {
@@ -61,15 +62,28 @@ class Harness {
   /// Runs one end-to-end speedup figure (the Figure 8/9/10 shape): for
   /// each workload, MADlib+PostgreSQL (baseline), MADlib+Greenplum, and
   /// DAnA, in the given cache state; prints paper-vs-measured speedups
-  /// and geomeans. Returns non-OK on the first failing run.
+  /// and geomeans. Returns non-OK on the first failing run. With a stats
+  /// writer attached (set_stats), records the measured geomeans as
+  /// `<warm|cold>.gp_geomean_speedup` / `.dana_geomean_speedup` gated
+  /// metrics.
   dana::Status RunSpeedupFigure(const std::vector<ml::Workload>& workloads,
                                 runtime::CacheState cache);
+
+  /// Attaches a StatsWriter (not owned; null detaches): subsequent
+  /// RunSpeedupFigure calls record their headline numbers into it, so a
+  /// bench binary can emit BENCH_<area>.json alongside its tables.
+  void set_stats(obs::StatsWriter* stats) { stats_ = stats; }
+
+  /// Writes `writer`'s BENCH_<area>.json (StatsWriter::Write — the dir
+  /// comes from DANA_BENCH_JSON_DIR, default cwd) and prints the path.
+  static dana::Status EmitBenchJson(const obs::StatsWriter& writer);
 
  private:
   runtime::CpuCostModel cost_;
   std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>>
       instances_;
   std::map<std::string, std::unique_ptr<compiler::CompiledUdf>> compiled_;
+  obs::StatsWriter* stats_ = nullptr;
 };
 
 }  // namespace dana::bench

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace dana {
 
@@ -40,9 +41,15 @@ double Min(const std::vector<double>& values) {
 }
 
 double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return std::isnan(v); }),
+               values.end());
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::sort(values.begin(), values.end());
   p = std::clamp(p, 0.0, 100.0);
+  if (p == 0.0) return values.front();
+  if (p == 100.0) return values.back();
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
   const size_t hi = std::min(lo + 1, values.size() - 1);

@@ -24,8 +24,12 @@ double Min(const std::vector<double>& values);
 
 /// p-th percentile (p in [0, 100]) with linear interpolation between the
 /// two closest ranks (numpy's default): the scheduler's latency report uses
-/// this for p50/p95/p99. Returns 0 for empty input; p is clamped to
-/// [0, 100]. Takes a copy because the computation sorts.
+/// this for p50/p95/p99. NaN-safe edge cases: an empty input (or one that
+/// is all-NaN after NaN entries are dropped) returns quiet_NaN — "no data"
+/// is not the same as "zero latency"; a NaN p returns NaN; p is otherwise
+/// clamped to [0, 100], with p=0 returning the exact minimum and p=100 the
+/// exact maximum (no interpolation round-off); a single element is returned
+/// unchanged for every p. Takes a copy because the computation sorts.
 double Percentile(std::vector<double> values, double p);
 
 }  // namespace dana

@@ -1,0 +1,107 @@
+#include "obs/bench_compare.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dana::obs {
+
+namespace {
+
+dana::Result<const Json*> RequireObject(const Json& doc, const char* key) {
+  const Json* v = doc.Find(key);
+  if (v == nullptr || !v->is_object()) {
+    return dana::Status::InvalidArgument(
+        std::string("BENCH json is missing object member '") + key + "'");
+  }
+  return v;
+}
+
+double MetricValue(const Json& entry) {
+  const Json* v = entry.Find("value");
+  return v != nullptr && v->is_number()
+             ? v->AsNumber()
+             : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string MetricDirection(const Json& entry) {
+  const Json* d = entry.Find("better");
+  return d != nullptr && d->is_string() ? d->AsString() : "info";
+}
+
+}  // namespace
+
+dana::Result<CompareReport> CompareBenchJson(const Json& baseline,
+                                             const Json& fresh,
+                                             double tolerance) {
+  CompareReport report;
+
+  // Config equality: compact-dump both and compare the strings (member
+  // order is insertion order, and both files come from the same writer, so
+  // a real mismatch is a real knob difference).
+  const Json* base_cfg = baseline.Find("config");
+  const Json* fresh_cfg = fresh.Find("config");
+  const std::string base_cfg_s =
+      base_cfg != nullptr ? base_cfg->Dump() : "{}";
+  const std::string fresh_cfg_s =
+      fresh_cfg != nullptr ? fresh_cfg->Dump() : "{}";
+  if (base_cfg_s != fresh_cfg_s) {
+    report.config_mismatch = true;
+    report.config_diff =
+        "baseline config " + base_cfg_s + " vs fresh config " + fresh_cfg_s;
+  }
+
+  DANA_ASSIGN_OR_RETURN(const Json* base_metrics,
+                        RequireObject(baseline, "metrics"));
+  DANA_ASSIGN_OR_RETURN(const Json* fresh_metrics,
+                        RequireObject(fresh, "metrics"));
+
+  for (const auto& [name, base_entry] : base_metrics->members()) {
+    MetricDelta d;
+    d.name = name;
+    d.baseline = MetricValue(base_entry);
+    d.direction = MetricDirection(base_entry);
+    const Json* fresh_entry = fresh_metrics->Find(name);
+    if (fresh_entry == nullptr) {
+      d.missing = true;
+      report.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.fresh = MetricValue(*fresh_entry);
+    if (std::isnan(d.baseline) || std::isnan(d.fresh)) {
+      // A NaN on either side (serialized null) carries no signal; info.
+      d.relative_change = 0.0;
+    } else if (d.baseline != 0.0) {
+      d.relative_change = (d.fresh - d.baseline) / std::fabs(d.baseline);
+    } else if (d.fresh != 0.0) {
+      d.relative_change = d.fresh > 0
+                              ? std::numeric_limits<double>::infinity()
+                              : -std::numeric_limits<double>::infinity();
+    }
+    if (d.direction == "lower") {
+      d.regressed = d.relative_change > tolerance;
+      d.improved = d.relative_change < -tolerance;
+    } else if (d.direction == "higher") {
+      d.regressed = d.relative_change < -tolerance;
+      d.improved = d.relative_change > tolerance;
+    }
+    report.deltas.push_back(std::move(d));
+  }
+
+  for (const auto& [name, entry] : fresh_metrics->members()) {
+    (void)entry;
+    if (base_metrics->Find(name) == nullptr) {
+      report.new_metrics.push_back(name);
+    }
+  }
+  return report;
+}
+
+dana::Result<CompareReport> CompareBenchFiles(const std::string& baseline_path,
+                                              const std::string& fresh_path,
+                                              double tolerance) {
+  DANA_ASSIGN_OR_RETURN(Json baseline, Json::ReadFile(baseline_path));
+  DANA_ASSIGN_OR_RETURN(Json fresh, Json::ReadFile(fresh_path));
+  return CompareBenchJson(baseline, fresh, tolerance);
+}
+
+}  // namespace dana::obs

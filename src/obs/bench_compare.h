@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace dana::obs {
+
+/// One metric's baseline-vs-fresh comparison.
+struct MetricDelta {
+  std::string name;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  std::string direction;  ///< "lower" | "higher" | "info"
+  /// (fresh - baseline) / |baseline|; 0 when the baseline is 0 and the
+  /// fresh value matches, +-inf when it doesn't.
+  double relative_change = 0.0;
+  bool regressed = false;  ///< past tolerance in the bad direction
+  bool improved = false;   ///< past tolerance in the good direction
+  bool missing = false;    ///< metric absent from the fresh file
+};
+
+/// Outcome of comparing two BENCH_*.json documents.
+struct CompareReport {
+  std::vector<MetricDelta> deltas;  ///< baseline order
+  /// Metrics in the fresh file with no baseline entry — not a failure
+  /// (new PRs add metrics), but reported so baselines get refreshed.
+  std::vector<std::string> new_metrics;
+  bool config_mismatch = false;
+  std::string config_diff;  ///< human-readable first difference
+
+  bool HasRegression() const {
+    if (config_mismatch) return true;
+    for (const MetricDelta& d : deltas) {
+      if (d.regressed || d.missing) return true;
+    }
+    return false;
+  }
+};
+
+/// Compares a committed baseline against a freshly emitted BENCH_*.json.
+/// For every baseline metric with direction "lower", a fresh value more
+/// than `tolerance` (relative) above the baseline is a regression; for
+/// "higher", more than `tolerance` below; "info" metrics are reported but
+/// never gate. A baseline metric missing from the fresh file is a
+/// regression (a silently dropped stat is how scoreboards rot). Differing
+/// "config" objects fail the comparison outright — the numbers are not
+/// comparable.
+dana::Result<CompareReport> CompareBenchJson(const Json& baseline,
+                                             const Json& fresh,
+                                             double tolerance);
+
+/// File-path convenience over CompareBenchJson.
+dana::Result<CompareReport> CompareBenchFiles(const std::string& baseline_path,
+                                              const std::string& fresh_path,
+                                              double tolerance);
+
+}  // namespace dana::obs

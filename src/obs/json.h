@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dana::obs {
+
+/// Minimal JSON document model for the observability layer: metric
+/// snapshots, Chrome trace_event files, and the BENCH_*.json benchmark
+/// telemetry all serialize through this one type, and `bench_compare`
+/// parses committed baselines back with it.
+///
+/// Design constraints (why not a third-party library):
+///  - determinism: object members keep insertion order and `Dump` formats
+///    numbers via one fixed code path, so identical runs produce
+///    byte-identical files (the CI regression gate diffs them);
+///  - no new dependencies: the container only bakes in the toolchain.
+class Json {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  Json(double v) : type_(Type::kNumber), number_(v) {}      // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}             // NOLINT
+  Json(int64_t v) : Json(static_cast<double>(v)) {}         // NOLINT
+  Json(uint64_t v) : Json(static_cast<double>(v)) {}        // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// @name Array access
+  ///@{
+  size_t size() const {
+    return type_ == Type::kArray ? array_.size() : members_.size();
+  }
+  const Json& at(size_t i) const { return array_.at(i); }
+  Json& Append(Json v) {
+    array_.push_back(std::move(v));
+    return array_.back();
+  }
+  const std::vector<Json>& items() const { return array_; }
+  ///@}
+
+  /// @name Object access (insertion-ordered)
+  ///@{
+  /// Sets `key` (replacing an existing member in place, preserving its
+  /// position) and returns the stored value.
+  Json& Set(const std::string& key, Json v);
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  ///@}
+
+  /// Serializes the document. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact single-line form. Number
+  /// formatting is deterministic: integral values in the exactly-
+  /// representable range print without a decimal point, everything else
+  /// uses shortest-round-trip via %.17g trimmed to the shortest string
+  /// that re-parses to the same double.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a JSON document (UTF-8 passthrough; \uXXXX escapes are decoded
+  /// for the BMP). Returns InvalidArgument with a byte offset on error.
+  static dana::Result<Json> Parse(const std::string& text);
+
+  /// Writes `Dump(indent)` plus a trailing newline to `path`.
+  dana::Status WriteFile(const std::string& path, int indent = 2) const;
+  /// Reads and parses `path`.
+  static dana::Result<Json> ReadFile(const std::string& path);
+
+  /// Formats one double exactly as Dump does — exposed so non-JSON output
+  /// (tables) can render the same digits the snapshot file carries.
+  static std::string FormatNumber(double v);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace dana::obs

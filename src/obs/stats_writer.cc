@@ -1,0 +1,57 @@
+#include "obs/stats_writer.h"
+
+#include <cstdlib>
+
+namespace dana::obs {
+
+const char* DirectionName(Direction d) {
+  switch (d) {
+    case Direction::kLowerIsBetter:
+      return "lower";
+    case Direction::kHigherIsBetter:
+      return "higher";
+    case Direction::kInfo:
+      return "info";
+  }
+  return "?";
+}
+
+void StatsWriter::SetConfig(const std::string& key, Json value) {
+  config_.Set(key, std::move(value));
+}
+
+void StatsWriter::Add(const std::string& name, double value,
+                      Direction direction) {
+  Json entry = Json::Object();
+  entry.Set("value", value);
+  entry.Set("better", DirectionName(direction));
+  metrics_.Set(name, std::move(entry));
+}
+
+Json StatsWriter::ToJson() const {
+  Json root = Json::Object();
+  root.Set("bench", area_);
+  root.Set("schema_version", 1);
+  root.Set("config", config_);
+  root.Set("metrics", metrics_);
+  return root;
+}
+
+std::string StatsWriter::DefaultPath(const std::string& area,
+                                     const std::string& dir) {
+  std::string base = dir;
+  if (base.empty()) {
+    const char* env = std::getenv("DANA_BENCH_JSON_DIR");
+    base = env != nullptr ? env : ".";
+  }
+  if (!base.empty() && base.back() != '/') base += '/';
+  return base + "BENCH_" + area + ".json";
+}
+
+dana::Result<std::string> StatsWriter::Write(const std::string& dir) const {
+  const std::string path = DefaultPath(area_, dir);
+  DANA_RETURN_NOT_OK(ToJson().WriteFile(path));
+  return path;
+}
+
+}  // namespace dana::obs

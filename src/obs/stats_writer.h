@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace dana::obs {
+
+/// Which way a benchmark metric should move to count as an improvement —
+/// the direction travels *with* the metric in BENCH_*.json, so
+/// `bench_compare` needs no out-of-band configuration to know that p95
+/// regressing up is bad but throughput regressing down is.
+enum class Direction : uint8_t {
+  kLowerIsBetter,   ///< latencies, overheads, wall times
+  kHigherIsBetter,  ///< throughputs, hit rates, speedups
+  kInfo,            ///< context only (counts, config echoes) — never gated
+};
+
+const char* DirectionName(Direction d);
+
+/// Serializer for structured benchmark telemetry: every `bench_*` target
+/// builds one StatsWriter per area and emits `BENCH_<area>.json` with its
+/// headline numbers, so speedups and regressions are diffable across PRs
+/// instead of buried in printed tables. Schema:
+///
+///   {
+///     "bench": "<area>",
+///     "schema_version": 1,
+///     "config": { ... },                      // knobs the numbers depend on
+///     "metrics": {
+///       "<name>": {"value": N, "better": "lower"|"higher"|"info"},
+///       ...
+///     }
+///   }
+///
+/// Metric insertion order is preserved in the file (readable diffs); the
+/// CI gate (`tools/bench_compare`) compares by name, so order never
+/// affects the comparison.
+class StatsWriter {
+ public:
+  explicit StatsWriter(std::string area) : area_(std::move(area)) {}
+
+  const std::string& area() const { return area_; }
+
+  /// Records a configuration knob the metrics depend on. bench_compare
+  /// refuses to compare files whose configs differ — a baseline from one
+  /// workload shape says nothing about another.
+  void SetConfig(const std::string& key, Json value);
+
+  /// Records one metric. Re-adding a name overwrites (last value wins).
+  void Add(const std::string& name, double value, Direction direction);
+
+  size_t metric_count() const { return metrics_.members().size(); }
+
+  Json ToJson() const;
+
+  /// Writes `BENCH_<area>.json` into `dir` (default: the
+  /// DANA_BENCH_JSON_DIR environment variable, else the current
+  /// directory). Returns the path written on success.
+  dana::Result<std::string> Write(const std::string& dir = "") const;
+
+  /// "<dir>/BENCH_<area>.json" with the same dir defaulting as Write.
+  static std::string DefaultPath(const std::string& area,
+                                 const std::string& dir = "");
+
+ private:
+  std::string area_;
+  Json config_ = Json::Object();
+  Json metrics_ = Json::Object();
+};
+
+}  // namespace dana::obs

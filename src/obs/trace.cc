@@ -1,0 +1,86 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace dana::obs {
+
+namespace {
+constexpr int kPid = 1;  // one simulated machine per trace
+}
+
+Json SlotTracer::Event(uint32_t slot, const std::string& name,
+                       const std::string& category, const char* phase,
+                       dana::SimTime ts, Args args) const {
+  Json e = Json::Object();
+  e.Set("name", name);
+  e.Set("cat", category);
+  e.Set("ph", phase);
+  e.Set("ts", ts.micros());
+  e.Set("pid", kPid);
+  e.Set("tid", static_cast<double>(slot));
+  if (!args.empty()) {
+    Json a = Json::Object();
+    for (auto& [k, v] : args) a.Set(k, std::move(v));
+    e.Set("args", std::move(a));
+  }
+  return e;
+}
+
+void SlotTracer::Span(uint32_t slot, const std::string& name,
+                      const std::string& category, dana::SimTime start,
+                      dana::SimTime end, Args args) {
+  Json e = Event(slot, name, category, "X", start, std::move(args));
+  const double dur = std::max(0.0, (end - start).micros());
+  e.Set("dur", dur);
+  events_.push_back(std::move(e));
+  max_slot_ = std::max(max_slot_, slot);
+  any_ = true;
+}
+
+void SlotTracer::Instant(uint32_t slot, const std::string& name,
+                         const std::string& category, dana::SimTime at,
+                         Args args) {
+  Json e = Event(slot, name, category, "i", at, std::move(args));
+  e.Set("s", "t");  // thread-scoped instant
+  events_.push_back(std::move(e));
+  max_slot_ = std::max(max_slot_, slot);
+  any_ = true;
+}
+
+Json SlotTracer::ToJson() const {
+  Json trace = Json::Array();
+  // Metadata first: name the process and each slot's timeline row.
+  Json proc = Json::Object();
+  proc.Set("name", "process_name");
+  proc.Set("ph", "M");
+  proc.Set("pid", kPid);
+  Json proc_args = Json::Object();
+  proc_args.Set("name", "dana accelerator (simulated)");
+  proc.Set("args", std::move(proc_args));
+  trace.Append(std::move(proc));
+  if (any_) {
+    for (uint32_t s = 0; s <= max_slot_; ++s) {
+      Json t = Json::Object();
+      t.Set("name", "thread_name");
+      t.Set("ph", "M");
+      t.Set("pid", kPid);
+      t.Set("tid", static_cast<double>(s));
+      Json targs = Json::Object();
+      targs.Set("name", "slot " + std::to_string(s));
+      t.Set("args", std::move(targs));
+      trace.Append(std::move(t));
+    }
+  }
+  for (const Json& e : events_) trace.Append(e);
+
+  Json root = Json::Object();
+  root.Set("traceEvents", std::move(trace));
+  root.Set("displayTimeUnit", "ms");
+  return root;
+}
+
+dana::Status SlotTracer::WriteFile(const std::string& path) const {
+  return ToJson().WriteFile(path);
+}
+
+}  // namespace dana::obs

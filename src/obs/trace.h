@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace dana::obs {
+
+/// Records per-slot execution spans on the simulated clock and serializes
+/// them as Chrome trace_event JSON — the file `chrome://tracing` and
+/// Perfetto load directly, so a scheduled run's dispatch/slice/checkpoint/
+/// resume/preempt timeline is inspectable span by span.
+///
+/// Mapping: one process ("dana accelerator") whose thread ids are slot
+/// indices; a complete event ("ph":"X") per span with microsecond
+/// timestamps of the *simulated* clock; instant events ("ph":"i") for
+/// point occurrences (checkpoint, resume). Events serialize in the order
+/// they were recorded, so a deterministic schedule yields a byte-identical
+/// trace file.
+class SlotTracer {
+ public:
+  using Args = std::vector<std::pair<std::string, Json>>;
+
+  /// A span occupying `slot` from `start` to `end` of the simulated clock.
+  /// `category` groups spans for trace-viewer filtering ("run", "compile",
+  /// "ctx-switch", ...). Zero/negative-length spans are recorded with a
+  /// zero duration (the viewers accept them).
+  void Span(uint32_t slot, const std::string& name,
+            const std::string& category, dana::SimTime start,
+            dana::SimTime end, Args args = {});
+
+  /// A point event on `slot` at `at` (checkpoint taken, run resumed, ...).
+  void Instant(uint32_t slot, const std::string& name,
+               const std::string& category, dana::SimTime at, Args args = {});
+
+  size_t event_count() const { return events_.size(); }
+
+  /// The trace document: {"traceEvents": [...], metadata...}. Thread-name
+  /// metadata events for every slot seen are emitted first, in slot order.
+  Json ToJson() const;
+
+  /// Writes `ToJson()` to `path` (pretty-printed; Perfetto and
+  /// chrome://tracing both accept it).
+  dana::Status WriteFile(const std::string& path) const;
+
+ private:
+  Json Event(uint32_t slot, const std::string& name,
+             const std::string& category, const char* phase, dana::SimTime ts,
+             Args args) const;
+
+  std::vector<Json> events_;
+  uint32_t max_slot_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace dana::obs

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "compiler/compiler.h"
+#include "obs/metrics.h"
 
 namespace dana::sched {
 
@@ -35,6 +36,17 @@ class CompileCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   size_t size() const { return cache_.size(); }
+
+  /// Publishes the cache's state as gauges `<prefix>.hits` / `.misses` /
+  /// `.size` into `metrics`; a null registry is a no-op.
+  void PublishTo(obs::MetricRegistry* metrics,
+                 const std::string& prefix = "compile_cache") const {
+    if (metrics == nullptr) return;
+    obs::SetGauge(metrics, prefix + ".hits", static_cast<double>(hits_));
+    obs::SetGauge(metrics, prefix + ".misses", static_cast<double>(misses_));
+    obs::SetGauge(metrics, prefix + ".size",
+                  static_cast<double>(cache_.size()));
+  }
 
  private:
   std::map<std::string, std::unique_ptr<compiler::CompiledUdf>> cache_;

@@ -319,6 +319,7 @@ DanaQueryExecutor::MeasureEndpoint(const QueryBatch& batch,
     DANA_ASSIGN_OR_RETURN(
         runtime::SystemResult result,
         system_.RunCompiled(*udf, instance, cache, batch.size(), batch.slot));
+    obs::Count(options_.metrics, "exec.endpoint_measurements");
     EpochProfile p;
     p.compile = options_.compile_latency;
     p.first_wall = result.first_epoch.wall;
@@ -383,6 +384,8 @@ Result<std::unique_ptr<BatchExecution>> DanaQueryExecutor::Begin(
                           MeasureEndpoint(batch, options_.cache));
     const double warm =
         options_.cache == runtime::CacheState::kWarm ? 1.0 : 0.0;
+    obs::Count(options_.metrics, warm >= 1.0 ? "exec.charges.warm"
+                                             : "exec.charges.cold");
     return std::unique_ptr<BatchExecution>(new DanaBatchExecution(
         this, batch, *p, warm, /*modeled=*/false, instance->PoolSizeRatio(),
         instance->NormalizedPages(options_.pool_frames)));
@@ -394,6 +397,10 @@ Result<std::unique_ptr<BatchExecution>> DanaQueryExecutor::Begin(
       options_.physical_pools
           ? PhysicalWarmFraction(batch.workload_id, batch.slot)
           : residency_.ResidentFraction(batch.slot, batch.workload_id);
+  obs::Count(options_.metrics,
+             warm >= 1.0   ? "exec.charges.warm"
+             : warm <= 0.0 ? "exec.charges.cold"
+                           : "exec.charges.partial");
   DANA_ASSIGN_OR_RETURN(EpochProfile profile, ProfileAt(batch, warm));
   return std::unique_ptr<BatchExecution>(new DanaBatchExecution(
       this, batch, profile, warm, /*modeled=*/true, instance->PoolSizeRatio(),

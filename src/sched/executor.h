@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/sim_time.h"
+#include "obs/metrics.h"
 #include "runtime/systems.h"
 #include "sched/compile_cache.h"
 #include "storage/buffer_pool.h"
@@ -264,6 +265,12 @@ class DanaQueryExecutor : public QueryExecutor {
     /// Functional epochs actually simulated before linear extrapolation
     /// (see DanaSystem::Options); 2 captures cold I/O + steady state.
     uint32_t functional_epoch_cap = 2;
+    /// Telemetry sink (not owned; null = off). Begin() counts each
+    /// dispatch's pricing regime (exec.charges.cold/warm/partial) and
+    /// MeasureEndpoint counts actual simulator runs
+    /// (exec.endpoint_measurements); PublishGauges() snapshots the compile
+    /// cache and slot pools into the same registry on demand.
+    obs::MetricRegistry* metrics = nullptr;
   };
 
   /// Per-epoch cost profile of one (workload, batch size) at one cache
@@ -319,6 +326,18 @@ class DanaQueryExecutor : public QueryExecutor {
   void ResetResidency() {
     residency_.Reset();
     slot_pools_.ClearAll();
+  }
+  /// Snapshots the executor's caches into `metrics` as gauges: the compile
+  /// cache under `compile_cache.` and the per-slot shared pools under
+  /// `pool.` (rollup + per-slot breakdown). Call after a run — gauges are
+  /// set-on-publish, so the snapshot reflects the registry at call time.
+  /// Null registry (or defaulted to the Options sink) is a no-op.
+  void PublishGauges(obs::MetricRegistry* metrics = nullptr) const {
+    obs::MetricRegistry* sink =
+        metrics != nullptr ? metrics : options_.metrics;
+    if (sink == nullptr) return;
+    compile_cache_.PublishTo(sink);
+    slot_pools_.PublishTo(sink);
   }
 
  private:

@@ -126,6 +126,47 @@ double ScheduleReport::ClassThroughputQps(QueryClass cls) const {
   return static_cast<double>(ClassQueries(cls)) / makespan.seconds();
 }
 
+void PublishReportMetrics(const ScheduleReport& report,
+                          obs::MetricRegistry* metrics) {
+  if (metrics == nullptr) return;
+  obs::Count(metrics, "sched.queries",
+             static_cast<double>(report.queries.size()));
+  obs::Count(metrics, "sched.batches", static_cast<double>(report.batches));
+  obs::Count(metrics, "sched.compile.hits",
+             static_cast<double>(report.compile_hits));
+  obs::Count(metrics, "sched.compile.misses",
+             static_cast<double>(report.compile_misses));
+  obs::Count(metrics, "sched.preemptions",
+             static_cast<double>(report.preemptions));
+
+  obs::SetGauge(metrics, "sched.throughput_qps", report.ThroughputQps());
+  obs::SetGauge(metrics, "sched.makespan_s", report.makespan.seconds());
+  obs::SetGauge(metrics, "sched.mean_batch_size", report.MeanBatchSize());
+  obs::SetGauge(metrics, "sched.warm_hit_rate", report.WarmHitRate());
+  obs::SetGauge(metrics, "sched.mean_warm_fraction",
+                report.MeanWarmFraction());
+  obs::SetGauge(metrics, "sched.shared_service_s",
+                report.shared_service.seconds());
+  obs::SetGauge(metrics, "sched.private_service_s",
+                report.private_service.seconds());
+  obs::SetGauge(metrics, "sched.preempt_overhead_s",
+                report.preemption_overhead.seconds());
+
+  for (const QueryStat& q : report.queries) {
+    obs::Observe(metrics, "sched.latency_s", q.Latency().seconds());
+    obs::Observe(metrics, "sched.wait_s", q.Wait().seconds());
+    obs::Observe(metrics, "sched.batch_size",
+                 static_cast<double>(q.batch_size));
+    if (q.residency_modeled) {
+      obs::Observe(metrics, "sched.warm_fraction", q.warm_fraction);
+    }
+    obs::Observe(metrics,
+                 std::string("sched.latency_s.") +
+                     QueryClassName(q.query_class),
+                 q.Latency().seconds());
+  }
+}
+
 Scheduler::Scheduler(SchedulerOptions options, QueryExecutor* executor)
     : options_(options), executor_(executor) {
   if (options_.slots == 0) options_.slots = 1;
@@ -437,6 +478,18 @@ class DispatchEngine {
         cost.per_query * static_cast<double>(members.size());
     slot_free_[slot] = completion;
     report_->makespan = dana::SimTime::Max(report_->makespan, completion);
+    if (options_.tracer != nullptr) {
+      if (compile_wait > dana::SimTime::Zero()) {
+        options_.tracer->Span(slot, "compile " + head.workload_id, "compile",
+                              now, now + compile_wait,
+                              {{"hit", !head_miss}});
+      }
+      options_.tracer->Span(
+          slot, "run " + head.workload_id, "dispatch", now + compile_wait,
+          completion,
+          {{"queries", static_cast<uint64_t>(members.size())},
+           {"warm_fraction", cost.warm_fraction}});
+    }
     return DispatchOutcome{std::move(members), completion};
   }
 
@@ -727,6 +780,16 @@ class PreemptiveEngine {
       report_->queries.push_back(std::move(stat));
     }
     ++report_->batches;
+    if (options_.tracer != nullptr && compile_wait > dana::SimTime::Zero()) {
+      options_.tracer->Span(slot, "compile " + head.workload_id, "compile",
+                            now, a.curve_origin, {{"hit", !head_miss}});
+    }
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant(
+          slot, "dispatch " + head.workload_id, "dispatch", now,
+          {{"queries", static_cast<uint64_t>(a.run.members.size())},
+           {"class", std::string(QueryClassName(cls))}});
+    }
     a.run.exec = std::move(exec);
     active_[slot] = std::move(a);
     return true;
@@ -741,6 +804,13 @@ class PreemptiveEngine {
     a.completion = now + remaining;
     a.run = std::move(run);
     for (size_t idx : a.run.stat_idx) report_->queries[idx].slot = slot;
+    obs::Count(options_.metrics, "sched.resumes");
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant(
+          slot, "resume " + a.run.exec->batch().workload_id, "resume", now,
+          {{"epochs_run",
+            static_cast<uint64_t>(a.run.exec->epochs_run())}});
+    }
     active_[slot] = std::move(a);
     return true;
   }
@@ -943,6 +1013,15 @@ class PreemptiveEngine {
     report_->private_service +=
         a.run.per_query_acc * static_cast<double>(a.run.members.size());
     report_->makespan = dana::SimTime::Max(report_->makespan, a.completion);
+    obs::Count(options_.metrics, "sched.slices");
+    if (options_.tracer != nullptr) {
+      options_.tracer->Span(
+          slot, "run " + a.run.exec->batch().workload_id, "slice",
+          a.curve_origin, a.completion,
+          {{"queries", static_cast<uint64_t>(a.run.members.size())},
+           {"epochs_run", static_cast<uint64_t>(a.run.exec->epochs_run())},
+           {"final", true}});
+    }
     return Status::OK();
   }
 
@@ -960,6 +1039,22 @@ class PreemptiveEngine {
     a.run.preempt_overhead_acc += options_.context_switch_cost;
     ++report_->preemptions;
     report_->preemption_overhead += options_.context_switch_cost;
+    obs::Count(options_.metrics, "sched.slices");
+    obs::Observe(options_.metrics, "sched.ctx_switch_s",
+                 options_.context_switch_cost.seconds());
+    if (options_.tracer != nullptr) {
+      const dana::SimTime boundary =
+          a.preempt_free - options_.context_switch_cost;
+      const std::string& id = a.run.exec->batch().workload_id;
+      options_.tracer->Span(
+          slot, "run " + id, "slice", a.curve_origin, boundary,
+          {{"queries", static_cast<uint64_t>(a.run.members.size())},
+           {"epochs_run", static_cast<uint64_t>(a.run.exec->epochs_run())},
+           {"final", false}});
+      options_.tracer->Instant(slot, "checkpoint " + id, "preempt", boundary);
+      options_.tracer->Span(slot, "ctx-switch", "preempt", boundary,
+                            a.preempt_free);
+    }
     continuations_.push_back(std::move(a.run));
     return Status::OK();
   }
@@ -1083,6 +1178,7 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
     DANA_RETURN_NOT_OK(engine.Dispatch(pending, now).status());
     clock = now;
   }
+  PublishReportMetrics(report, options_.metrics);
   return report;
 }
 
@@ -1101,6 +1197,7 @@ Result<ScheduleReport> Scheduler::RunPreemptive(
                           MakeEstimateAtFn(options_, executor_, estimates),
                           FirstAppearanceOrder(stream_ids), &report);
   DANA_RETURN_NOT_OK(engine.Run());
+  PublishReportMetrics(report, options_.metrics);
   return report;
 }
 
@@ -1238,6 +1335,7 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
       s.submit = outcome.completion + think_time;
     }
   }
+  PublishReportMetrics(report, options_.metrics);
   return report;
 }
 

@@ -7,6 +7,8 @@
 
 #include "common/result.h"
 #include "common/sim_time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/executor.h"
 
 namespace dana::sched {
@@ -187,7 +189,28 @@ struct SchedulerOptions {
   /// default) dispatches the moment a slot frees, reproducing the
   /// windowless schedule bit-for-bit.
   dana::SimTime batch_window = dana::SimTime::Zero();
+  /// Telemetry sinks (not owned; both null by default = observability off
+  /// at near-zero cost — every publish site is a pointer null-check).
+  /// `metrics` receives the sched.* counter/gauge/histogram catalog (see
+  /// README "Observability"); everything is derived from the simulated
+  /// clock and the request stream, so two identical runs publish
+  /// bit-identical snapshots. `tracer` records per-slot
+  /// dispatch/slice/checkpoint/resume spans for chrome://tracing.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::SlotTracer* tracer = nullptr;
 };
+
+/// Publishes `report`'s aggregate statistics into `metrics` as the
+/// sched.* catalog: counters (sched.queries, sched.batches,
+/// sched.compile.hits/misses, sched.preemptions), gauges
+/// (sched.throughput_qps, sched.makespan_s, sched.warm_hit_rate, ...),
+/// and histograms (sched.latency_s, sched.wait_s, sched.batch_size,
+/// sched.warm_fraction, per-class sched.latency_s.<class>). A null
+/// registry is a no-op. Scheduler::Run calls this automatically when
+/// SchedulerOptions::metrics is set; it is exposed so reports built
+/// elsewhere (replays, tests) can publish the same way.
+void PublishReportMetrics(const ScheduleReport& report,
+                          obs::MetricRegistry* metrics);
 
 /// Discrete-event scheduler multiplexing N simulated accelerator slots
 /// over an admission queue of query requests.

@@ -236,4 +236,37 @@ void BufferPoolGroup::ClearAll() {
   }
 }
 
+void BufferPool::PublishTo(obs::MetricRegistry* metrics,
+                           const std::string& prefix) const {
+  if (metrics == nullptr) return;
+  obs::SetGauge(metrics, prefix + ".hits", static_cast<double>(stats_.hits));
+  obs::SetGauge(metrics, prefix + ".misses",
+                static_cast<double>(stats_.misses));
+  obs::SetGauge(metrics, prefix + ".evictions",
+                static_cast<double>(stats_.evictions));
+  obs::SetGauge(metrics, prefix + ".hit_rate", stats_.HitRate());
+  obs::SetGauge(metrics, prefix + ".io_time_s", stats_.io_time.seconds());
+  obs::SetGauge(metrics, prefix + ".resident_frames",
+                static_cast<double>(resident_frames_));
+}
+
+void BufferPoolGroup::PublishTo(obs::MetricRegistry* metrics,
+                                const std::string& prefix) const {
+  if (metrics == nullptr) return;
+  const BufferPoolStats rollup = Rollup();
+  obs::SetGauge(metrics, prefix + ".hits", static_cast<double>(rollup.hits));
+  obs::SetGauge(metrics, prefix + ".misses",
+                static_cast<double>(rollup.misses));
+  obs::SetGauge(metrics, prefix + ".evictions",
+                static_cast<double>(rollup.evictions));
+  obs::SetGauge(metrics, prefix + ".hit_rate", rollup.HitRate());
+  obs::SetGauge(metrics, prefix + ".io_time_s", rollup.io_time.seconds());
+  obs::SetGauge(metrics, prefix + ".resident_frames",
+                static_cast<double>(TotalResidentFrames()));
+  for (size_t i = 0; i < pools_.size(); ++i) {
+    pools_[i]->PublishTo(metrics,
+                         prefix + ".slot" + std::to_string(i));
+  }
+}
+
 }  // namespace dana::storage

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/table.h"
 
@@ -125,6 +126,12 @@ class BufferPool {
   uint32_t page_size() const { return page_size_; }
   const DiskModel& disk() const { return disk_; }
 
+  /// Publishes this pool's counters and occupancy as gauges under
+  /// `<prefix>.` (hits, misses, evictions, hit_rate, io_time_s,
+  /// resident_frames); a null registry is a no-op.
+  void PublishTo(obs::MetricRegistry* metrics,
+                 const std::string& prefix) const;
+
  private:
   struct Frame {
     std::unique_ptr<uint8_t[]> data;
@@ -229,6 +236,12 @@ class BufferPoolGroup {
   /// back to cold (sweeps reset shared slot pools this way between
   /// configurations).
   void ClearAll();
+
+  /// Publishes the group's rollup under `<prefix>.` plus each slot's pool
+  /// under `<prefix>.slot<i>.` (BufferPool::PublishTo); a null registry is
+  /// a no-op.
+  void PublishTo(obs::MetricRegistry* metrics,
+                 const std::string& prefix = "pool") const;
 
  private:
   uint64_t capacity_bytes_;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -30,10 +31,20 @@ TEST(PercentileTest, LinearInterpolationBetweenRanks) {
 }
 
 TEST(PercentileTest, EdgeCases) {
-  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(Percentile({}, 50)));  // no data != zero latency
+  EXPECT_TRUE(std::isnan(Percentile({nan, nan}, 50)));
+  EXPECT_TRUE(std::isnan(Percentile({1.0, 2.0}, nan)));
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0), 7.0);  // single element, every p
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50), 7.0);
   EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
   EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0}, 50), 2.0);  // input need not be sorted
   EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 150), 2.0);  // p clamped
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, -5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({nan, 3.0, 1.0}, 100), 3.0);  // NaN samples drop
+  // p=0 / p=100 hit the exact extremes with no interpolation round-off.
+  EXPECT_DOUBLE_EQ(Percentile({0.1, 0.2, 0.3}, 0), 0.1);
+  EXPECT_DOUBLE_EQ(Percentile({0.1, 0.2, 0.3}, 100), 0.3);
 }
 
 // ---------------------------------------------------------------------------

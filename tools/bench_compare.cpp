@@ -1,0 +1,106 @@
+// bench_compare — CI regression gate over BENCH_*.json telemetry files.
+//
+// Compares a committed baseline against a freshly emitted file:
+//
+//   bench_compare --baseline bench/baselines/BENCH_sched.json
+//                 --fresh build/BENCH_sched.json [--tolerance 0.10]
+//
+// Every baseline metric carries its own direction ("better": "lower" |
+// "higher" | "info"), so the gate needs no out-of-band configuration: a
+// "lower" metric more than --tolerance (relative) above its baseline is a
+// regression, a "higher" one more than --tolerance below is, "info"
+// metrics are reported but never gate. A baseline metric missing from the
+// fresh file fails (silently dropped stats are how scoreboards rot), and
+// differing "config" objects fail outright — the numbers are not
+// comparable. Exit status: 0 clean, 1 regression, 2 usage/parse error.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table_printer.h"
+#include "obs/bench_compare.h"
+
+namespace {
+
+const char* Flag(int argc, char** argv, const char* name,
+                 const char* fallback = nullptr) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::string PercentCell(double relative_change) {
+  if (std::isinf(relative_change)) {
+    return relative_change > 0 ? "+inf%" : "-inf%";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", relative_change * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline = Flag(argc, argv, "--baseline");
+  const char* fresh = Flag(argc, argv, "--fresh");
+  const double tolerance =
+      std::atof(Flag(argc, argv, "--tolerance", "0.10"));
+  if (baseline == nullptr || fresh == nullptr || tolerance < 0) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --baseline FILE --fresh FILE "
+                 "[--tolerance T]\n"
+                 "  T is the relative change allowed before a gated metric "
+                 "fails (default 0.10)\n");
+    return 2;
+  }
+
+  auto report = dana::obs::CompareBenchFiles(baseline, fresh, tolerance);
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+
+  if (report->config_mismatch) {
+    std::fprintf(stderr,
+                 "bench_compare: config mismatch — the files are not "
+                 "comparable\n  %s\n",
+                 report->config_diff.c_str());
+    return 1;
+  }
+
+  dana::TablePrinter table(
+      {"metric", "better", "baseline", "fresh", "change", "verdict"});
+  for (const dana::obs::MetricDelta& d : report->deltas) {
+    const char* verdict = d.missing      ? "MISSING"
+                          : d.regressed  ? "REGRESSED"
+                          : d.improved   ? "improved"
+                          : d.direction == "info" ? "-"
+                                                  : "ok";
+    table.AddRow({d.name, d.direction,
+                  dana::obs::Json::FormatNumber(d.baseline),
+                  d.missing ? "-" : dana::obs::Json::FormatNumber(d.fresh),
+                  d.missing ? "-" : PercentCell(d.relative_change),
+                  verdict});
+  }
+  table.Print();
+  for (const std::string& name : report->new_metrics) {
+    std::printf("new metric (no baseline entry): %s — refresh the baseline "
+                "to gate it\n",
+                name.c_str());
+  }
+
+  if (report->HasRegression()) {
+    std::fprintf(stderr,
+                 "bench_compare: FAIL — at least one gated metric moved "
+                 "more than %.0f%% the wrong way (or vanished)\n",
+                 tolerance * 100.0);
+    return 1;
+  }
+  std::printf("bench_compare: OK (tolerance %.0f%%)\n", tolerance * 100.0);
+  return 0;
+}

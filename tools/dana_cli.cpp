@@ -38,6 +38,8 @@
 #include "ml/datasets.h"
 #include "ml/workloads.h"
 #include "common/table_printer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/systems.h"
 #include "sched/executor.h"
 #include "sched/scheduler.h"
@@ -71,7 +73,8 @@ void PrintHelp(std::FILE* out) {
       "        [--group public|sn|se|all] [--batch K] [--aging W]\n"
       "        [--affinity W] [--closed-loop] [--think-ms MS] [--sessions N]\n"
       "        [--interactive R] [--quantum E] [--ctx-ms MS] [--window-ms MS]\n"
-      "        [--pool-frames F]\n"
+      "        [--pool-frames F] [--metrics-json FILE] [--trace-out FILE]\n"
+      "        [--metrics-table]\n"
       "                            schedule a multi-query request stream\n"
       "                            onto N simulated accelerator slots;\n"
       "                            --batch K coalesces up to K same-algorithm\n"
@@ -101,7 +104,14 @@ void PrintHelp(std::FILE* out) {
       "                            (checkpointed model, resumed later),\n"
       "                            charging --ctx-ms per switch; --window-ms\n"
       "                            holds a freed slot to coalesce bigger\n"
-      "                            batches before dispatching\n"
+      "                            batches before dispatching.\n"
+      "                            Observability (single --policy only):\n"
+      "                            --metrics-json FILE writes the run's\n"
+      "                            metric-registry snapshot (bit-identical\n"
+      "                            across identical runs), --trace-out FILE\n"
+      "                            writes a Chrome trace_event slot timeline\n"
+      "                            (chrome://tracing / Perfetto),\n"
+      "                            --metrics-table prints the snapshot\n"
       "  help | --help | -h        this message\n",
       out);
 }
@@ -409,11 +419,32 @@ int CmdSched(int argc, char** argv) {
     policies = {*policy};
   }
 
+  // Observability sinks: --metrics-json writes the obs::MetricRegistry
+  // snapshot (deterministic: two identical runs produce bit-identical
+  // files), --trace-out writes a Chrome trace_event timeline
+  // (chrome://tracing / Perfetto), --metrics-table prints the snapshot as
+  // a table. All three snapshot ONE run, so they require a single
+  // --policy.
+  const char* metrics_json = Flag(argc, argv, "--metrics-json");
+  const char* trace_out = Flag(argc, argv, "--trace-out");
+  const bool metrics_table = HasFlag(argc, argv, "--metrics-table");
+  const bool want_obs =
+      metrics_json != nullptr || trace_out != nullptr || metrics_table;
+  if (want_obs && policies.size() != 1) {
+    std::fprintf(stderr,
+                 "--metrics-json/--trace-out/--metrics-table snapshot one "
+                 "run: pick a single --policy (fcfs|sjf|rr), not 'all'\n");
+    return 2;
+  }
+  obs::MetricRegistry registry;
+  obs::SlotTracer tracer;
+
   sched::DanaQueryExecutor::Options executor_opts;
   executor_opts.physical_pools = pool_frames > 0;
   if (pool_frames > 0) {
     executor_opts.pool_frames = static_cast<uint64_t>(pool_frames);
   }
+  executor_opts.metrics = want_obs ? &registry : nullptr;
   sched::DanaQueryExecutor executor(executor_opts);
   driver_opts.sessions = static_cast<uint32_t>(sessions);
 
@@ -510,6 +541,9 @@ int CmdSched(int argc, char** argv) {
     columns.insert(columns.begin() + 6, {"int p95", "batch p95", "preempts"});
   }
   TablePrinter table(columns);
+  // The rate-calibration dispatches above already counted into the
+  // registry; drop them so the snapshot covers exactly the scheduled run.
+  registry.Clear();
   for (sched::Policy policy : policies) {
     // Every policy starts from the same cold machine: no slot inherits
     // residency from the previous policy's run (or the calibration pass).
@@ -522,7 +556,9 @@ int CmdSched(int argc, char** argv) {
          .affinity_weight = affinity,
          .preemption_quantum_epochs = static_cast<uint32_t>(quantum),
          .context_switch_cost = dana::SimTime::Millis(ctx_ms),
-         .batch_window = dana::SimTime::Millis(window_ms)},
+         .batch_window = dana::SimTime::Millis(window_ms),
+         .metrics = want_obs ? &registry : nullptr,
+         .tracer = trace_out != nullptr ? &tracer : nullptr},
         &executor);
     auto report =
         closed_loop
@@ -572,6 +608,33 @@ int CmdSched(int argc, char** argv) {
               static_cast<unsigned long long>(
                   executor.compile_cache().misses()),
               static_cast<unsigned long long>(executor.compile_cache().hits()));
+  if (want_obs) {
+    // Snapshot the executor's caches (compile cache + slot pools) next to
+    // the run's sched.* metrics before serializing.
+    executor.PublishGauges(&registry);
+  }
+  if (metrics_table) {
+    std::printf("\n");
+    registry.ToTable().Print();
+  }
+  if (metrics_json != nullptr) {
+    Status st = registry.ToJson().WriteFile(metrics_json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_json);
+  }
+  if (trace_out != nullptr) {
+    Status st = tracer.WriteFile(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events; load in chrome://tracing "
+                "or https://ui.perfetto.dev)\n",
+                trace_out, tracer.event_count());
+  }
   return 0;
 }
 
