@@ -28,6 +28,11 @@ std::string MetricDirection(const Json& entry) {
   return d != nullptr && d->is_string() ? d->AsString() : "info";
 }
 
+double MetricTolerance(const Json& entry, double global) {
+  const Json* t = entry.Find("tolerance");
+  return t != nullptr && t->is_number() ? t->AsNumber() : global;
+}
+
 }  // namespace
 
 dana::Result<CompareReport> CompareBenchJson(const Json& baseline,
@@ -60,6 +65,7 @@ dana::Result<CompareReport> CompareBenchJson(const Json& baseline,
     d.name = name;
     d.baseline = MetricValue(base_entry);
     d.direction = MetricDirection(base_entry);
+    d.tolerance = MetricTolerance(base_entry, tolerance);
     const Json* fresh_entry = fresh_metrics->Find(name);
     if (fresh_entry == nullptr) {
       d.missing = true;
@@ -78,11 +84,11 @@ dana::Result<CompareReport> CompareBenchJson(const Json& baseline,
                               : -std::numeric_limits<double>::infinity();
     }
     if (d.direction == "lower") {
-      d.regressed = d.relative_change > tolerance;
-      d.improved = d.relative_change < -tolerance;
+      d.regressed = d.relative_change > d.tolerance;
+      d.improved = d.relative_change < -d.tolerance;
     } else if (d.direction == "higher") {
-      d.regressed = d.relative_change < -tolerance;
-      d.improved = d.relative_change > tolerance;
+      d.regressed = d.relative_change < -d.tolerance;
+      d.improved = d.relative_change > d.tolerance;
     }
     report.deltas.push_back(std::move(d));
   }

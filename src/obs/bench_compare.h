@@ -17,6 +17,9 @@ struct MetricDelta {
   /// (fresh - baseline) / |baseline|; 0 when the baseline is 0 and the
   /// fresh value matches, +-inf when it doesn't.
   double relative_change = 0.0;
+  /// Tolerance this metric was gated at: the baseline entry's own
+  /// "tolerance" member when present, else the comparison's global value.
+  double tolerance = 0.0;
   bool regressed = false;  ///< past tolerance in the bad direction
   bool improved = false;   ///< past tolerance in the good direction
   bool missing = false;    ///< metric absent from the fresh file
@@ -47,7 +50,9 @@ struct CompareReport {
 /// never gate. A baseline metric missing from the fresh file is a
 /// regression (a silently dropped stat is how scoreboards rot). Differing
 /// "config" objects fail the comparison outright — the numbers are not
-/// comparable.
+/// comparable. A baseline entry carrying its own "tolerance" member is
+/// gated at that value instead of `tolerance` (wall-clock metrics ride in
+/// files whose simulated metrics deserve a tighter gate).
 dana::Result<CompareReport> CompareBenchJson(const Json& baseline,
                                              const Json& fresh,
                                              double tolerance);

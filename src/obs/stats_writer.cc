@@ -28,6 +28,15 @@ void StatsWriter::Add(const std::string& name, double value,
   metrics_.Set(name, std::move(entry));
 }
 
+void StatsWriter::Add(const std::string& name, double value,
+                      Direction direction, double tolerance) {
+  Json entry = Json::Object();
+  entry.Set("value", value);
+  entry.Set("better", DirectionName(direction));
+  entry.Set("tolerance", tolerance);
+  metrics_.Set(name, std::move(entry));
+}
+
 Json StatsWriter::ToJson() const {
   Json root = Json::Object();
   root.Set("bench", area_);

@@ -36,6 +36,10 @@ const char* DirectionName(Direction d);
 ///     }
 ///   }
 ///
+/// A metric entry may additionally carry `"tolerance": T` (see the
+/// tolerance-taking Add overload); absent for metrics gated at the
+/// comparison's global tolerance.
+///
 /// Metric insertion order is preserved in the file (readable diffs); the
 /// CI gate (`tools/bench_compare`) compares by name, so order never
 /// affects the comparison.
@@ -52,6 +56,15 @@ class StatsWriter {
 
   /// Records one metric. Re-adding a name overwrites (last value wins).
   void Add(const std::string& name, double value, Direction direction);
+
+  /// Records one metric with its own regression tolerance (relative, e.g.
+  /// 0.5 = halving a "higher" metric trips the gate). The tolerance is
+  /// serialized with the metric and overrides `bench_compare`'s global
+  /// --tolerance for this metric only — the vehicle for wall-clock
+  /// scoreboards (sim_qps) that need more headroom than the simulated
+  /// metrics they share a file with.
+  void Add(const std::string& name, double value, Direction direction,
+           double tolerance);
 
   size_t metric_count() const { return metrics_.members().size(); }
 

@@ -162,10 +162,31 @@ class DanaBatchExecution : public BatchExecution {
     if (modeled_) {
       owner_->residency_.OnRun(batch_.slot, batch_.workload_id, size_ratio_);
       if (owner_->options_.physical_pools) {
-        owner_->slot_pools_.pool(batch_.slot)
-            ->ScanTable(batch_.workload_id, norm_pages_);
-        last_left_ =
-            owner_->PhysicalWarmFraction(batch_.workload_id, batch_.slot);
+        storage::BufferPool* pool = owner_->slot_pools_.pool(batch_.slot);
+        const uint32_t tid = pool->InternTable(batch_.workload_id);
+        // Memoized repeat sweep: if nothing installed into (or cleared)
+        // this pool since our previous slice swept it and the table is
+        // still fully resident, the sweep would be all hits — every frame
+        // already holds what it would hold after, with its reference bit
+        // already set — so the O(pages) walk is skipped. Only the pool's
+        // hit/miss counters and last_table() diverge from the unskipped
+        // run; nothing the scheduler or pricing reads does. A table larger
+        // than the pool is never fully resident and always re-sweeps (the
+        // repeat walk moves the clock hand).
+        const bool undisturbed =
+            owner_->options_.memoize_slices && swept_pool_ == pool &&
+            pool->version() == swept_version_ &&
+            pool->resident_frames(tid) == norm_pages_;
+        if (undisturbed) {
+          last_left_ = 1.0;  // fully resident, by the guard above
+          obs::Count(owner_->options_.metrics, "exec.slices.memoized");
+        } else {
+          pool->ScanTable(tid, norm_pages_);
+          swept_pool_ = pool;
+          swept_version_ = pool->version();
+          last_left_ =
+              owner_->PhysicalWarmFraction(batch_.workload_id, batch_.slot);
+        }
       } else {
         last_left_ =
             storage::CacheResidencyModel::PostRunResidency(size_ratio_);
@@ -260,6 +281,11 @@ class DanaBatchExecution : public BatchExecution {
   uint64_t norm_pages_;
   uint32_t done_ = 0;
   uint32_t base_ = 0;  ///< absolute epoch index the current segment starts at
+  /// Pool and version stamp of this execution's most recent real sweep;
+  /// a later slice seeing the same pool at the same version knows no
+  /// install or clear happened in between (the memoized-sweep guard).
+  const storage::BufferPool* swept_pool_ = nullptr;
+  uint64_t swept_version_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -289,14 +315,23 @@ Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
     const std::string& id) {
   auto it = instances_.find(id);
   if (it != instances_.end()) return it->second.get();
-  const ml::Workload* w = ml::FindWorkload(id);
-  if (w == nullptr) {
-    return Status::NotFound("unknown workload '" + id + "'");
-  }
+  DANA_ASSIGN_OR_RETURN(const ml::Workload* w, RegistryWorkload(id));
   DANA_ASSIGN_OR_RETURN(auto instance, runtime::WorkloadInstance::Create(*w));
   auto* ptr = instance.get();
   instances_[id] = std::move(instance);
   return ptr;
+}
+
+Result<const ml::Workload*> DanaQueryExecutor::RegistryWorkload(
+    const std::string& id) {
+  auto it = workload_cache_.find(id);
+  if (it == workload_cache_.end()) {
+    it = workload_cache_.emplace(id, ml::FindWorkload(id)).first;
+  }
+  if (it->second == nullptr) {
+    return Status::NotFound("unknown workload '" + id + "'");
+  }
+  return it->second;
 }
 
 Result<const DanaQueryExecutor::EpochProfile*>
@@ -428,10 +463,7 @@ double DanaQueryExecutor::WarmFraction(const std::string& workload_id,
 
 Result<dana::SimTime> DanaQueryExecutor::Estimate(
     const std::string& workload_id) {
-  const ml::Workload* w = ml::FindWorkload(workload_id);
-  if (w == nullptr) {
-    return Status::NotFound("unknown workload '" + workload_id + "'");
-  }
+  DANA_ASSIGN_OR_RETURN(const ml::Workload* w, RegistryWorkload(workload_id));
   return runtime::EstimateDanaRuntime(*w, cost_model_,
                                       system_.options().fpga.axi_bytes_per_sec);
 }
@@ -442,10 +474,7 @@ Result<dana::SimTime> DanaQueryExecutor::EstimateAtWarmth(
   // from the cost model (the table's missing share re-read from disk in
   // the first epoch), never from measured state — queue ordering must not
   // depend on which endpoints earlier dispatches happened to memoize.
-  const ml::Workload* w = ml::FindWorkload(workload_id);
-  if (w == nullptr) {
-    return Status::NotFound("unknown workload '" + workload_id + "'");
-  }
+  DANA_ASSIGN_OR_RETURN(const ml::Workload* w, RegistryWorkload(workload_id));
   return runtime::EstimateDanaRuntimeAtWarmth(
       *w, cost_model_, system_.options().fpga.axi_bytes_per_sec,
       warm_fraction);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -15,6 +16,10 @@
 #include "sched/compile_cache.h"
 #include "storage/buffer_pool.h"
 #include "storage/residency.h"
+
+namespace dana::ml {
+struct Workload;
+}  // namespace dana::ml
 
 namespace dana::sched {
 
@@ -265,6 +270,15 @@ class DanaQueryExecutor : public QueryExecutor {
     /// Functional epochs actually simulated before linear extrapolation
     /// (see DanaSystem::Options); 2 captures cold I/O + steady state.
     uint32_t functional_epoch_cap = 2;
+    /// Skip the physical pool sweep of a slice whose slot is provably
+    /// undisturbed since this execution's previous slice (same slot, pool
+    /// version unchanged, table fully resident): the repeat sweep would be
+    /// all hits and leave every frame exactly as it stands, so only the
+    /// pool's hit/miss counters and last_table() would move. Priced costs,
+    /// schedules, and eviction state are bit-for-bit identical either way;
+    /// false re-runs every sweep (the reference behaviour, kept for
+    /// equivalence testing).
+    bool memoize_slices = true;
     /// Telemetry sink (not owned; null = off). Begin() counts each
     /// dispatch's pricing regime (exec.charges.cold/warm/partial) and
     /// MeasureEndpoint counts actual simulator runs
@@ -344,6 +358,9 @@ class DanaQueryExecutor : public QueryExecutor {
   friend class DanaBatchExecution;
 
   dana::Result<runtime::WorkloadInstance*> Instance(const std::string& id);
+  /// `id`'s registry entry, memoized (ml::FindWorkload is a linear scan);
+  /// NotFound for unknown workloads.
+  dana::Result<const ml::Workload*> RegistryWorkload(const std::string& id);
   /// Measured residency of `id` on `slot`'s shared pool: the table's
   /// resident frames over its normalized footprint. 0 when the workload is
   /// unknown (the later Begin/Estimate reports the error properly).
@@ -370,6 +387,11 @@ class DanaQueryExecutor : public QueryExecutor {
   std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_;
   /// Measured epoch profiles, keyed by (workload, batch size, warm?).
   std::map<std::tuple<std::string, uint32_t, bool>, EpochProfile> measured_;
+  /// Registry lookups memoized per name: ml::FindWorkload is a linear scan
+  /// with string compares, and Estimate/EstimateAtWarmth run once per
+  /// queued candidate per dispatch under affinity SJF. Values are pointers
+  /// into the static registry, valid for the process lifetime.
+  std::unordered_map<std::string, const ml::Workload*> workload_cache_;
 };
 
 }  // namespace dana::sched

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 
 #include "common/stats.h"
 
@@ -179,9 +181,30 @@ Scheduler::Scheduler(SchedulerOptions options, QueryExecutor* executor)
 namespace {
 
 /// Pending queue with the policy-specific pick. Entries are indices into
-/// the request vector, kept in admission order. The request vector may grow
-/// while the queue is live (closed-loop mode); entries are indices, never
-/// pointers, so growth is safe.
+/// the request vector, kept in admission order. The request vector (and
+/// the parallel interned-id vector) may grow while the queue is live
+/// (closed-loop mode); entries are indices, never pointers, so growth is
+/// safe.
+///
+/// Two interchangeable implementations produce identical pick sequences:
+///
+/// - Indexed (SchedulerOptions::indexed_queues, the default): an intrusive
+///   doubly-linked list over request indices keeps admission order (O(1)
+///   push/unlink, O(1) FCFS head), per-algorithm FIFO deques serve
+///   round-robin candidates and batch coalescing with integer id compares,
+///   and pure SJF keeps a multiset ordered by (estimate, request index) —
+///   O(log n) extraction. The multiset key is exact, not approximate: the
+///   reference scan compares raw SimTime estimates with strict less-than
+///   and takes the first minimum in admission order, and admission order
+///   equals request-index order (pushes arrive in index order; Restore
+///   re-inserts at the index position), so min-(estimate, index) is the
+///   same element. Aged and affinity SJF stay linear scans in both modes:
+///   their effective estimate mixes in per-candidate float subtraction
+///   whose rounding an ordered key cannot reproduce bit-for-bit.
+///
+/// - Reference (indexed_queues = false): the historical vector with O(n)
+///   scan-and-erase, kept as the equivalence oracle for the sched_perf
+///   suite.
 class PendingQueue {
  public:
   /// `warmth(workload)`, when set, is the best residency any currently-free
@@ -194,34 +217,75 @@ class PendingQueue {
   /// when a warmth function is supplied (affinity on).
   using EstimateAtFn = std::function<double(const std::string&, double)>;
 
-  PendingQueue(Policy policy, double sjf_aging_weight,
+  PendingQueue(const SchedulerOptions& options,
                const std::vector<QueryRequest>& requests,
-               const std::map<std::string, dana::SimTime>& estimates,
-               std::vector<std::string> class_order,
+               const std::vector<uint32_t>& wids,
+               const std::vector<dana::SimTime>& estimates_by_id,
+               std::vector<uint32_t> class_order,
                EstimateAtFn estimate_at = nullptr)
-      : policy_(policy),
-        aging_weight_(sjf_aging_weight),
+      : policy_(options.policy),
+        aging_weight_(options.sjf_aging_weight),
+        indexed_(options.indexed_queues),
         requests_(requests),
-        estimates_(estimates),
+        wids_(wids),
+        estimates_by_id_(estimates_by_id),
         class_order_(std::move(class_order)),
-        estimate_at_(std::move(estimate_at)) {}
+        estimate_at_(std::move(estimate_at)) {
+    use_sjf_set_ = indexed_ && policy_ == Policy::kSjf &&
+                   aging_weight_ == 0.0 && estimate_at_ == nullptr;
+  }
 
-  bool empty() const { return pending_.empty(); }
-  size_t size() const { return pending_.size(); }
+  bool empty() const { return indexed_ ? count_ == 0 : pending_.empty(); }
+  size_t size() const { return indexed_ ? count_ : pending_.size(); }
 
-  void Push(size_t request_index) { pending_.push_back(request_index); }
+  void Push(size_t request_index) {
+    if (!indexed_) {
+      pending_.push_back(request_index);
+      return;
+    }
+    EnsureCapacity(request_index);
+    LinkBefore(kNone, request_index);  // pushes arrive in index order
+    const uint32_t w = wids_[request_index];
+    ClassQueueFor(w).push_back(request_index);
+    if (use_sjf_set_) sjf_.emplace(estimates_by_id_[w], request_index);
+    ++count_;
+  }
 
   /// Re-inserts a request popped but never dispatched (a released batch
   /// hold) at its admission-order position.
   void Restore(size_t request_index) {
-    pending_.insert(
-        std::lower_bound(pending_.begin(), pending_.end(), request_index),
-        request_index);
+    if (!indexed_) {
+      pending_.insert(
+          std::lower_bound(pending_.begin(), pending_.end(), request_index),
+          request_index);
+      return;
+    }
+    EnsureCapacity(request_index);
+    // Find the list successor: first queued index greater than the
+    // restored one. Restored indices are recent pops, so the backward walk
+    // from the tail is short.
+    size_t succ = kNone;
+    for (size_t cur = tail_; cur != kNone && cur > request_index;
+         cur = prev_[cur]) {
+      succ = cur;
+    }
+    LinkBefore(succ, request_index);
+    const uint32_t w = wids_[request_index];
+    auto& q = ClassQueueFor(w);
+    q.insert(std::lower_bound(q.begin(), q.end(), request_index),
+             request_index);
+    if (use_sjf_set_) sjf_.emplace(estimates_by_id_[w], request_index);
+    ++count_;
   }
 
   /// Removes and returns the next request index under the policy. `now` is
   /// the dispatch time, used by SJF aging to credit queue wait.
   size_t Pop(dana::SimTime now, const WarmthFn& warmth = nullptr) {
+    if (indexed_) {
+      const size_t pick = PickIndexed(now, warmth);
+      Remove(pick);
+      return pick;
+    }
     size_t at = 0;
     switch (policy_) {
       case Policy::kFcfs:
@@ -253,10 +317,8 @@ class PendingQueue {
           // Pure SJF: identical comparison to the unaged scheduler so a
           // zero weight reproduces its schedules bit-for-bit.
           for (size_t i = 1; i < pending_.size(); ++i) {
-            const dana::SimTime best =
-                estimates_.at(requests_[pending_[at]].workload_id);
-            const dana::SimTime cand =
-                estimates_.at(requests_[pending_[i]].workload_id);
+            const dana::SimTime best = estimates_by_id_[wids_[pending_[at]]];
+            const dana::SimTime cand = estimates_by_id_[wids_[pending_[i]]];
             if (cand < best) at = i;
           }
         } else {
@@ -265,7 +327,7 @@ class PendingQueue {
           // drops below the stream of short ones and it cannot starve.
           auto effective = [&](size_t i) {
             const QueryRequest& r = requests_[pending_[i]];
-            return estimates_.at(r.workload_id).seconds() -
+            return estimates_by_id_[wids_[pending_[i]]].seconds() -
                    aging_weight_ * (now - r.arrival).seconds();
           };
           double best = effective(0);
@@ -283,10 +345,10 @@ class PendingQueue {
         // Advance the cursor to the next class with queued work; take that
         // class's earliest arrival.
         for (size_t step = 0; step < class_order_.size(); ++step) {
-          const std::string& cls =
+          const uint32_t cls =
               class_order_[(rr_cursor_ + step) % class_order_.size()];
           for (size_t i = 0; i < pending_.size(); ++i) {
-            if (requests_[pending_[i]].workload_id == cls) {
+            if (wids_[pending_[i]] == cls) {
               rr_cursor_ = (rr_cursor_ + step + 1) % class_order_.size();
               at = i;
               goto found;
@@ -305,12 +367,23 @@ class PendingQueue {
   /// Removes up to `limit` further queued requests of workload `cls` (in
   /// admission order) and appends their indices to `out` — the co-resident
   /// queries a batched dispatch coalesces with the head query.
-  void TakeSameClass(const std::string& cls, size_t limit,
-                     std::vector<size_t>* out) {
+  void TakeSameClass(uint32_t cls, size_t limit, std::vector<size_t>* out) {
+    if (indexed_) {
+      if (cls >= per_class_.size()) return;
+      auto& q = per_class_[cls];
+      size_t taken = 0;
+      while (taken < limit && !q.empty()) {
+        const size_t idx = q.front();
+        out->push_back(idx);
+        Remove(idx);  // pops the deque front via its fast path
+        ++taken;
+      }
+      return;
+    }
     size_t taken = 0;
     size_t i = 0;
     while (i < pending_.size() && taken < limit) {
-      if (requests_[pending_[i]].workload_id == cls) {
+      if (wids_[pending_[i]] == cls) {
         out->push_back(pending_[i]);
         pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
         ++taken;
@@ -321,40 +394,191 @@ class PendingQueue {
   }
 
  private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  std::deque<size_t>& ClassQueueFor(uint32_t wid) {
+    if (wid >= per_class_.size()) per_class_.resize(wid + 1);
+    return per_class_[wid];
+  }
+
+  void EnsureCapacity(size_t request_index) {
+    if (request_index >= next_.size()) {
+      next_.resize(request_index + 1, kNone);
+      prev_.resize(request_index + 1, kNone);
+    }
+  }
+
+  /// Links `idx` before `succ` (kNone = at the tail) in the admission list.
+  void LinkBefore(size_t succ, size_t idx) {
+    const size_t pred = succ == kNone ? tail_ : prev_[succ];
+    next_[idx] = succ;
+    prev_[idx] = pred;
+    if (pred == kNone) {
+      head_ = idx;
+    } else {
+      next_[pred] = idx;
+    }
+    if (succ == kNone) {
+      tail_ = idx;
+    } else {
+      prev_[succ] = idx;
+    }
+  }
+
+  /// Removes `idx` from every indexed structure.
+  void Remove(size_t idx) {
+    const size_t p = prev_[idx], n = next_[idx];
+    if (p == kNone) {
+      head_ = n;
+    } else {
+      next_[p] = n;
+    }
+    if (n == kNone) {
+      tail_ = p;
+    } else {
+      prev_[n] = p;
+    }
+    next_[idx] = prev_[idx] = kNone;
+    const uint32_t w = wids_[idx];
+    auto& q = per_class_[w];
+    if (q.front() == idx) {
+      q.pop_front();
+    } else {
+      q.erase(std::lower_bound(q.begin(), q.end(), idx));
+    }
+    if (use_sjf_set_) {
+      sjf_.erase(sjf_.find(std::make_pair(estimates_by_id_[w], idx)));
+    }
+    --count_;
+  }
+
+  /// The indexed pick: same element as the reference scan for every mode.
+  size_t PickIndexed(dana::SimTime now, const WarmthFn& warmth) const {
+    size_t pick = head_;
+    switch (policy_) {
+      case Policy::kFcfs:
+        break;
+      case Policy::kSjf: {
+        if (warmth && estimate_at_) {
+          // Affinity SJF keeps the reference linear scan (in admission
+          // order, identical arithmetic, first strict minimum wins): the
+          // per-candidate warmth subtraction cannot be re-keyed exactly.
+          double best = 0.0;
+          bool first = true;
+          for (size_t i = head_; i != kNone; i = next_[i]) {
+            const QueryRequest& r = requests_[i];
+            const double cand =
+                estimate_at_(r.workload_id, warmth(r.workload_id)) -
+                aging_weight_ * (now - r.arrival).seconds();
+            if (first || cand < best) {
+              best = cand;
+              pick = i;
+              first = false;
+            }
+          }
+        } else if (aging_weight_ == 0.0) {
+          if (use_sjf_set_) {
+            // Pure SJF: min (estimate, index) is exactly the reference
+            // first-minimum (see the class comment).
+            pick = sjf_.begin()->second;
+          } else {
+            for (size_t i = head_; i != kNone; i = next_[i]) {
+              if (estimates_by_id_[wids_[i]] <
+                  estimates_by_id_[wids_[pick]]) {
+                pick = i;
+              }
+            }
+          }
+        } else {
+          // Aged SJF: reference linear scan (same rounding, same ties).
+          double best = 0.0;
+          bool first = true;
+          for (size_t i = head_; i != kNone; i = next_[i]) {
+            const double cand =
+                estimates_by_id_[wids_[i]].seconds() -
+                aging_weight_ * (now - requests_[i].arrival).seconds();
+            if (first || cand < best) {
+              best = cand;
+              pick = i;
+              first = false;
+            }
+          }
+        }
+        break;
+      }
+      case Policy::kRoundRobin: {
+        for (size_t step = 0; step < class_order_.size(); ++step) {
+          const uint32_t cls =
+              class_order_[(rr_cursor_ + step) % class_order_.size()];
+          if (cls < per_class_.size() && !per_class_[cls].empty()) {
+            rr_cursor_ = (rr_cursor_ + step + 1) % class_order_.size();
+            pick = per_class_[cls].front();
+            break;
+          }
+        }
+        break;
+      }
+    }
+    return pick;
+  }
+
   Policy policy_;
   double aging_weight_;
+  bool indexed_;
+  bool use_sjf_set_ = false;
   const std::vector<QueryRequest>& requests_;
-  const std::map<std::string, dana::SimTime>& estimates_;
-  std::vector<size_t> pending_;
-  std::vector<std::string> class_order_;
-  size_t rr_cursor_ = 0;
+  const std::vector<uint32_t>& wids_;
+  const std::vector<dana::SimTime>& estimates_by_id_;
+  std::vector<uint32_t> class_order_;
+  mutable size_t rr_cursor_ = 0;
   EstimateAtFn estimate_at_;
+
+  // Reference structure.
+  std::vector<size_t> pending_;
+
+  // Indexed structures.
+  size_t head_ = kNone, tail_ = kNone;
+  std::vector<size_t> next_, prev_;
+  size_t count_ = 0;
+  std::vector<std::deque<size_t>> per_class_;
+  std::multiset<std::pair<dana::SimTime, size_t>> sjf_;
 };
 
-/// Simulated compile-cache charging shared by both scheduling engines:
-/// `ready` records when each workload's design becomes available. The
-/// first dispatch of a workload is a miss and pays the full compile
-/// latency; a dispatch while that compile is still in flight on another
-/// slot waits out the residual; later dispatches pay nothing. A batch
-/// compiles its design once — the head pays the miss, riders are hits.
+/// Simulated compile-cache charging shared by both scheduling engines,
+/// id-indexed: `ready_[wid]` records when that workload's design becomes
+/// available. The first dispatch of a workload is a miss and pays the full
+/// compile latency; a dispatch while that compile is still in flight on
+/// another slot waits out the residual; later dispatches pay nothing. A
+/// batch compiles its design once — the head pays the miss, riders are
+/// hits.
 struct CompileCharge {
   dana::SimTime wait;
   bool head_miss = false;
 };
-CompileCharge ChargeCompile(std::map<std::string, dana::SimTime>* ready,
-                            const std::string& workload, dana::SimTime now,
-                            dana::SimTime compile_cost) {
-  CompileCharge c;
-  auto it = ready->find(workload);
-  if (it == ready->end()) {
-    c.head_miss = true;
-    c.wait = compile_cost;
-    (*ready)[workload] = now + compile_cost;
-  } else {
-    c.wait = it->second > now ? it->second - now : dana::SimTime::Zero();
+class CompileReadyTable {
+ public:
+  CompileCharge Charge(uint32_t wid, dana::SimTime now,
+                       dana::SimTime compile_cost) {
+    if (wid >= seen_.size()) {
+      seen_.resize(wid + 1, 0);
+      ready_.resize(wid + 1);
+    }
+    CompileCharge c;
+    if (!seen_[wid]) {
+      seen_[wid] = 1;
+      c.head_miss = true;
+      c.wait = compile_cost;
+      ready_[wid] = now + compile_cost;
+    } else {
+      c.wait = ready_[wid] > now ? ready_[wid] - now : dana::SimTime::Zero();
+    }
+    return c;
   }
-  return c;
-}
+
+ private:
+  std::vector<uint8_t> seen_;
+  std::vector<dana::SimTime> ready_;
+};
 
 /// One Dispatch call's outcome: which request indices rode the batch and
 /// when the batch completes (= the slot's new free time).
@@ -373,10 +597,11 @@ class DispatchEngine {
  public:
   DispatchEngine(const SchedulerOptions& options, QueryExecutor* executor,
                  const std::vector<QueryRequest>& requests,
-                 ScheduleReport* report)
+                 const std::vector<uint32_t>& wids, ScheduleReport* report)
       : options_(options),
         executor_(executor),
         requests_(requests),
+        wids_(wids),
         report_(report),
         slot_free_(options.slots, dana::SimTime::Zero()) {}
 
@@ -414,6 +639,7 @@ class DispatchEngine {
     std::vector<size_t> members;
     members.push_back(pending.Pop(now, warmth));
     const QueryRequest& head = requests_[members[0]];
+    const uint32_t head_wid = wids_[members[0]];
 
     // Slot choice: warmest free slot for the head's table under affinity
     // (ties by earliest free time then lowest index — the affinity-blind
@@ -431,8 +657,7 @@ class DispatchEngine {
       }
     }
     if (options_.max_batch > 1) {
-      pending.TakeSameClass(head.workload_id, options_.max_batch - 1,
-                            &members);
+      pending.TakeSameClass(head_wid, options_.max_batch - 1, &members);
     }
 
     QueryBatch batch;
@@ -442,7 +667,7 @@ class DispatchEngine {
     DANA_ASSIGN_OR_RETURN(BatchCost cost, executor_->Dispatch(batch));
 
     const CompileCharge charge =
-        ChargeCompile(&compile_ready_, head.workload_id, now, cost.compile);
+        compile_ready_.Charge(head_wid, now, cost.compile);
     const dana::SimTime compile_wait = charge.wait;
     const bool head_miss = charge.head_miss;
 
@@ -497,36 +722,44 @@ class DispatchEngine {
   const SchedulerOptions& options_;
   QueryExecutor* executor_;
   const std::vector<QueryRequest>& requests_;
+  const std::vector<uint32_t>& wids_;
   ScheduleReport* report_;
   std::vector<dana::SimTime> slot_free_;
-  std::map<std::string, dana::SimTime> compile_ready_;
+  CompileReadyTable compile_ready_;
 };
 
 /// Residency-aware SJF estimate with a fallback to the precomputed static
 /// estimate when the executor cannot price the warmth. Non-null only when
-/// affinity SJF is on; the returned closure borrows `estimates`, which
-/// must outlive it.
+/// affinity SJF is on; the returned closure borrows `ids` and
+/// `estimates_by_id`, which must outlive it.
 PendingQueue::EstimateAtFn MakeEstimateAtFn(
     const SchedulerOptions& options, QueryExecutor* executor,
-    const std::map<std::string, dana::SimTime>& estimates) {
+    const dana::Interner& ids,
+    const std::vector<dana::SimTime>& estimates_by_id) {
   if (options.policy != Policy::kSjf || options.affinity_weight <= 0.0) {
     return nullptr;
   }
-  return [executor, &estimates](const std::string& id, double warmth) {
+  return [executor, &ids, &estimates_by_id](const std::string& id,
+                                            double warmth) {
     auto est = executor->EstimateAtWarmth(id, warmth);
     if (est.ok()) return est->seconds();
-    auto it = estimates.find(id);
-    return it != estimates.end() ? it->second.seconds() : 0.0;
+    const uint32_t w = ids.Find(id);
+    return w != dana::Interner::kInvalidId && w < estimates_by_id.size()
+               ? estimates_by_id[w].seconds()
+               : 0.0;
   };
 }
 
-/// Class rotation order for round-robin: first appearance in `ids`.
-std::vector<std::string> FirstAppearanceOrder(
-    const std::vector<std::string>& ids) {
-  std::vector<std::string> order;
-  std::set<std::string> seen;
-  for (const std::string& id : ids) {
-    if (seen.insert(id).second) order.push_back(id);
+/// Class rotation order for round-robin: first appearance in `wids`.
+std::vector<uint32_t> FirstAppearanceOrder(const std::vector<uint32_t>& wids,
+                                           uint32_t num_ids) {
+  std::vector<uint32_t> order;
+  std::vector<uint8_t> seen(num_ids, 0);
+  for (uint32_t w : wids) {
+    if (!seen[w]) {
+      seen[w] = 1;
+      order.push_back(w);
+    }
   }
   return order;
 }
@@ -544,21 +777,35 @@ class PreemptiveEngine {
  public:
   PreemptiveEngine(const SchedulerOptions& options, QueryExecutor* executor,
                    const std::vector<QueryRequest>& requests,
-                   const std::map<std::string, dana::SimTime>& estimates,
+                   const std::vector<uint32_t>& wids,
+                   const std::vector<dana::SimTime>& estimates_by_id,
                    PendingQueue::EstimateAtFn estimate_at,
-                   std::vector<std::string> class_order,
-                   ScheduleReport* report)
+                   std::vector<uint32_t> class_order, ScheduleReport* report)
       : options_(options),
         executor_(executor),
         requests_(requests),
+        wids_(wids),
         report_(report),
-        interactive_(options.policy, options.sjf_aging_weight, requests,
-                     estimates, class_order, estimate_at),
-        batch_(options.policy, options.sjf_aging_weight, requests, estimates,
-               class_order, std::move(estimate_at)),
+        interactive_(options, requests, wids, estimates_by_id, class_order,
+                     estimate_at),
+        batch_(options, requests, wids, estimates_by_id,
+               std::move(class_order), std::move(estimate_at)),
         active_(options.slots),
         holds_(options.slots),
-        free_since_(options.slots, dana::SimTime::Zero()) {}
+        free_since_(options.slots, dana::SimTime::Zero()) {
+    if (options_.indexed_queues) {
+      // Every slot starts free: seed the intrusive free list in ascending
+      // slot order.
+      free_next_.assign(options_.slots, kNoSlot);
+      free_prev_.assign(options_.slots, kNoSlot);
+      in_free_.assign(options_.slots, 1);
+      for (uint32_t s = 0; s < options_.slots; ++s) {
+        free_next_[s] = s + 1 < options_.slots ? s + 1 : kNoSlot;
+        free_prev_[s] = s > 0 ? s - 1 : kNoSlot;
+      }
+      free_head_ = options_.slots > 0 ? 0 : kNoSlot;
+    }
+  }
 
   dana::Status Run() {
     dana::SimTime clock;
@@ -615,8 +862,58 @@ class PreemptiveEngine {
     return !active_[s].has_value() && !holds_[s].active;
   }
 
+  /// Re-derives slot `s`'s membership in the free-slot list from its
+  /// actual state. Idempotent; called after every active_/holds_ mutation,
+  /// so the list is correct by construction instead of by transition
+  /// bookkeeping. No-op in reference mode (AvailableSlots scans).
+  void SyncSlot(uint32_t s) {
+    if (!options_.indexed_queues) return;
+    const bool want = SlotFree(s);
+    if (want == static_cast<bool>(in_free_[s])) return;
+    if (want) {
+      // Insert in ascending slot order: walk to the first free slot above
+      // `s` (the list is at most `slots` long; typically the walk is
+      // short because low slots free and occupy most often).
+      uint32_t succ = free_head_;
+      while (succ != kNoSlot && succ < s) succ = free_next_[succ];
+      const uint32_t pred = succ == kNoSlot ? free_tail_ : free_prev_[succ];
+      free_next_[s] = succ;
+      free_prev_[s] = pred;
+      if (pred == kNoSlot) {
+        free_head_ = s;
+      } else {
+        free_next_[pred] = s;
+      }
+      if (succ == kNoSlot) {
+        free_tail_ = s;
+      } else {
+        free_prev_[succ] = s;
+      }
+    } else {
+      const uint32_t p = free_prev_[s], n = free_next_[s];
+      if (p == kNoSlot) {
+        free_head_ = n;
+      } else {
+        free_next_[p] = n;
+      }
+      if (n == kNoSlot) {
+        free_tail_ = p;
+      } else {
+        free_prev_[n] = p;
+      }
+      free_next_[s] = free_prev_[s] = kNoSlot;
+    }
+    in_free_[s] = want;
+  }
+
   std::vector<uint32_t> AvailableSlots() const {
     std::vector<uint32_t> out;
+    if (options_.indexed_queues) {
+      for (uint32_t s = free_head_; s != kNoSlot; s = free_next_[s]) {
+        out.push_back(s);
+      }
+      return out;
+    }
     for (uint32_t s = 0; s < options_.slots; ++s) {
       if (SlotFree(s)) out.push_back(s);
     }
@@ -674,6 +971,7 @@ class PreemptiveEngine {
         for (size_t m : holds_[s].members) batch_.Restore(m);
         holds_[s].members.clear();
         holds_[s].active = false;
+        SyncSlot(s);
         available.push_back(s);
       }
     }
@@ -685,7 +983,7 @@ class PreemptiveEngine {
       members.push_back(interactive_.Pop(now, warmth));
       const QueryRequest& head = requests_[members[0]];
       if (options_.max_batch > 1) {
-        interactive_.TakeSameClass(head.workload_id, options_.max_batch - 1,
+        interactive_.TakeSameClass(wids_[members[0]], options_.max_batch - 1,
                                    &members);
       }
       const uint32_t slot = ChooseSlot(available, head.workload_id);
@@ -716,7 +1014,7 @@ class PreemptiveEngine {
       members.push_back(batch_.Pop(now, warmth));
       const QueryRequest& head = requests_[members[0]];
       if (options_.max_batch > 1) {
-        batch_.TakeSameClass(head.workload_id, options_.max_batch - 1,
+        batch_.TakeSameClass(wids_[members[0]], options_.max_batch - 1,
                              &members);
       }
       const uint32_t slot = ChooseSlot(available, head.workload_id);
@@ -729,6 +1027,7 @@ class PreemptiveEngine {
         holds_[slot].active = true;
         holds_[slot].members = std::move(members);
         holds_[slot].expires = now + options_.batch_window;
+        SyncSlot(slot);
         return true;
       }
       return DispatchBatch(std::move(members), QueryClass::kBatch, slot, now);
@@ -739,6 +1038,7 @@ class PreemptiveEngine {
   dana::Result<bool> DispatchBatch(std::vector<size_t> members, QueryClass cls,
                                    uint32_t slot, dana::SimTime now) {
     const QueryRequest& head = requests_[members[0]];
+    const uint32_t head_wid = wids_[members[0]];
     QueryBatch batch;
     batch.workload_id = head.workload_id;
     batch.slot = slot;
@@ -746,8 +1046,8 @@ class PreemptiveEngine {
     DANA_ASSIGN_OR_RETURN(std::unique_ptr<BatchExecution> exec,
                           executor_->Begin(batch));
 
-    const CompileCharge charge = ChargeCompile(
-        &compile_ready_, head.workload_id, now, exec->compile_cost());
+    const CompileCharge charge =
+        compile_ready_.Charge(head_wid, now, exec->compile_cost());
     const dana::SimTime compile_wait = charge.wait;
     const bool head_miss = charge.head_miss;
 
@@ -792,6 +1092,7 @@ class PreemptiveEngine {
     }
     a.run.exec = std::move(exec);
     active_[slot] = std::move(a);
+    SyncSlot(slot);
     return true;
   }
 
@@ -812,6 +1113,7 @@ class PreemptiveEngine {
             static_cast<uint64_t>(a.run.exec->epochs_run())}});
     }
     active_[slot] = std::move(a);
+    SyncSlot(slot);
     return true;
   }
 
@@ -995,6 +1297,7 @@ class PreemptiveEngine {
     Active a = std::move(*active_[slot]);
     active_[slot].reset();
     free_since_[slot] = now;
+    SyncSlot(slot);
     DANA_ASSIGN_OR_RETURN(SliceCost slice, a.run.exec->NextSlice(0));
     a.run.service_acc += slice.service;
     a.run.shared_acc += slice.shared;
@@ -1029,6 +1332,7 @@ class PreemptiveEngine {
     Active a = std::move(*active_[slot]);
     active_[slot].reset();
     free_since_[slot] = now;
+    SyncSlot(slot);
     DANA_ASSIGN_OR_RETURN(SliceCost slice,
                           a.run.exec->NextSlice(a.preempt_epochs));
     DANA_RETURN_NOT_OK(a.run.exec->Checkpoint());
@@ -1064,6 +1368,7 @@ class PreemptiveEngine {
       if (!holds_[s].active || holds_[s].expires > now) continue;
       std::vector<size_t> members = std::move(holds_[s].members);
       holds_[s].active = false;
+      SyncSlot(s);
       DANA_RETURN_NOT_OK(
           DispatchBatch(std::move(members), QueryClass::kBatch, s, now)
               .status());
@@ -1089,13 +1394,13 @@ class PreemptiveEngine {
       bool joined = false;
       for (uint32_t s = 0; s < options_.slots && !joined; ++s) {
         if (!holds_[s].active) continue;
-        const QueryRequest& head = requests_[holds_[s].members[0]];
-        if (head.workload_id != req.workload_id) continue;
+        if (wids_[holds_[s].members[0]] != wids_[idx]) continue;
         holds_[s].members.push_back(idx);
         joined = true;
         if (holds_[s].members.size() >= options_.max_batch) {
           std::vector<size_t> members = std::move(holds_[s].members);
           holds_[s].active = false;
+          SyncSlot(s);
           DANA_RETURN_NOT_OK(
               DispatchBatch(std::move(members), QueryClass::kBatch, s, now)
                   .status());
@@ -1106,9 +1411,12 @@ class PreemptiveEngine {
     return Status::OK();
   }
 
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
   const SchedulerOptions& options_;
   QueryExecutor* executor_;
   const std::vector<QueryRequest>& requests_;
+  const std::vector<uint32_t>& wids_;
   ScheduleReport* report_;
   PendingQueue interactive_;
   PendingQueue batch_;
@@ -1116,8 +1424,14 @@ class PreemptiveEngine {
   std::vector<Hold> holds_;
   std::vector<dana::SimTime> free_since_;
   std::vector<RunState> continuations_;
-  std::map<std::string, dana::SimTime> compile_ready_;
+  CompileReadyTable compile_ready_;
   size_t next_arrival_ = 0;
+  // Intrusive free-slot list (indexed mode): doubly linked over slot
+  // indices, kept in ascending order so AvailableSlots() enumerates slots
+  // in the same order the reference scan does.
+  uint32_t free_head_ = kNoSlot, free_tail_ = kNoSlot;
+  std::vector<uint32_t> free_next_, free_prev_;
+  std::vector<uint8_t> in_free_;
 };
 
 }  // namespace
@@ -1129,21 +1443,33 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
                      return a.id < b.id;
                    });
 
-  // SJF orders by a-priori estimates; resolve them once per workload so
+  // Intern every workload id once at admission: the engines key their
+  // estimate tables, compile charging, and per-class queues by these dense
+  // ids, so nothing on the per-event path hashes or compares strings.
+  dana::Interner ids;
+  std::vector<uint32_t> wids;
+  wids.reserve(requests.size());
+  for (const QueryRequest& r : requests) wids.push_back(ids.Intern(r.workload_id));
+
+  // SJF orders by a-priori estimates; resolve them once per workload (in
+  // first-appearance order, matching the historical resolution order) so
   // admission decisions are O(queue), not O(executor).
-  std::map<std::string, dana::SimTime> estimates;
+  std::vector<dana::SimTime> estimates_by_id;
   if (options_.policy == Policy::kSjf) {
-    for (const QueryRequest& r : requests) {
-      if (estimates.count(r.workload_id)) continue;
-      DANA_ASSIGN_OR_RETURN(dana::SimTime est,
-                            executor_->Estimate(r.workload_id));
-      estimates[r.workload_id] = est;
+    estimates_by_id.resize(ids.size());
+    std::vector<uint8_t> resolved(ids.size(), 0);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const uint32_t w = wids[i];
+      if (resolved[w]) continue;
+      DANA_ASSIGN_OR_RETURN(estimates_by_id[w],
+                            executor_->Estimate(requests[i].workload_id));
+      resolved[w] = 1;
     }
   }
 
   if (options_.preemption_quantum_epochs != 0 ||
       options_.batch_window > dana::SimTime::Zero()) {
-    return RunPreemptive(std::move(requests), estimates);
+    return RunPreemptive(std::move(requests), ids, wids, estimates_by_id);
   }
 
   ScheduleReport report;
@@ -1151,13 +1477,11 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
   report.slots = options_.slots;
   report.queries.reserve(requests.size());
 
-  std::vector<std::string> stream_ids;
-  stream_ids.reserve(requests.size());
-  for (const QueryRequest& r : requests) stream_ids.push_back(r.workload_id);
-  PendingQueue pending(options_.policy, options_.sjf_aging_weight, requests,
-                       estimates, FirstAppearanceOrder(stream_ids),
-                       MakeEstimateAtFn(options_, executor_, estimates));
-  DispatchEngine engine(options_, executor_, requests, &report);
+  PendingQueue pending(options_, requests, wids, estimates_by_id,
+                       FirstAppearanceOrder(wids, ids.size()),
+                       MakeEstimateAtFn(options_, executor_, ids,
+                                        estimates_by_id));
+  DispatchEngine engine(options_, executor_, requests, wids, &report);
   size_t next_arrival = 0;
   // Monotone dispatch clock: a query admitted during an idle advance must
   // not start before its arrival just because another slot's free time is
@@ -1183,19 +1507,19 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
 }
 
 Result<ScheduleReport> Scheduler::RunPreemptive(
-    std::vector<QueryRequest> requests,
-    const std::map<std::string, dana::SimTime>& estimates) {
+    std::vector<QueryRequest> requests, const dana::Interner& ids,
+    const std::vector<uint32_t>& wids,
+    const std::vector<dana::SimTime>& estimates_by_id) {
   ScheduleReport report;
   report.policy = options_.policy;
   report.slots = options_.slots;
   report.queries.reserve(requests.size());
 
-  std::vector<std::string> stream_ids;
-  stream_ids.reserve(requests.size());
-  for (const QueryRequest& r : requests) stream_ids.push_back(r.workload_id);
-  PreemptiveEngine engine(options_, executor_, requests, estimates,
-                          MakeEstimateAtFn(options_, executor_, estimates),
-                          FirstAppearanceOrder(stream_ids), &report);
+  PreemptiveEngine engine(options_, executor_, requests, wids,
+                          estimates_by_id,
+                          MakeEstimateAtFn(options_, executor_, ids,
+                                           estimates_by_id),
+                          FirstAppearanceOrder(wids, ids.size()), &report);
   DANA_RETURN_NOT_OK(engine.Run());
   PublishReportMetrics(report, options_.metrics);
   return report;
@@ -1227,28 +1551,36 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
         "zero (see ROADMAP closed-loop preemption follow-up)");
   }
   size_t total = 0;
-  std::vector<std::string> submit_order_ids;
   for (const auto& script : sessions) total += script.size();
-  // Class rotation order for RR: interleaved first-submission order
-  // (session 0's first query, session 1's first, ...).
+
+  // Intern every script id up front (the whole catalog is known before the
+  // first submission) in interleaved first-submission order — session 0's
+  // first query, session 1's first, ... — which is also the RR class
+  // rotation order.
+  dana::Interner ids;
+  std::vector<uint32_t> submit_order_wids;
   for (size_t j = 0;; ++j) {
     bool any = false;
     for (const auto& script : sessions) {
       if (j < script.size()) {
-        submit_order_ids.push_back(script[j]);
+        submit_order_wids.push_back(ids.Intern(script[j]));
         any = true;
       }
     }
     if (!any) break;
   }
 
-  std::map<std::string, dana::SimTime> estimates;
+  std::vector<dana::SimTime> estimates_by_id;
   if (options_.policy == Policy::kSjf) {
+    estimates_by_id.resize(ids.size());
+    std::vector<uint8_t> resolved(ids.size(), 0);
+    // Historical resolution order: script by script.
     for (const auto& script : sessions) {
       for (const std::string& id : script) {
-        if (estimates.count(id)) continue;
-        DANA_ASSIGN_OR_RETURN(dana::SimTime est, executor_->Estimate(id));
-        estimates[id] = est;
+        const uint32_t w = ids.Find(id);
+        if (resolved[w]) continue;
+        DANA_ASSIGN_OR_RETURN(estimates_by_id[w], executor_->Estimate(id));
+        resolved[w] = 1;
       }
     }
   }
@@ -1271,13 +1603,16 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
 
   std::vector<QueryRequest> requests;
   requests.reserve(total);
+  std::vector<uint32_t> wids;  ///< parallel to requests (grows with it)
+  wids.reserve(total);
   std::vector<size_t> owner;  ///< request index -> session index
   owner.reserve(total);
 
-  PendingQueue pending(options_.policy, options_.sjf_aging_weight, requests,
-                       estimates, FirstAppearanceOrder(submit_order_ids),
-                       MakeEstimateAtFn(options_, executor_, estimates));
-  DispatchEngine engine(options_, executor_, requests, &report);
+  PendingQueue pending(options_, requests, wids, estimates_by_id,
+                       FirstAppearanceOrder(submit_order_wids, ids.size()),
+                       MakeEstimateAtFn(options_, executor_, ids,
+                                        estimates_by_id));
+  DispatchEngine engine(options_, executor_, requests, wids, &report);
   uint64_t next_id = 0;
   // Monotone dispatch clock (see Run): keeps a second idle slot from
   // dispatching a session's submission before its submit time.
@@ -1320,6 +1655,7 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
       req.id = next_id++;
       req.workload_id = sessions[s][state[s].next];
       req.arrival = state[s].submit;
+      wids.push_back(ids.Find(req.workload_id));
       requests.push_back(std::move(req));
       owner.push_back(s);
       pending.Push(requests.size() - 1);

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/intern.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "obs/metrics.h"
@@ -198,6 +198,18 @@ struct SchedulerOptions {
   /// dispatch/slice/checkpoint/resume spans for chrome://tracing.
   obs::MetricRegistry* metrics = nullptr;
   obs::SlotTracer* tracer = nullptr;
+  /// Queue-structure implementation toggle. true (the default) uses the
+  /// indexed hot-path structures: an intrusive admission-order list with
+  /// per-algorithm FIFO indices (O(1) FCFS pops, O(k) batch coalescing,
+  /// integer round-robin rotation), an ordered candidate set for pure SJF
+  /// (O(log n) extraction), and an incrementally maintained free-slot list
+  /// in the preemptive engine. false falls back to the reference O(n)
+  /// scan-and-erase structures the suite history pinned. Both produce
+  /// bit-for-bit identical schedules — every tie-break is preserved
+  /// exactly, and the sched_perf suite asserts equivalence on all three
+  /// policies, run-to-completion and preemptive — so the flag exists only
+  /// to keep the reference path runnable for that comparison.
+  bool indexed_queues = true;
 };
 
 /// Publishes `report`'s aggregate statistics into `metrics` as the
@@ -263,9 +275,14 @@ class Scheduler {
       dana::SimTime think_time);
 
  private:
+  /// `ids` interns every workload in the stream (dense ids assigned at
+  /// admission), `wids[i]` is requests[i]'s interned id, and
+  /// `estimates_by_id` holds the SJF a-priori estimates indexed by id
+  /// (empty unless the policy is SJF).
   dana::Result<ScheduleReport> RunPreemptive(
-      std::vector<QueryRequest> requests,
-      const std::map<std::string, dana::SimTime>& estimates);
+      std::vector<QueryRequest> requests, const dana::Interner& ids,
+      const std::vector<uint32_t>& wids,
+      const std::vector<dana::SimTime>& estimates_by_id);
 
   SchedulerOptions options_;
   QueryExecutor* executor_;

@@ -28,8 +28,9 @@ Result<const uint8_t*> BufferPool::FetchPage(const Table& table,
                               " past end of table " + table.name());
   }
 
-  const KeyView key{table.name(), page_no};
-  if (last_table_ != table.name()) last_table_ = table.name();
+  const uint32_t tid = InternTable(table.name());
+  const Key key{tid, page_no};
+  last_table_id_ = tid;
   auto it = map_.find(key);
   if (it != map_.end()) {
     ++stats_.hits;
@@ -59,18 +60,18 @@ Result<const uint8_t*> BufferPool::FetchPage(const Table& table,
                       disk_.request_latency /
                           static_cast<double>(disk_.readahead_pages);
     if (os_cached_.size() < os_cache_pages_) {
-      os_cached_.insert(Key{table.name(), page_no});
+      os_cached_.insert(key);
     }
   }
 
   const size_t idx = EvictOne();
-  Install(idx, table.name(), page_no, table.PageData(page_no));
+  Install(idx, tid, page_no, table.PageData(page_no));
   return static_cast<const uint8_t*>(frames_[idx].data.get());
 }
 
-bool BufferPool::TouchPage(const std::string& table, uint64_t page_no) {
-  const KeyView key{table, page_no};
-  if (last_table_ != table) last_table_ = table;
+bool BufferPool::TouchPage(uint32_t table_id, uint64_t page_no) {
+  const Key key{table_id, page_no};
+  last_table_id_ = table_id;
   auto it = map_.find(key);
   if (it != map_.end()) {
     ++stats_.hits;
@@ -82,18 +83,17 @@ bool BufferPool::TouchPage(const std::string& table, uint64_t page_no) {
   // the shared slot pools are residency ground truth, not data servers.
   ++stats_.misses;
   const size_t idx = EvictOne();
-  Install(idx, table, page_no, nullptr);
+  Install(idx, table_id, page_no, nullptr);
   return false;
 }
 
-void BufferPool::ScanTable(const std::string& table, uint64_t pages) {
-  for (uint64_t p = 0; p < pages; ++p) TouchPage(table, p);
+void BufferPool::ScanTable(uint32_t table_id, uint64_t pages) {
+  for (uint64_t p = 0; p < pages; ++p) TouchPage(table_id, p);
 }
 
-double BufferPool::ResidentShare(const std::string& table,
-                                 uint64_t pages) const {
+double BufferPool::ResidentShare(uint32_t table_id, uint64_t pages) const {
   if (pages == 0) return 1.0;
-  const double share = static_cast<double>(resident_frames(table)) /
+  const double share = static_cast<double>(resident_frames(table_id)) /
                        static_cast<double>(pages);
   return share > 1.0 ? 1.0 : share;
 }
@@ -109,20 +109,17 @@ size_t BufferPool::EvictOne() {
       f.referenced = false;
       continue;
     }
-    map_.erase(Key{f.table, f.page_no});
+    map_.erase(Key{f.table_id, f.page_no});
     f.valid = false;
     --resident_frames_;
-    auto per_table = per_table_frames_.find(f.table);
-    if (per_table != per_table_frames_.end() && --per_table->second == 0) {
-      per_table_frames_.erase(per_table);
-    }
+    --per_table_frames_[f.table_id];
     ++stats_.evictions;
     return idx;
   }
 }
 
-void BufferPool::Install(size_t idx, std::string_view table,
-                         uint64_t page_no, const uint8_t* src) {
+void BufferPool::Install(size_t idx, uint32_t table_id, uint64_t page_no,
+                         const uint8_t* src) {
   Frame& f = frames_[idx];
   if (!f.valid) ++resident_frames_;
   if (src != nullptr) {
@@ -131,12 +128,16 @@ void BufferPool::Install(size_t idx, std::string_view table,
   } else {
     f.data.reset();
   }
-  f.table = table;
+  f.table_id = table_id;
   f.page_no = page_no;
   f.valid = true;
   f.referenced = true;
-  ++per_table_frames_[f.table];
-  map_[Key{f.table, page_no}] = idx;
+  if (table_id >= per_table_frames_.size()) {
+    per_table_frames_.resize(table_id + 1, 0);
+  }
+  ++per_table_frames_[table_id];
+  map_[Key{table_id, page_no}] = idx;
+  ++version_;
 }
 
 void BufferPool::Prewarm(const Table& table, double fraction) {
@@ -144,35 +145,34 @@ void BufferPool::Prewarm(const Table& table, double fraction) {
   const uint64_t want = static_cast<uint64_t>(
       fraction * static_cast<double>(table.num_pages()) + 0.5);
   const uint64_t n = std::min<uint64_t>(want, frames_.size());
-  if (last_table_ != table.name()) last_table_ = table.name();
+  const uint32_t tid = InternTable(table.name());
+  last_table_id_ = tid;
   for (uint64_t p = 0; p < n; ++p) {
-    if (map_.find(KeyView{table.name(), p}) != map_.end()) continue;
+    if (map_.find(Key{tid, p}) != map_.end()) continue;
     const size_t idx = EvictOne();
-    Install(idx, table.name(), p, table.PageData(p));
+    Install(idx, tid, p, table.PageData(p));
   }
   MarkOsCached(table);
 }
 
 void BufferPool::MarkOsCached(const Table& table) {
+  const uint32_t tid = InternTable(table.name());
   for (uint64_t p = 0; p < table.num_pages(); ++p) {
     if (os_cached_.size() >= os_cache_pages_) break;
-    os_cached_.insert(Key{table.name(), p});
+    os_cached_.insert(Key{tid, p});
   }
 }
 
 double BufferPool::ResidentFraction(const Table& table) const {
   if (table.num_pages() == 0) return 1.0;
+  const uint32_t tid = names_.Find(table.name());
+  if (tid == dana::Interner::kInvalidId) return 0.0;
   uint64_t resident = 0;
   for (uint64_t p = 0; p < table.num_pages(); ++p) {
-    if (map_.find(KeyView{table.name(), p}) != map_.end()) ++resident;
+    if (map_.find(Key{tid, p}) != map_.end()) ++resident;
   }
   return static_cast<double>(resident) /
          static_cast<double>(table.num_pages());
-}
-
-uint64_t BufferPool::resident_frames(const std::string& table) const {
-  auto it = per_table_frames_.find(table);
-  return it == per_table_frames_.end() ? 0 : it->second;
 }
 
 void BufferPool::Clear() {
@@ -184,8 +184,10 @@ void BufferPool::Clear() {
   os_cached_.clear();
   clock_hand_ = 0;
   resident_frames_ = 0;
-  per_table_frames_.clear();
-  last_table_.clear();
+  // Ids outlive the pages they name: only the per-id counts reset.
+  per_table_frames_.assign(per_table_frames_.size(), 0);
+  last_table_id_ = dana::Interner::kInvalidId;
+  ++version_;
 }
 
 BufferPoolGroup::BufferPoolGroup(uint64_t capacity_bytes_per_pool,

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/intern.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -45,6 +46,14 @@ struct BufferPoolStats {
 /// physical residency ground truth) while per-workload pools keep their
 /// original behaviour, and it gives the pool exact per-table frame
 /// accounting (resident_frames(table)).
+///
+/// Internally table names are interned into dense per-pool ids (InternTable)
+/// and every frame, page key, and per-table counter is integer-keyed — a
+/// touch hashes two integers, never a string. The string-facing APIs remain
+/// as thin shims that intern (mutating calls) or look up (const calls) the
+/// name once per call; per-page loops like ScanTable pay the string exactly
+/// once per sweep. Ids are stable for the pool's lifetime — Clear() drops
+/// pages, not the name table — so callers may cache them across runs.
 class BufferPool {
  public:
   /// Pool of `capacity_bytes / page_size` frames; `disk` supplies miss
@@ -62,6 +71,13 @@ class BufferPool {
                       disk);
   }
 
+  /// Dense id of logical table `name` in this pool, interning it on first
+  /// sight. Stable for the pool's lifetime; the id-taking overloads below
+  /// skip the per-call name lookup entirely.
+  uint32_t InternTable(std::string_view name) {
+    return names_.Intern(name);
+  }
+
   /// Returns the frame holding page `page_no` of `table`, fetching it from
   /// the (modeled) disk on a miss. The returned pointer is valid until the
   /// next Fetch that evicts it; callers in this single-threaded simulator
@@ -75,18 +91,27 @@ class BufferPool {
   /// charged (the caller prices I/O from measured service profiles; the
   /// pool's job here is to be the occupancy/eviction ground truth).
   /// Hit/miss/eviction counters still advance. Returns true on a hit.
-  bool TouchPage(const std::string& table, uint64_t page_no);
+  bool TouchPage(uint32_t table_id, uint64_t page_no);
+  bool TouchPage(const std::string& table, uint64_t page_no) {
+    return TouchPage(InternTable(table), page_no);
+  }
 
   /// One full sequential sweep of a logical table of `pages` pages through
   /// the pool via TouchPage — the cache footprint of one training epoch's
   /// Strider scan. A table larger than the pool ends with its trailing
   /// pool-sized window resident (clock replacement under a sequential
   /// scan); co-located tables are evicted only under install pressure.
-  void ScanTable(const std::string& table, uint64_t pages);
+  void ScanTable(uint32_t table_id, uint64_t pages);
+  void ScanTable(const std::string& table, uint64_t pages) {
+    ScanTable(InternTable(table), pages);
+  }
 
   /// Fraction of a `pages`-page logical table currently resident, in
   /// [0, 1]: resident_frames(table) / pages, clamped.
-  double ResidentShare(const std::string& table, uint64_t pages) const;
+  double ResidentShare(uint32_t table_id, uint64_t pages) const;
+  double ResidentShare(const std::string& table, uint64_t pages) const {
+    return ResidentShare(names_.Find(table), pages);
+  }
 
   /// Loads the leading `fraction` of `table`'s pages (capped by the pool
   /// size) without charging I/O time — models a previously-run query having
@@ -101,7 +126,8 @@ class BufferPool {
   /// Fraction of `table` currently resident.
   double ResidentFraction(const Table& table) const;
 
-  /// Drops all cached pages and (optionally) statistics.
+  /// Drops all cached pages and (optionally) statistics. Interned table
+  /// ids survive — they name tables, not pages.
   void Clear();
 
   const BufferPoolStats& stats() const { return stats_; }
@@ -116,11 +142,30 @@ class BufferPool {
   /// scheduler's executor prices placement from when a slot's tables share
   /// one pool; storage::CacheResidencyModel remains as the logical
   /// predictor it is cross-checked against.
-  uint64_t resident_frames(const std::string& table) const;
+  uint64_t resident_frames(uint32_t table_id) const {
+    return table_id < per_table_frames_.size() ? per_table_frames_[table_id]
+                                               : 0;
+  }
+  uint64_t resident_frames(const std::string& table) const {
+    return resident_frames(names_.Find(table));
+  }
   /// Name of the table the pool most recently served (FetchPage, TouchPage,
   /// or Prewarm); empty for a fresh or cleared pool. In shared-pool mode
   /// this is the table whose sweep last reshaped the cache.
-  const std::string& last_table() const { return last_table_; }
+  const std::string& last_table() const {
+    static const std::string kNone;
+    return last_table_id_ == dana::Interner::kInvalidId
+               ? kNone
+               : names_.Name(last_table_id_);
+  }
+
+  /// Monotone counter bumped whenever pool contents change (a page install
+  /// or a Clear). Two reads returning the same value bracket a window in
+  /// which every frame held the same page with the same reference bit —
+  /// pure hits set bits that were already set — so a caller that swept the
+  /// pool can recognise an undisturbed repeat and skip it (the executor's
+  /// slice memoization).
+  uint64_t version() const { return version_; }
 
   uint64_t num_frames() const { return frames_.size(); }
   uint32_t page_size() const { return page_size_; }
@@ -135,69 +180,52 @@ class BufferPool {
  private:
   struct Frame {
     std::unique_ptr<uint8_t[]> data;
-    std::string table;
+    uint32_t table_id = dana::Interner::kInvalidId;
     uint64_t page_no = 0;
     bool valid = false;
     bool referenced = false;
   };
+  /// Page identity: interned table id + page number. Two integers — the
+  /// maps below never hash or compare a string on the touch path.
   struct Key {
-    std::string table;
+    uint32_t table_id;
     uint64_t page_no;
     bool operator==(const Key&) const = default;
   };
-  /// Borrowed-key view for lookups: FetchPage/TouchPage run once per page
-  /// per epoch sweep, so probes must not allocate a std::string each. The
-  /// transparent hash/equality below let the maps be queried with a view
-  /// (C++20 heterogeneous lookup); only an actual install copies the name.
-  struct KeyView {
-    std::string_view table;
-    uint64_t page_no;
-  };
   struct KeyHash {
-    using is_transparent = void;
-    static size_t Mix(std::string_view table, uint64_t page_no) {
-      return std::hash<std::string_view>()(table) ^
-             std::hash<uint64_t>()(page_no * 0x9E3779B97F4A7C15ull);
-    }
-    size_t operator()(const Key& k) const { return Mix(k.table, k.page_no); }
-    size_t operator()(const KeyView& k) const {
-      return Mix(k.table, k.page_no);
-    }
-  };
-  struct KeyEq {
-    using is_transparent = void;
-    bool operator()(const Key& a, const Key& b) const {
-      return a.page_no == b.page_no && a.table == b.table;
-    }
-    bool operator()(const KeyView& a, const Key& b) const {
-      return a.page_no == b.page_no && a.table == b.table;
-    }
-    bool operator()(const Key& a, const KeyView& b) const {
-      return a.page_no == b.page_no && a.table == b.table;
+    size_t operator()(const Key& k) const {
+      // Fibonacci mixing of the two fields; page numbers are sequential,
+      // so the multiply is what spreads neighbouring pages across buckets.
+      return static_cast<size_t>(
+          (k.page_no * 0x9E3779B97F4A7C15ull) ^
+          (static_cast<uint64_t>(k.table_id) * 0xC2B2AE3D27D4EB4Full));
     }
   };
 
   /// Picks a victim frame via the clock hand and returns its index.
   size_t EvictOne();
 
-  /// Indexes frame `idx` as (table, page_no), copying the page image from
-  /// `src` when given (FetchPage/Prewarm) and leaving the frame data-less
-  /// for residency probes (TouchPage).
-  void Install(size_t idx, std::string_view table, uint64_t page_no,
+  /// Indexes frame `idx` as (table_id, page_no), copying the page image
+  /// from `src` when given (FetchPage/Prewarm) and leaving the frame
+  /// data-less for residency probes (TouchPage).
+  void Install(size_t idx, uint32_t table_id, uint64_t page_no,
                const uint8_t* src);
 
   uint32_t page_size_;
   DiskModel disk_;
   std::vector<Frame> frames_;
-  std::unordered_map<Key, size_t, KeyHash, KeyEq> map_;
+  std::unordered_map<Key, size_t, KeyHash> map_;
   size_t clock_hand_ = 0;
   BufferPoolStats stats_;
   uint64_t resident_frames_ = 0;
-  /// table name -> frames currently held; values partition resident_frames_.
-  std::unordered_map<std::string, uint64_t> per_table_frames_;
-  std::string last_table_;
+  /// Interned table names; ids index per_table_frames_ and key the maps.
+  dana::Interner names_;
+  /// table id -> frames currently held; values partition resident_frames_.
+  std::vector<uint64_t> per_table_frames_;
+  uint32_t last_table_id_ = dana::Interner::kInvalidId;
+  uint64_t version_ = 0;
   /// Pages currently held by the (modeled) OS page cache.
-  std::unordered_set<Key, KeyHash, KeyEq> os_cached_;
+  std::unordered_set<Key, KeyHash> os_cached_;
   uint64_t os_cache_pages_ = UINT64_MAX;
 };
 

@@ -1,28 +1,34 @@
 #include "storage/catalog.h"
 
+#include <algorithm>
+
 namespace dana::storage {
 
 Status Catalog::RegisterTable(std::unique_ptr<Table> table) {
   const std::string& name = table->name();
-  if (tables_.count(name)) {
+  if (tables_.find(name) != tables_.end()) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
   tables_[name] = std::move(table);
   return Status::OK();
 }
 
-Result<Table*> Catalog::GetTable(const std::string& name) const {
+Result<Table*> Catalog::GetTable(std::string_view name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
-    return Status::NotFound("table '" + name + "' not in catalog");
+    return Status::NotFound("table '" + std::string(name) +
+                            "' not in catalog");
   }
   return it->second.get();
 }
 
-Status Catalog::DropTable(const std::string& name) {
-  if (tables_.erase(name) == 0) {
-    return Status::NotFound("table '" + name + "' not in catalog");
+Status Catalog::DropTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + std::string(name) +
+                            "' not in catalog");
   }
+  tables_.erase(it);
   return Status::OK();
 }
 
@@ -30,18 +36,24 @@ std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 
-void Catalog::PutUdfMetadata(const std::string& udf_name, std::string blob) {
-  udf_metadata_[udf_name] = std::move(blob);
+void Catalog::PutUdfMetadata(std::string_view udf_name, std::string blob) {
+  auto it = udf_metadata_.find(udf_name);
+  if (it != udf_metadata_.end()) {
+    it->second = std::move(blob);
+    return;
+  }
+  udf_metadata_.emplace(std::string(udf_name), std::move(blob));
 }
 
-Result<std::string> Catalog::GetUdfMetadata(
-    const std::string& udf_name) const {
+Result<std::string> Catalog::GetUdfMetadata(std::string_view udf_name) const {
   auto it = udf_metadata_.find(udf_name);
   if (it == udf_metadata_.end()) {
-    return Status::NotFound("UDF '" + udf_name + "' not in catalog");
+    return Status::NotFound("UDF '" + std::string(udf_name) +
+                            "' not in catalog");
   }
   return it->second;
 }
@@ -50,6 +62,7 @@ std::vector<std::string> Catalog::UdfNames() const {
   std::vector<std::string> names;
   names.reserve(udf_metadata_.size());
   for (const auto& [name, _] : udf_metadata_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 

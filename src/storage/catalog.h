@@ -1,8 +1,10 @@
 #pragma once
 
-#include <map>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -18,38 +20,60 @@ namespace dana::storage {
 /// query execution looks the UDF up here. Accelerator metadata is stored as
 /// an opaque blob keyed by UDF name so that the storage layer stays
 /// independent of the compiler layer.
+///
+/// Lookups are hash-based with heterogeneous string_view keys (C++20
+/// transparent hashing): GetTable/HasTable probe without constructing a
+/// std::string or walking an ordered tree's string compares. Name listings
+/// (TableNames/UdfNames) sort on demand — the historical sorted contract —
+/// since listing is reporting, not a hot path.
 class Catalog {
  public:
   /// Registers `table` under its name. Fails on duplicate names.
   dana::Status RegisterTable(std::unique_ptr<Table> table);
 
   /// Looks a table up by name.
-  dana::Result<Table*> GetTable(const std::string& name) const;
+  dana::Result<Table*> GetTable(std::string_view name) const;
 
   /// True iff a table with this name exists.
-  bool HasTable(const std::string& name) const {
-    return tables_.count(name) > 0;
+  bool HasTable(std::string_view name) const {
+    return tables_.find(name) != tables_.end();
   }
 
   /// Removes a table; NotFound if absent.
-  dana::Status DropTable(const std::string& name);
+  dana::Status DropTable(std::string_view name);
 
   /// Registered table names, sorted.
   std::vector<std::string> TableNames() const;
 
   /// Stores accelerator metadata (serialized design + instruction streams)
   /// under a UDF name, replacing any previous entry.
-  void PutUdfMetadata(const std::string& udf_name, std::string blob);
+  void PutUdfMetadata(std::string_view udf_name, std::string blob);
 
   /// Fetches UDF metadata; NotFound if the UDF was never registered.
-  dana::Result<std::string> GetUdfMetadata(const std::string& udf_name) const;
+  dana::Result<std::string> GetUdfMetadata(std::string_view udf_name) const;
 
   /// Registered UDF names, sorted.
   std::vector<std::string> UdfNames() const;
 
  private:
-  std::map<std::string, std::unique_ptr<Table>> tables_;
-  std::map<std::string, std::string> udf_metadata_;
+  /// Transparent hash/equality: probe with a string_view, store a string.
+  struct NameHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct NameEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, std::unique_ptr<Table>, NameHash, NameEq>
+      tables_;
+  std::unordered_map<std::string, std::string, NameHash, NameEq>
+      udf_metadata_;
 };
 
 }  // namespace dana::storage

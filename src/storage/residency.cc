@@ -14,18 +14,35 @@ double CacheResidencyModel::PostRunResidency(double size_ratio) {
   return std::min(1.0, 1.0 / std::max(size_ratio, 1e-9));
 }
 
+CacheResidencyModel::SlotEntries::iterator CacheResidencyModel::LowerBound(
+    SlotEntries& entries, uint32_t table_id) const {
+  // Name order, not id order: ids are assigned in first-sight order, but
+  // the historical map iterated alphabetically and the decay/summation
+  // float arithmetic must run in that exact order. The string compare runs
+  // only here — once per OnRun/lookup, never per page.
+  const std::string& name = names_.Name(table_id);
+  return std::lower_bound(entries.begin(), entries.end(), name,
+                          [this](const Entry& e, const std::string& n) {
+                            return names_.Name(e.table_id) < n;
+                          });
+}
+
 double CacheResidencyModel::ResidentFraction(uint32_t slot,
                                              const std::string& table) const {
-  auto s = slots_.find(slot);
-  if (s == slots_.end()) return 0.0;
-  auto t = s->second.find(table);
-  return t == s->second.end() ? 0.0 : t->second.resident;
+  if (slot >= slots_.size()) return 0.0;
+  const uint32_t tid = names_.Find(table);
+  if (tid == dana::Interner::kInvalidId) return 0.0;
+  auto& entries = const_cast<SlotEntries&>(slots_[slot]);
+  auto it = LowerBound(entries, tid);
+  return it != entries.end() && it->table_id == tid ? it->resident : 0.0;
 }
 
 void CacheResidencyModel::OnRun(uint32_t slot, const std::string& table,
                                 double size_ratio) {
   size_ratio = std::max(size_ratio, 1e-9);
-  auto& tables = slots_[slot];
+  if (slot >= slots_.size()) slots_.resize(slot + 1);
+  SlotEntries& entries = slots_[slot];
+  const uint32_t tid = names_.Intern(table);
   // Eviction happens only under install pressure, like the clock sweep it
   // models: the scan installs frames only for its misses (an all-hit warm
   // repeat installs nothing and evicts nothing), free frames absorb
@@ -35,53 +52,72 @@ void CacheResidencyModel::OnRun(uint32_t slot, const std::string& table,
   // survive it.
   // Pool shares are resident * size_ratio; resident never exceeds
   // min(1, 1/ratio), so every share (and each slot's total) stays <= 1.
-  const Entry prior = tables.count(table) ? tables[table] : Entry{0.0, 1.0};
-  const double share_before = prior.resident * size_ratio;
+  auto self = LowerBound(entries, tid);
+  const bool known = self != entries.end() && self->table_id == tid;
+  const double prior_resident = known ? self->resident : 0.0;
+  const double share_before = prior_resident * size_ratio;
   const double share_after = std::min(1.0, size_ratio);
   const double installs = std::max(0.0, share_after - share_before);
   const double free_share = std::max(0.0, 1.0 - PoolShareTotal(slot));
   const double evicted = std::max(0.0, installs - free_share);
   double others = 0.0;
-  for (const auto& [id, entry] : tables) {
-    if (id != table) others += entry.resident * entry.size_ratio;
+  for (const Entry& e : entries) {
+    if (e.table_id != tid) others += e.resident * e.size_ratio;
   }
   const double keep = others > evicted && others > 0.0
                           ? (others - evicted) / others
                           : 0.0;
-  for (auto it = tables.begin(); it != tables.end();) {
-    if (it->first != table) {
-      it->second.resident *= keep;
-      if (it->second.resident < kResidencyFloor) {
-        it = tables.erase(it);
-        continue;
-      }
+  // Decay the co-located tables in place (name order, like the map walk
+  // this replaces), dropping entries that fall below the floor.
+  size_t w = 0;
+  for (size_t r = 0; r < entries.size(); ++r) {
+    Entry e = entries[r];
+    if (e.table_id != tid) {
+      e.resident *= keep;
+      if (e.resident < kResidencyFloor) continue;
     }
-    ++it;
+    entries[w++] = e;
   }
+  entries.resize(w);
   // The scanned table ends as resident as the pool allows: fully when it
   // fits, its trailing pool-sized window otherwise.
-  Entry& e = tables[table];
-  e.size_ratio = size_ratio;
-  e.resident = PostRunResidency(size_ratio);
+  auto it = LowerBound(entries, tid);
+  if (it == entries.end() || it->table_id != tid) {
+    it = entries.insert(it, Entry{tid, 0.0, 1.0});
+  }
+  it->size_ratio = size_ratio;
+  it->resident = PostRunResidency(size_ratio);
+}
+
+void CacheResidencyModel::Reset() {
+  for (SlotEntries& entries : slots_) entries.clear();
 }
 
 std::vector<std::string> CacheResidencyModel::ResidentTables(
     uint32_t slot) const {
   std::vector<std::string> out;
-  auto s = slots_.find(slot);
-  if (s == slots_.end()) return out;
-  for (const auto& [table, entry] : s->second) {
-    if (entry.resident > 0.0) out.push_back(table);
+  if (slot >= slots_.size()) return out;
+  for (const Entry& e : slots_[slot]) {
+    if (e.resident > 0.0) out.push_back(names_.Name(e.table_id));
+  }
+  return out;
+}
+
+std::vector<uint32_t> CacheResidencyModel::ResidentTableIds(
+    uint32_t slot) const {
+  std::vector<uint32_t> out;
+  if (slot >= slots_.size()) return out;
+  for (const Entry& e : slots_[slot]) {
+    if (e.resident > 0.0) out.push_back(e.table_id);
   }
   return out;
 }
 
 double CacheResidencyModel::PoolShareTotal(uint32_t slot) const {
-  auto s = slots_.find(slot);
-  if (s == slots_.end()) return 0.0;
+  if (slot >= slots_.size()) return 0.0;
   double total = 0.0;
-  for (const auto& [table, entry] : s->second) {
-    total += entry.resident * entry.size_ratio;
+  for (const Entry& e : slots_[slot]) {
+    total += e.resident * e.size_ratio;
   }
   return total;
 }

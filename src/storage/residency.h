@@ -1,9 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
+
+#include "common/intern.h"
 
 namespace dana::storage {
 
@@ -30,6 +31,12 @@ namespace dana::storage {
 /// its pool share is that fraction times `size_ratio` (table pages / pool
 /// frames). The ledger maintains the invariant that each slot's pool shares
 /// sum to at most 1 (a pool cannot hold more than itself).
+///
+/// Table names are interned into dense ids; each slot's entries live in a
+/// small vector kept sorted by table *name* — the iteration (and float
+/// summation) order of the `std::map<std::string, Entry>` this replaces —
+/// so OnRun/PoolShareTotal reproduce the historical arithmetic bit for bit
+/// while per-run lookups compare integers, not strings.
 class CacheResidencyModel {
  public:
   /// Fraction of `table`'s working set resident on `slot`, in [0, 1].
@@ -53,11 +60,18 @@ class CacheResidencyModel {
   /// recognise an undisturbed slot when resuming preempted work.
   static double PostRunResidency(double size_ratio);
 
-  /// Drops all residency state (fresh, fully cold slots).
-  void Reset() { slots_.clear(); }
+  /// Drops all residency state (fresh, fully cold slots). Interned table
+  /// ids survive (they name tables, not state).
+  void Reset();
 
-  /// Tables with nonzero residency on `slot`, for reporting.
+  /// Tables with nonzero residency on `slot`, for reporting (sorted by
+  /// name, as the historical map iteration returned them).
   std::vector<std::string> ResidentTables(uint32_t slot) const;
+
+  /// Interned ids of the tables with nonzero residency on `slot`, in the
+  /// same name-sorted order as ResidentTables — the allocation-free form
+  /// for callers that only need identities.
+  std::vector<uint32_t> ResidentTableIds(uint32_t slot) const;
 
   /// Sum of pool shares (residency * size ratio) on `slot`; <= 1 + epsilon
   /// by construction. Exposed so tests can assert the invariant.
@@ -65,11 +79,21 @@ class CacheResidencyModel {
 
  private:
   struct Entry {
+    uint32_t table_id = 0;
     double resident = 0.0;    ///< fraction of the table's working set
     double size_ratio = 1.0;  ///< table pages / pool frames
   };
-  /// slot -> table -> residency entry.
-  std::map<uint32_t, std::map<std::string, Entry>> slots_;
+  /// Entries of one slot, sorted by interned table *name*.
+  using SlotEntries = std::vector<Entry>;
+
+  /// Iterator to `table_id`'s position in `entries` (match or insertion
+  /// point), by name order.
+  SlotEntries::iterator LowerBound(SlotEntries& entries,
+                                   uint32_t table_id) const;
+
+  dana::Interner names_;
+  /// slot -> name-sorted residency entries.
+  std::vector<SlotEntries> slots_;
 };
 
 }  // namespace dana::storage

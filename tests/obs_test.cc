@@ -367,6 +367,20 @@ TEST(StatsWriterTest, EmitsTheDocumentedSchema) {
   EXPECT_EQ(m->Find("p95_s")->Find("better")->AsString(), "lower");
   EXPECT_EQ(m->Find("throughput_qps")->Find("better")->AsString(), "higher");
   EXPECT_EQ(m->Find("wall_time_s")->Find("better")->AsString(), "info");
+  // The 3-arg Add carries no tolerance member; only the 4-arg overload does.
+  EXPECT_EQ(m->Find("p95_s")->Find("tolerance"), nullptr);
+}
+
+TEST(StatsWriterTest, TolerantAddSerializesPerMetricTolerance) {
+  StatsWriter w("micro");
+  w.Add("sim_qps", 1e6, Direction::kHigherIsBetter, 0.75);
+  Json doc = w.ToJson();
+  const Json* entry = doc.Find("metrics")->Find("sim_qps");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(entry->Find("value")->AsNumber(), 1e6);
+  EXPECT_EQ(entry->Find("better")->AsString(), "higher");
+  ASSERT_NE(entry->Find("tolerance"), nullptr);
+  EXPECT_DOUBLE_EQ(entry->Find("tolerance")->AsNumber(), 0.75);
 }
 
 // Builds a BENCH document from (name, value, direction) triples with a
@@ -408,6 +422,36 @@ TEST(BenchCompareTest, FlagsRegressionsInEitherDirection) {
   auto loose = CompareBenchJson(base, fresh, 0.20);
   ASSERT_TRUE(loose.ok());
   EXPECT_FALSE(loose->HasRegression());
+}
+
+TEST(BenchCompareTest, BaselineTolerancePerMetricOverridesGlobal) {
+  // A wall-clock scoreboard (tolerance 0.75 on its baseline entry) rides in
+  // the same file as a strictly gated simulated metric: a -40% dip passes
+  // the wide per-metric gate but the same dip on the strict metric fails
+  // under the global tolerance.
+  StatsWriter base_w("t");
+  base_w.SetConfig("knob", Json(1.0));
+  base_w.Add("sim_qps", 100.0, Direction::kHigherIsBetter, 0.75);
+  base_w.Add("p95", 10.0, Direction::kLowerIsBetter);
+  StatsWriter fresh_w("t");
+  fresh_w.SetConfig("knob", Json(1.0));
+  fresh_w.Add("sim_qps", 60.0, Direction::kHigherIsBetter, 0.75);
+  fresh_w.Add("p95", 14.0, Direction::kLowerIsBetter);
+  auto report = CompareBenchJson(base_w.ToJson(), fresh_w.ToJson(), 0.10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->deltas[0].regressed);  // -40% within its own 0.75
+  EXPECT_DOUBLE_EQ(report->deltas[0].tolerance, 0.75);
+  EXPECT_TRUE(report->deltas[1].regressed);  // +40% past the global 0.10
+  EXPECT_DOUBLE_EQ(report->deltas[1].tolerance, 0.10);
+  // Past even the wide gate, the scoreboard still trips.
+  StatsWriter collapsed_w("t");
+  collapsed_w.SetConfig("knob", Json(1.0));
+  collapsed_w.Add("sim_qps", 10.0, Direction::kHigherIsBetter, 0.75);
+  collapsed_w.Add("p95", 10.0, Direction::kLowerIsBetter);
+  auto collapse =
+      CompareBenchJson(base_w.ToJson(), collapsed_w.ToJson(), 0.10);
+  ASSERT_TRUE(collapse.ok());
+  EXPECT_TRUE(collapse->deltas[0].regressed);
 }
 
 TEST(BenchCompareTest, ImprovementsAreReportedNotFailed) {
