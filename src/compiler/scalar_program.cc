@@ -11,11 +11,14 @@ std::string ValueRef::ToString() const {
   switch (kind) {
     case Kind::kNone:
       return "-";
-    case Kind::kSub:
-      return (region == ValueRegion::kTuple
-                  ? "t"
-                  : region == ValueRegion::kBatch ? "b" : "e") +
-             std::string("%") + std::to_string(index);
+    case Kind::kSub: {
+      std::string prefix = region == ValueRegion::kTuple
+                               ? "t"
+                               : region == ValueRegion::kBatch ? "b" : "e";
+      prefix += "%";
+      prefix += std::to_string(index);
+      return prefix;
+    }
     case Kind::kModel:
       return "model" + std::to_string(var_id) + "[" + std::to_string(index) +
              "]";

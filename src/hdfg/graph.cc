@@ -28,7 +28,9 @@ std::string DimsToString(const std::vector<uint32_t>& dims) {
   if (dims.empty()) return "scalar";
   std::string s;
   for (uint32_t d : dims) {
-    s += "[" + std::to_string(d) + "]";
+    s += "[";
+    s += std::to_string(d);
+    s += "]";
   }
   return s;
 }

@@ -86,17 +86,16 @@ std::string Json::FormatNumber(double v) {
 }
 
 void Json::DumpTo(std::string* out, int indent, int depth) const {
-  const std::string pad =
-      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) *
-                                          static_cast<size_t>(depth + 1),
-                                      ' ')
-                 : "";
-  const std::string close_pad =
-      indent > 0
-          ? "\n" + std::string(
-                       static_cast<size_t>(indent) * static_cast<size_t>(depth),
-                       ' ')
-          : "";
+  std::string pad;
+  std::string close_pad;
+  if (indent > 0) {
+    pad.push_back('\n');
+    pad.append(static_cast<size_t>(indent) * static_cast<size_t>(depth + 1),
+               ' ');
+    close_pad.push_back('\n');
+    close_pad.append(
+        static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+  }
   switch (type_) {
     case Type::kNull:
       *out += "null";

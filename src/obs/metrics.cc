@@ -8,56 +8,71 @@
 
 namespace dana::obs {
 
+// Each readout snapshots the sample vector under the histogram mutex and
+// computes on the copy: readers never hold the lock across arithmetic, and
+// Mean() does not re-enter the (non-recursive) lock through Sum().
+
 double Histogram::Sum() const {
-  double s = 0.0;
-  for (double v : samples_) s += v;
-  return s;
+  const std::vector<double> s = samples();
+  double total = 0.0;
+  for (double v : s) total += v;
+  return total;
 }
 
 double Histogram::Mean() const {
-  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
-  return Sum() / static_cast<double>(samples_.size());
+  const std::vector<double> s = samples();
+  if (s.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double total = 0.0;
+  for (double v : s) total += v;
+  return total / static_cast<double>(s.size());
 }
 
 double Histogram::Min() const {
-  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
-  return *std::min_element(samples_.begin(), samples_.end());
+  const std::vector<double> s = samples();
+  if (s.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(s.begin(), s.end());
 }
 
 double Histogram::Max() const {
-  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
-  return *std::max_element(samples_.begin(), samples_.end());
+  const std::vector<double> s = samples();
+  if (s.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(s.begin(), s.end());
 }
 
 double Histogram::Percentile(double p) const {
-  return dana::Percentile(samples_, p);
+  return dana::Percentile(samples(), p);
 }
 
 Counter* MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 void MetricRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 Json MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Json root = Json::Object();
   Json counters = Json::Object();
   for (const auto& [name, c] : counters_) counters.Set(name, c->value());
@@ -82,6 +97,7 @@ Json MetricRegistry::ToJson() const {
 }
 
 TablePrinter MetricRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
   TablePrinter table({"metric", "type", "value", "p50", "p95", "p99"});
   for (const auto& [name, c] : counters_) {
     table.AddRow({name, "counter", Json::FormatNumber(c->value())});

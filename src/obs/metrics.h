@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,42 +19,68 @@ namespace dana::obs {
 /// Monotonic event counter ("how many times did X happen / how much of X
 /// accumulated"). Values are doubles so time totals (seconds) and plain
 /// counts share one type; integral counts stay exactly representable.
+///
+/// Thread-safe: Increment is a relaxed atomic add, so concurrent slot
+/// workers in the threaded runtime can publish without a lock. Totals are
+/// order-independent for the integral counts the scheduler emits; float
+/// accumulation order can differ across threaded runs, which is why the
+/// runtime parity suite compares counter totals, not serialized bytes,
+/// for time-valued counters.
 class Counter {
  public:
-  void Increment(double by = 1.0) { value_ += by; }
-  double value() const { return value_; }
+  void Increment(double by = 1.0) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Last-write-wins instantaneous value ("what is X right now").
+/// Thread-safe: Set/value are relaxed atomic store/load.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Sample sink with percentile readout. Samples are kept raw (the
 /// simulator's runs are small — hundreds of queries), so Percentile()
 /// agrees exactly with common/stats.h Percentile over the same samples and
 /// two identical runs serialize identically.
+///
+/// Thread-safe: Record appends under an internal mutex. Concurrent
+/// recorders may interleave in any order; every readout here is
+/// order-independent (count/sum/mean/min/max and rank-based percentiles
+/// over a sorted copy). samples() returns insertion order and is meant for
+/// post-run single-threaded readers (tests, StatsWriter).
 class Histogram {
  public:
-  void Record(double v) { samples_.push_back(v); }
-  uint64_t count() const { return samples_.size(); }
+  void Record(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(v);
+  }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
   double Sum() const;
   double Mean() const;
   double Min() const;
   double Max() const;
   /// p in [0, 100]; NaN for an empty histogram (common/stats.h semantics).
   double Percentile(double p) const;
-  const std::vector<double>& samples() const { return samples_; }
+  std::vector<double> samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<double> samples_;
 };
 
@@ -70,13 +98,21 @@ class Histogram {
 /// order; given a deterministic simulation, two identical runs produce
 /// byte-identical `ToJson().Dump()` output — the property the obs test
 /// suite and the `dana sched --metrics-json` acceptance check pin.
+///
+/// Thread-safe: the name→metric maps are guarded by a registry mutex, and
+/// the metric objects themselves are individually thread-safe (atomic
+/// counters/gauges, mutexed histograms). Metric pointers are stable for
+/// the registry's lifetime — Clear() is the only invalidating call and is
+/// reserved for single-threaded points between runs — so hot paths may
+/// cache the pointer once and publish lock-free through it.
 class MetricRegistry {
  public:
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
 
-  /// Drops every metric (a fresh registry between runs).
+  /// Drops every metric (a fresh registry between runs). Not safe to call
+  /// concurrently with holders of previously returned metric pointers.
   void Clear();
 
   /// Snapshot of every metric, sorted by name. Counters/gauges serialize
@@ -88,13 +124,15 @@ class MetricRegistry {
   TablePrinter ToTable() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// Null-safe helpers: the idiomatic publish call at an instrumentation
-/// site. All compile to a pointer test when `r` is null.
+/// site. All compile to a pointer test when `r` is null, and are safe to
+/// call from concurrent slot workers when `r` is set.
 inline void Count(MetricRegistry* r, const std::string& name,
                   double by = 1.0) {
   if (r != nullptr) r->counter(name)->Increment(by);

@@ -4,22 +4,19 @@ namespace dana::sched {
 
 dana::Result<const compiler::CompiledUdf*> CompileCache::GetOrCompile(
     const std::string& key, const Builder& builder) {
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    return static_cast<const compiler::CompiledUdf*>(it->second.get());
+  bool filled_here = false;
+  dana::Result<const compiler::CompiledUdf*> result =
+      cache_.GetOrFill(key, builder, &filled_here);
+  if (filled_here) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.ok()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  ++misses_;
-  DANA_ASSIGN_OR_RETURN(compiler::CompiledUdf udf, builder());
-  auto owned = std::make_unique<compiler::CompiledUdf>(std::move(udf));
-  const compiler::CompiledUdf* ptr = owned.get();
-  cache_[key] = std::move(owned);
-  return ptr;
+  return result;
 }
 
 const compiler::CompiledUdf* CompileCache::Find(const std::string& key) const {
-  auto it = cache_.find(key);
-  return it == cache_.end() ? nullptr : it->second.get();
+  return cache_.Find(key);
 }
 
 }  // namespace dana::sched

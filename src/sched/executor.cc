@@ -151,16 +151,27 @@ class DanaBatchExecution : public BatchExecution {
     s.epochs = n;
     done_ += n;
     s.finished = done_ == profile_.epochs;
-    // Each epoch sweeps the table once, so any slice reshapes the slot's
-    // cache exactly like a full run: the scanned table ends as resident as
-    // the pool allows, co-located tables decay under the install pressure.
-    // The physical pool takes the sweep for real (install + clock
-    // eviction); the logical ledger is updated in parallel as the
-    // predictor it is cross-checked against. Both apply one sweep per
-    // slice — an undisturbed repeat sweep is idempotent for the scanned
-    // table itself.
+    // Each epoch sweeps the table once, so a k-epoch slice applies
+    // min(k, 2) sweeps, not one: for a table that outsizes the pool the
+    // second pass keeps pressing installs into co-located tables (clock
+    // second chances spare some of their frames on the first pass only),
+    // and the ledger predictor decays them the same way. Two passes reach
+    // the repeat-pressure regime; later passes refine co-located decay
+    // negligibly while costing O(pages) each, hence the cap. For a
+    // pool-fitting table the second sweep is an all-hit no-op in both the
+    // pool and the ledger, so single-epoch slices and fitting-table
+    // schedules are unchanged. The physical pool takes the sweeps for real
+    // (install + clock eviction); the logical ledger is updated in
+    // parallel as the predictor it is cross-checked against.
     if (modeled_) {
-      owner_->residency_.OnRun(batch_.slot, batch_.workload_id, size_ratio_);
+      const uint32_t sweeps = std::min<uint32_t>(n, 2);
+      {
+        std::lock_guard<std::mutex> lock(owner_->state_mu_);
+        for (uint32_t i = 0; i < sweeps; ++i) {
+          owner_->residency_.OnRun(batch_.slot, batch_.workload_id,
+                                   size_ratio_);
+        }
+      }
       if (owner_->options_.physical_pools) {
         storage::BufferPool* pool = owner_->slot_pools_.pool(batch_.slot);
         const uint32_t tid = pool->InternTable(batch_.workload_id);
@@ -181,7 +192,9 @@ class DanaBatchExecution : public BatchExecution {
           last_left_ = 1.0;  // fully resident, by the guard above
           obs::Count(owner_->options_.metrics, "exec.slices.memoized");
         } else {
-          pool->ScanTable(tid, norm_pages_);
+          for (uint32_t i = 0; i < sweeps; ++i) {
+            pool->ScanTable(tid, norm_pages_);
+          }
           swept_pool_ = pool;
           swept_version_ = pool->version();
           last_left_ =
@@ -222,10 +235,13 @@ class DanaBatchExecution : public BatchExecution {
     }
     // Residency of the resume slot — physical pools measure it, the
     // legacy ledger predicts it.
-    const double warm =
-        owner_->options_.physical_pools
-            ? owner_->PhysicalWarmFraction(batch_.workload_id, slot)
-            : owner_->residency_.ResidentFraction(slot, batch_.workload_id);
+    double warm;
+    if (owner_->options_.physical_pools) {
+      warm = owner_->PhysicalWarmFraction(batch_.workload_id, slot);
+    } else {
+      std::lock_guard<std::mutex> lock(owner_->state_mu_);
+      warm = owner_->residency_.ResidentFraction(slot, batch_.workload_id);
+    }
     // Undisturbed same-slot resume: the table is exactly as resident as
     // the last slice left it (last_left_ captured that, measured or
     // modeled), so the original cost curve continues bit for bit.
@@ -313,9 +329,15 @@ DanaQueryExecutor::DanaQueryExecutor(Options options)
 
 Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
     const std::string& id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return InstanceLocked(id);
+}
+
+Result<runtime::WorkloadInstance*> DanaQueryExecutor::InstanceLocked(
+    const std::string& id) {
   auto it = instances_.find(id);
   if (it != instances_.end()) return it->second.get();
-  DANA_ASSIGN_OR_RETURN(const ml::Workload* w, RegistryWorkload(id));
+  DANA_ASSIGN_OR_RETURN(const ml::Workload* w, RegistryWorkloadLocked(id));
   DANA_ASSIGN_OR_RETURN(auto instance, runtime::WorkloadInstance::Create(*w));
   auto* ptr = instance.get();
   instances_[id] = std::move(instance);
@@ -323,6 +345,12 @@ Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
 }
 
 Result<const ml::Workload*> DanaQueryExecutor::RegistryWorkload(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return RegistryWorkloadLocked(id);
+}
+
+Result<const ml::Workload*> DanaQueryExecutor::RegistryWorkloadLocked(
     const std::string& id) {
   auto it = workload_cache_.find(id);
   if (it == workload_cache_.end()) {
@@ -339,8 +367,15 @@ DanaQueryExecutor::MeasureEndpoint(const QueryBatch& batch,
                                    runtime::CacheState cache) {
   const auto key = std::make_tuple(batch.workload_id, batch.size(),
                                    cache == runtime::CacheState::kWarm);
-  auto measured = measured_.find(key);
-  if (measured == measured_.end()) {
+  // Fill-once/wait: a cold key elects exactly one caller to run the
+  // measurement while concurrent requesters block for the result, so N
+  // slot workers hitting the same cold (workload, batch, endpoint) never
+  // duplicate a simulator run.
+  return measured_.GetOrFill(key, [&]() -> Result<EpochProfile> {
+    // Serialize the actual simulator runs across *different* keys too:
+    // WorkloadInstance execution contexts grow per-slot pools lazily and
+    // DanaSystem::RunCompiled is not re-entrant. Once-per-key, memoized.
+    std::lock_guard<std::mutex> lock(measure_mu_);
     DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
                           Instance(batch.workload_id));
     DANA_ASSIGN_OR_RETURN(
@@ -366,9 +401,8 @@ DanaQueryExecutor::MeasureEndpoint(const QueryBatch& batch,
     p.query_overhead = result.query_overhead;
     p.epoch_overhead = result.epoch_overhead;
     p.epochs = std::max<uint32_t>(result.epochs, 1);
-    measured = measured_.emplace(key, p).first;
-  }
-  return &measured->second;
+    return p;
+  });
 }
 
 Result<DanaQueryExecutor::EpochProfile> DanaQueryExecutor::ProfileAt(
@@ -428,10 +462,13 @@ Result<std::unique_ptr<BatchExecution>> DanaQueryExecutor::Begin(
   // Residency regime: price this slot's actual cache state — measured
   // from the shared physical pool, or predicted by the ledger in legacy
   // mode.
-  const double warm =
-      options_.physical_pools
-          ? PhysicalWarmFraction(batch.workload_id, batch.slot)
-          : residency_.ResidentFraction(batch.slot, batch.workload_id);
+  double warm;
+  if (options_.physical_pools) {
+    warm = PhysicalWarmFraction(batch.workload_id, batch.slot);
+  } else {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    warm = residency_.ResidentFraction(batch.slot, batch.workload_id);
+  }
   obs::Count(options_.metrics,
              warm >= 1.0   ? "exec.charges.warm"
              : warm <= 0.0 ? "exec.charges.cold"
@@ -458,6 +495,7 @@ double DanaQueryExecutor::WarmFraction(const std::string& workload_id,
   if (options_.physical_pools) {
     return PhysicalWarmFraction(workload_id, slot);
   }
+  std::lock_guard<std::mutex> lock(state_mu_);
   return residency_.ResidentFraction(slot, workload_id);
 }
 

@@ -3,12 +3,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/fill_once.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "obs/metrics.h"
@@ -113,8 +115,9 @@ class BatchExecution {
   virtual bool residency_modeled() const = 0;
 
   /// Advances up to `max_epochs` further epochs (0 = all remaining) and
-  /// returns this slice's cost. Residency-modeling executors update their
-  /// ledger once per slice (each epoch sweeps the table).
+  /// returns this slice's cost. Residency-modeling executors sweep their
+  /// pool and ledger once per epoch run, capped at two passes per slice
+  /// (cache state is near-stationary after the second pass).
   virtual dana::Result<SliceCost> NextSlice(uint32_t max_epochs) = 0;
 
   /// Slot occupancy of the next `epochs` epochs (0 = all remaining)
@@ -193,6 +196,12 @@ class QueryExecutor {
     return 0.0;
   }
 
+  /// Pre-sizes any per-slot state for `slots` concurrent slots. The
+  /// threaded runtime calls this once before spawning its slot workers so
+  /// lazily-grown per-slot containers (e.g. a pool group's vector) never
+  /// reallocate under concurrent access. Default: no per-slot state.
+  virtual void PrepareSlots(uint32_t slots) { (void)slots; }
+
  private:
   /// Detects a subclass overriding neither Dispatch nor Begin: the two
   /// defaults are implemented in terms of each other, and this flag turns
@@ -238,6 +247,17 @@ class QueryExecutor {
 /// slot is warm, resuming elsewhere is cold — and WarmFraction() exposes
 /// the pool so affinity dispatch can route resumed work back to its warm
 /// slot.
+///
+/// Concurrency: safe for the threaded runtime's slot workers. Shared
+/// cross-slot state is partitioned into fill-once caches (the compile
+/// cache and the measured endpoint profiles — concurrent cold requests
+/// share one fill) and a state mutex (workload instances, registry memo,
+/// the logical residency ledger). Per-slot pool state is intentionally
+/// unguarded: slot i's pool is only ever touched by the execution running
+/// on slot i (or by the scheduler while the slot is idle), the same
+/// partition the scheduler's dispatch discipline guarantees. Callers
+/// running real threads must PrepareSlots() first so the pool group never
+/// grows mid-run.
 class DanaQueryExecutor : public QueryExecutor {
  public:
   struct Options {
@@ -311,6 +331,7 @@ class DanaQueryExecutor : public QueryExecutor {
   dana::Result<dana::SimTime> EstimateAtWarmth(const std::string& workload_id,
                                                double warm_fraction) override;
   double WarmFraction(const std::string& workload_id, uint32_t slot) override;
+  void PrepareSlots(uint32_t slots) override { slot_pools_.Resize(slots); }
 
   const CompileCache& compile_cache() const { return compile_cache_; }
   /// The logical ledger — with physical pools on this is the cross-checked
@@ -324,6 +345,7 @@ class DanaQueryExecutor : public QueryExecutor {
   /// wins.
   double PredictedWarmFraction(const std::string& workload_id, uint32_t slot)
       const {
+    std::lock_guard<std::mutex> lock(state_mu_);
     return residency_.ResidentFraction(slot, workload_id);
   }
   /// Slot `slot`'s shared physical residency pool (created on demand).
@@ -338,7 +360,10 @@ class DanaQueryExecutor : public QueryExecutor {
   /// endpoints and compiled designs. Sweeps call this between
   /// configurations so every run starts from the same cold machine.
   void ResetResidency() {
-    residency_.Reset();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      residency_.Reset();
+    }
     slot_pools_.ClearAll();
   }
   /// Snapshots the executor's caches into `metrics` as gauges: the compile
@@ -358,9 +383,13 @@ class DanaQueryExecutor : public QueryExecutor {
   friend class DanaBatchExecution;
 
   dana::Result<runtime::WorkloadInstance*> Instance(const std::string& id);
+  dana::Result<runtime::WorkloadInstance*> InstanceLocked(
+      const std::string& id);
   /// `id`'s registry entry, memoized (ml::FindWorkload is a linear scan);
   /// NotFound for unknown workloads.
   dana::Result<const ml::Workload*> RegistryWorkload(const std::string& id);
+  dana::Result<const ml::Workload*> RegistryWorkloadLocked(
+      const std::string& id);
   /// Measured residency of `id` on `slot`'s shared pool: the table's
   /// resident frames over its normalized footprint. 0 when the workload is
   /// unknown (the later Begin/Estimate reports the error properly).
@@ -385,13 +414,27 @@ class DanaQueryExecutor : public QueryExecutor {
   /// slot's pool, so cross-table eviction is measured, not modeled.
   storage::BufferPoolGroup slot_pools_;
   std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_;
-  /// Measured epoch profiles, keyed by (workload, batch size, warm?).
-  std::map<std::tuple<std::string, uint32_t, bool>, EpochProfile> measured_;
+  /// Measured epoch profiles, keyed by (workload, batch size, warm?). The
+  /// cold table-load path: measuring an endpoint actually runs the
+  /// cycle-level simulator, so concurrent slot workers asking for the same
+  /// cold key share one fill (fill-once/wait) and never duplicate a run.
+  dana::FillOnceMap<std::tuple<std::string, uint32_t, bool>, EpochProfile>
+      measured_;
   /// Registry lookups memoized per name: ml::FindWorkload is a linear scan
   /// with string compares, and Estimate/EstimateAtWarmth run once per
   /// queued candidate per dispatch under affinity SJF. Values are pointers
   /// into the static registry, valid for the process lifetime.
   std::unordered_map<std::string, const ml::Workload*> workload_cache_;
+  /// Guards the executor's cross-slot mutable state: instances_,
+  /// workload_cache_, and the logical residency_ ledger. Per-slot pool
+  /// state needs no lock — slot i's pool is touched only by slot i's
+  /// worker (BufferPoolGroup's contract).
+  mutable std::mutex state_mu_;
+  /// Serializes actual simulator measurement runs (MeasureEndpoint fills):
+  /// WorkloadInstance execution contexts grow per-slot pools on demand and
+  /// DanaSystem::RunCompiled is not re-entrant. Fills are once-per-key and
+  /// memoized, so the serialization never sits on a steady-state path.
+  std::mutex measure_mu_;
 };
 
 }  // namespace dana::sched

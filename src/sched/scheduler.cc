@@ -6,11 +6,14 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
+#include <queue>
 #include <set>
 #include <utility>
 
 #include "common/stats.h"
+#include "sched/runtime_worker.h"
 
 namespace dana::sched {
 
@@ -606,18 +609,43 @@ class DispatchEngine {
         slot_free_(options.slots, dana::SimTime::Zero()) {}
 
   /// Earliest-free slot; lowest index breaks ties, deterministically.
-  uint32_t NextSlot() const {
-    uint32_t slot = 0;
-    for (uint32_t s = 1; s < options_.slots; ++s) {
-      if (slot_free_[s] < slot_free_[slot]) slot = s;
+  /// `busy` (optional) masks slots with an uncommitted in-flight dispatch
+  /// (threaded same-tick overlap); at a shared tick the masked pick equals
+  /// the unmasked one, because every in-flight slot's committed free time
+  /// will exceed the tick while some unmasked slot's is at or before it.
+  uint32_t NextSlot(const std::vector<uint8_t>* busy = nullptr) const {
+    uint32_t slot = kNoSlot;
+    for (uint32_t s = 0; s < options_.slots; ++s) {
+      if (busy != nullptr && (*busy)[s]) continue;
+      if (slot == kNoSlot || slot_free_[s] < slot_free_[slot]) slot = s;
     }
     return slot;
   }
 
+  /// True when a non-busy slot is free at `now` — a further same-tick
+  /// decision can be issued without waiting for in-flight commits.
+  bool HasFreeSlotAt(dana::SimTime now,
+                     const std::vector<uint8_t>& busy) const {
+    for (uint32_t s = 0; s < options_.slots; ++s) {
+      if (!busy[s] && slot_free_[s] <= now) return true;
+    }
+    return false;
+  }
+
   dana::SimTime slot_free(uint32_t slot) const { return slot_free_[slot]; }
 
-  dana::Result<DispatchOutcome> Dispatch(PendingQueue& pending,
-                                         dana::SimTime now) {
+  /// The policy half of a dispatch: queue pop, batch coalescing, and slot
+  /// choice — everything decided before the executor prices the batch.
+  /// Splitting it from Commit lets the threaded runtime run the pricing on
+  /// the slot's worker while the decision loop continues.
+  struct Decision {
+    std::vector<size_t> members;
+    uint32_t slot = 0;
+    QueryBatch batch;
+  };
+
+  Decision Decide(PendingQueue& pending, dana::SimTime now,
+                  const std::vector<uint8_t>* busy = nullptr) {
     // Affinity dispatch sees every slot already free at the dispatch time
     // (the earliest-free slot always qualifies: `now` is at or past its
     // free time); a candidate's warmth is the best any of them offers.
@@ -625,6 +653,7 @@ class DispatchEngine {
     PendingQueue::WarmthFn warmth = nullptr;
     if (options_.affinity_weight > 0.0) {
       for (uint32_t s = 0; s < options_.slots; ++s) {
+        if (busy != nullptr && (*busy)[s]) continue;
         if (slot_free_[s] <= now) available.push_back(s);
       }
       warmth = [&](const std::string& workload_id) {
@@ -636,15 +665,15 @@ class DispatchEngine {
       };
     }
 
-    std::vector<size_t> members;
-    members.push_back(pending.Pop(now, warmth));
-    const QueryRequest& head = requests_[members[0]];
-    const uint32_t head_wid = wids_[members[0]];
+    Decision d;
+    d.members.push_back(pending.Pop(now, warmth));
+    const QueryRequest& head = requests_[d.members[0]];
+    const uint32_t head_wid = wids_[d.members[0]];
 
     // Slot choice: warmest free slot for the head's table under affinity
     // (ties by earliest free time then lowest index — the affinity-blind
     // order), earliest-free otherwise.
-    uint32_t slot = NextSlot();
+    uint32_t slot = NextSlot(busy);
     if (options_.affinity_weight > 0.0) {
       double best_warm = -1.0;
       for (uint32_t s : available) {
@@ -657,14 +686,26 @@ class DispatchEngine {
       }
     }
     if (options_.max_batch > 1) {
-      pending.TakeSameClass(head_wid, options_.max_batch - 1, &members);
+      pending.TakeSameClass(head_wid, options_.max_batch - 1, &d.members);
     }
 
-    QueryBatch batch;
-    batch.workload_id = head.workload_id;
-    batch.slot = slot;
-    for (size_t m : members) batch.query_ids.push_back(requests_[m].id);
-    DANA_ASSIGN_OR_RETURN(BatchCost cost, executor_->Dispatch(batch));
+    d.slot = slot;
+    d.batch.workload_id = head.workload_id;
+    d.batch.slot = slot;
+    for (size_t m : d.members) d.batch.query_ids.push_back(requests_[m].id);
+    return d;
+  }
+
+  /// The accounting half: compile charging, per-member stats, slot free
+  /// time, makespan, trace spans. Threaded mode calls this in decision
+  /// (ticket) order, which keeps every sum and span bit-identical to the
+  /// simulated loop.
+  dana::Result<DispatchOutcome> Commit(Decision d, dana::SimTime now,
+                                       const BatchCost& cost) {
+    const QueryRequest& head = requests_[d.members[0]];
+    const uint32_t head_wid = wids_[d.members[0]];
+    const uint32_t slot = d.slot;
+    std::vector<size_t>& members = d.members;
 
     const CompileCharge charge =
         compile_ready_.Charge(head_wid, now, cost.compile);
@@ -718,7 +759,17 @@ class DispatchEngine {
     return DispatchOutcome{std::move(members), completion};
   }
 
+  /// The inline (simulated) dispatch: decide, price, commit in one step.
+  dana::Result<DispatchOutcome> Dispatch(PendingQueue& pending,
+                                         dana::SimTime now) {
+    Decision d = Decide(pending, now);
+    DANA_ASSIGN_OR_RETURN(BatchCost cost, executor_->Dispatch(d.batch));
+    return Commit(std::move(d), now, cost);
+  }
+
  private:
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
   const SchedulerOptions& options_;
   QueryExecutor* executor_;
   const std::vector<QueryRequest>& requests_;
@@ -825,6 +876,33 @@ class PreemptiveEngine {
       DANA_RETURN_NOT_OK(AdmitArrivals(clock));
     }
     return Status::OK();
+  }
+
+  /// Switches the engine to closed-loop feeding: instead of a pre-built
+  /// request stream, each session's next query materializes into
+  /// `requests`/`wids` (the same vectors the engine was constructed over,
+  /// handed back mutably here) when its predecessor's *completion event*
+  /// plus the think time falls due. Submissions are admitted in
+  /// (submit time, session index) order and ids number them in that order,
+  /// matching the run-to-completion closed loop, so the two paths agree
+  /// whenever no preemption fires. Every session submits its first query
+  /// at time zero. `session_classes` may be empty (all batch).
+  void EnableClosedLoop(std::vector<QueryRequest>* requests,
+                        std::vector<uint32_t>* wids, const dana::Interner* ids,
+                        const std::vector<std::vector<std::string>>* sessions,
+                        const std::vector<QueryClass>* session_classes,
+                        dana::SimTime think_time) {
+    closed_.emplace();
+    closed_->requests = requests;
+    closed_->wids = wids;
+    closed_->ids = ids;
+    closed_->sessions = sessions;
+    closed_->session_classes = session_classes;
+    closed_->think_time = think_time;
+    closed_->next.assign(sessions->size(), 0);
+    for (size_t s = 0; s < sessions->size(); ++s) {
+      if (!(*sessions)[s].empty()) closed_->due.emplace(dana::SimTime::Zero(), s);
+    }
   }
 
  private:
@@ -1251,6 +1329,9 @@ class PreemptiveEngine {
     if (next_arrival_ < requests_.size()) {
       consider(requests_[next_arrival_].arrival);
     }
+    if (closed_.has_value() && !closed_->due.empty()) {
+      consider(closed_->due.top().first);
+    }
     for (uint32_t s = 0; s < options_.slots; ++s) {
       if (active_[s].has_value()) {
         consider(active_[s]->preempt_armed ? active_[s]->preempt_free
@@ -1316,6 +1397,19 @@ class PreemptiveEngine {
     report_->private_service +=
         a.run.per_query_acc * static_cast<double>(a.run.members.size());
     report_->makespan = dana::SimTime::Max(report_->makespan, a.completion);
+    if (closed_.has_value()) {
+      // Think-time feedback: each member's session schedules its next
+      // submission off this completion. This is exactly the dependency the
+      // run-to-completion closed loop could not express under preemption —
+      // the completion is only known now, at the event, after any
+      // boundary checkpoints truncated or resumed the run.
+      for (size_t m : a.run.members) {
+        const size_t s = closed_->owner[m];
+        if (closed_->next[s] < (*closed_->sessions)[s].size()) {
+          closed_->due.emplace(a.completion + closed_->think_time, s);
+        }
+      }
+    }
     obs::Count(options_.metrics, "sched.slices");
     if (options_.tracer != nullptr) {
       options_.tracer->Span(
@@ -1377,6 +1471,29 @@ class PreemptiveEngine {
   }
 
   dana::Status AdmitArrivals(dana::SimTime now) {
+    if (closed_.has_value()) {
+      // Materialize every due submission into the request stream first, in
+      // (submit time, session index) order — the heap's order. The clock
+      // only ever advances to the earliest pending event (NextEventTime
+      // includes the heap top), so appended arrivals keep the stream's
+      // nondecreasing-arrival invariant that the admission walk below and
+      // the batch-window hold rely on.
+      while (!closed_->due.empty() && closed_->due.top().first <= now) {
+        const auto [submit, s] = closed_->due.top();
+        closed_->due.pop();
+        QueryRequest req;
+        req.id = closed_->next_id++;
+        req.workload_id = (*closed_->sessions)[s][closed_->next[s]];
+        req.arrival = submit;
+        req.query_class = closed_->session_classes->empty()
+                              ? QueryClass::kBatch
+                              : (*closed_->session_classes)[s];
+        closed_->wids->push_back(closed_->ids->Find(req.workload_id));
+        closed_->requests->push_back(std::move(req));
+        closed_->owner.push_back(s);
+        ++closed_->next[s];
+      }
+    }
     while (next_arrival_ < requests_.size() &&
            requests_[next_arrival_].arrival <= now) {
       const size_t idx = next_arrival_++;
@@ -1426,6 +1543,27 @@ class PreemptiveEngine {
   std::vector<RunState> continuations_;
   CompileReadyTable compile_ready_;
   size_t next_arrival_ = 0;
+
+  /// Closed-loop feeder state (EnableClosedLoop); nullopt on the open
+  /// stream. `due` is a min-heap of (submit time, session): a session
+  /// appears at most once, pushed when its previous query's completion
+  /// event fires.
+  struct ClosedLoop {
+    std::vector<QueryRequest>* requests = nullptr;
+    std::vector<uint32_t>* wids = nullptr;
+    const dana::Interner* ids = nullptr;
+    const std::vector<std::vector<std::string>>* sessions = nullptr;
+    const std::vector<QueryClass>* session_classes = nullptr;
+    dana::SimTime think_time;
+    std::vector<size_t> next;   ///< per-session script cursor
+    std::vector<size_t> owner;  ///< request index -> session index
+    std::priority_queue<std::pair<dana::SimTime, size_t>,
+                        std::vector<std::pair<dana::SimTime, size_t>>,
+                        std::greater<std::pair<dana::SimTime, size_t>>>
+        due;
+    uint64_t next_id = 0;
+  };
+  std::optional<ClosedLoop> closed_;
   // Intrusive free-slot list (indexed mode): doubly linked over slot
   // indices, kept in ascending order so AvailableSlots() enumerates slots
   // in the same order the reference scan does.
@@ -1472,6 +1610,10 @@ Result<ScheduleReport> Scheduler::Run(std::vector<QueryRequest> requests) {
     return RunPreemptive(std::move(requests), ids, wids, estimates_by_id);
   }
 
+  if (options_.runtime_mode == RuntimeMode::kThreaded) {
+    return RunThreadedRtc(std::move(requests), ids, wids, estimates_by_id);
+  }
+
   ScheduleReport report;
   report.policy = options_.policy;
   report.slots = options_.slots;
@@ -1515,9 +1657,23 @@ Result<ScheduleReport> Scheduler::RunPreemptive(
   report.slots = options_.slots;
   report.queries.reserve(requests.size());
 
-  PreemptiveEngine engine(options_, executor_, requests, wids,
+  // Threaded runtime: every execution-state call runs on the owning
+  // slot's worker thread through the proxy, awaited in oracle order, so
+  // the event-driven schedule is unchanged (see RuntimeMode::kThreaded).
+  // The pool outlives the proxy and the engine; its destructor joins.
+  std::unique_ptr<SlotWorkerPool> workers;
+  std::unique_ptr<WorkerProxyExecutor> proxy;
+  QueryExecutor* exec = executor_;
+  if (options_.runtime_mode == RuntimeMode::kThreaded) {
+    executor_->PrepareSlots(options_.slots);
+    workers = std::make_unique<SlotWorkerPool>(options_.slots);
+    proxy = std::make_unique<WorkerProxyExecutor>(executor_, workers.get());
+    exec = proxy.get();
+  }
+
+  PreemptiveEngine engine(options_, exec, requests, wids,
                           estimates_by_id,
-                          MakeEstimateAtFn(options_, executor_, ids,
+                          MakeEstimateAtFn(options_, exec, ids,
                                            estimates_by_id),
                           FirstAppearanceOrder(wids, ids.size()), &report);
   DANA_RETURN_NOT_OK(engine.Run());
@@ -1527,28 +1683,29 @@ Result<ScheduleReport> Scheduler::RunPreemptive(
 
 Result<ScheduleReport> Scheduler::RunClosedLoop(
     const std::vector<std::vector<std::string>>& sessions,
-    dana::SimTime think_time) {
-  // Known limitation (ROADMAP "Closed-loop preemption"): the closed-loop
-  // driver plans each session's next submission from its previous query's
-  // completion at dispatch time, but under preemption a completion is not
-  // known at dispatch — a later interactive arrival can truncate the run —
-  // and a batch-formation hold delays completions the same way. Supporting
-  // these knobs needs the event-driven path to admit submissions whose
-  // times depend on in-flight completions. Until then each knob is
-  // rejected with its own actionable error instead of a blanket abort, so
-  // callers know which option to drop.
-  if (options_.preemption_quantum_epochs != 0) {
+    dana::SimTime think_time,
+    const std::vector<QueryClass>& session_classes) {
+  if (!session_classes.empty() && session_classes.size() != sessions.size()) {
     return Status::InvalidArgument(
-        "preemption_quantum_epochs is an open-stream feature: closed-loop "
-        "sessions submit from completions the preemptive path cannot "
-        "pre-compute; set the quantum to zero (see ROADMAP closed-loop "
-        "preemption follow-up)");
+        "session_classes must be empty or have one entry per session (got " +
+        std::to_string(session_classes.size()) + " classes for " +
+        std::to_string(sessions.size()) + " sessions)");
   }
+  // Remaining limitation (ROADMAP "Closed-loop preemption", batch-window
+  // half): a formation hold defers the completions closed-loop sessions
+  // submit from, and the hold logic keys off the *open-stream* arrival
+  // horizon (next_arrival_), which a think-time feeder cannot pre-compute.
+  // Preemption itself composes now — the event-driven engine materializes
+  // each submission at its predecessor's completion event — so only this
+  // knob still gets an actionable rejection naming the option to drop.
   if (options_.batch_window > dana::SimTime::Zero()) {
     return Status::InvalidArgument(
         "batch_window is an open-stream feature: a held slot defers the "
         "completions closed-loop sessions submit from; set the window to "
         "zero (see ROADMAP closed-loop preemption follow-up)");
+  }
+  if (options_.preemption_quantum_epochs != 0) {
+    return RunClosedLoopPreemptive(sessions, think_time, session_classes);
   }
   size_t total = 0;
   for (const auto& script : sessions) total += script.size();
@@ -1608,11 +1765,24 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
   std::vector<size_t> owner;  ///< request index -> session index
   owner.reserve(total);
 
+  // Threaded runtime for the closed loop: proxy every dispatch onto its
+  // slot's worker, awaited per call (submissions depend on completions, so
+  // there is no same-tick overlap to exploit here).
+  std::unique_ptr<SlotWorkerPool> workers;
+  std::unique_ptr<WorkerProxyExecutor> proxy;
+  QueryExecutor* exec = executor_;
+  if (options_.runtime_mode == RuntimeMode::kThreaded) {
+    executor_->PrepareSlots(options_.slots);
+    workers = std::make_unique<SlotWorkerPool>(options_.slots);
+    proxy = std::make_unique<WorkerProxyExecutor>(executor_, workers.get());
+    exec = proxy.get();
+  }
+
   PendingQueue pending(options_, requests, wids, estimates_by_id,
                        FirstAppearanceOrder(submit_order_wids, ids.size()),
-                       MakeEstimateAtFn(options_, executor_, ids,
+                       MakeEstimateAtFn(options_, exec, ids,
                                         estimates_by_id));
-  DispatchEngine engine(options_, executor_, requests, wids, &report);
+  DispatchEngine engine(options_, exec, requests, wids, &report);
   uint64_t next_id = 0;
   // Monotone dispatch clock (see Run): keeps a second idle slot from
   // dispatching a session's submission before its submit time.
@@ -1655,6 +1825,8 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
       req.id = next_id++;
       req.workload_id = sessions[s][state[s].next];
       req.arrival = state[s].submit;
+      req.query_class = session_classes.empty() ? QueryClass::kBatch
+                                                : session_classes[s];
       wids.push_back(ids.Find(req.workload_id));
       requests.push_back(std::move(req));
       owner.push_back(s);
@@ -1669,6 +1841,182 @@ Result<ScheduleReport> Scheduler::RunClosedLoop(
       Session& s = state[owner[m]];
       s.outstanding = false;
       s.submit = outcome.completion + think_time;
+    }
+  }
+  PublishReportMetrics(report, options_.metrics);
+  return report;
+}
+
+Result<ScheduleReport> Scheduler::RunClosedLoopPreemptive(
+    const std::vector<std::vector<std::string>>& sessions,
+    dana::SimTime think_time,
+    const std::vector<QueryClass>& session_classes) {
+  size_t total = 0;
+  for (const auto& script : sessions) total += script.size();
+
+  // Same interning and estimate-resolution orders as the run-to-completion
+  // closed loop (interleaved first-submission interning, script-by-script
+  // estimates), so the two paths price and rotate classes identically and
+  // agree bit for bit whenever no preemption actually fires.
+  dana::Interner ids;
+  std::vector<uint32_t> submit_order_wids;
+  for (size_t j = 0;; ++j) {
+    bool any = false;
+    for (const auto& script : sessions) {
+      if (j < script.size()) {
+        submit_order_wids.push_back(ids.Intern(script[j]));
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+
+  std::vector<dana::SimTime> estimates_by_id;
+  if (options_.policy == Policy::kSjf) {
+    estimates_by_id.resize(ids.size());
+    std::vector<uint8_t> resolved(ids.size(), 0);
+    for (const auto& script : sessions) {
+      for (const std::string& id : script) {
+        const uint32_t w = ids.Find(id);
+        if (resolved[w]) continue;
+        DANA_ASSIGN_OR_RETURN(estimates_by_id[w], executor_->Estimate(id));
+        resolved[w] = 1;
+      }
+    }
+  }
+
+  ScheduleReport report;
+  report.policy = options_.policy;
+  report.slots = options_.slots;
+  report.queries.reserve(total);
+
+  // The engine borrows these vectors by reference and the feeder appends
+  // to them through EnableClosedLoop; entries are always addressed by
+  // index, so growth is safe (same contract as PendingQueue's).
+  std::vector<QueryRequest> requests;
+  std::vector<uint32_t> wids;
+  requests.reserve(total);
+  wids.reserve(total);
+
+  std::unique_ptr<SlotWorkerPool> workers;
+  std::unique_ptr<WorkerProxyExecutor> proxy;
+  QueryExecutor* exec = executor_;
+  if (options_.runtime_mode == RuntimeMode::kThreaded) {
+    executor_->PrepareSlots(options_.slots);
+    workers = std::make_unique<SlotWorkerPool>(options_.slots);
+    proxy = std::make_unique<WorkerProxyExecutor>(executor_, workers.get());
+    exec = proxy.get();
+  }
+
+  PreemptiveEngine engine(options_, exec, requests, wids, estimates_by_id,
+                          MakeEstimateAtFn(options_, exec, ids,
+                                           estimates_by_id),
+                          FirstAppearanceOrder(submit_order_wids, ids.size()),
+                          &report);
+  engine.EnableClosedLoop(&requests, &wids, &ids, &sessions, &session_classes,
+                          think_time);
+  DANA_RETURN_NOT_OK(engine.Run());
+  PublishReportMetrics(report, options_.metrics);
+  return report;
+}
+
+Result<ScheduleReport> Scheduler::RunThreadedRtc(
+    std::vector<QueryRequest> requests, const dana::Interner& ids,
+    const std::vector<uint32_t>& wids,
+    const std::vector<dana::SimTime>& estimates_by_id) {
+  ScheduleReport report;
+  report.policy = options_.policy;
+  report.slots = options_.slots;
+  report.queries.reserve(requests.size());
+
+  executor_->PrepareSlots(options_.slots);
+  SlotWorkerPool workers(options_.slots);
+
+  PendingQueue pending(options_, requests, wids, estimates_by_id,
+                       FirstAppearanceOrder(wids, ids.size()),
+                       MakeEstimateAtFn(options_, executor_, ids,
+                                        estimates_by_id));
+  DispatchEngine engine(options_, executor_, requests, wids, &report);
+
+  // The overlap protocol. Decisions (queue pops, slot choice) stay on this
+  // thread in oracle order; each decision's executor pricing ships to its
+  // slot's worker as a ticket. Further decisions are issued only while
+  // they land on the *current* tick with a free (non-busy) slot — at a
+  // shared tick the oracle's decision inputs are independent of the
+  // in-flight pricings: busy slots are excluded from slot choice and
+  // warmth reads in both modes (their committed free times exceed the
+  // tick, costs being strictly positive), and per-slot executor state is
+  // partitioned by slot. Anything that would advance time instead commits
+  // the head ticket — Charge, stats, slot free time, makespan, spans — in
+  // ticket order, reproducing the simulated report bit for bit (including
+  // float summation order).
+  struct Ticket {
+    DispatchEngine::Decision decision;
+    dana::SimTime now;
+    std::shared_ptr<WaitCell<dana::Result<BatchCost>>> cell;
+  };
+  std::deque<Ticket> inflight;
+  std::vector<uint8_t> busy(options_.slots, 0);
+
+  size_t next_arrival = 0;
+  dana::SimTime clock;
+
+  auto admit = [&](dana::SimTime now) {
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival <= now) {
+      pending.Push(next_arrival++);
+    }
+  };
+  auto issue = [&](dana::SimTime now) {
+    Ticket t;
+    t.decision = engine.Decide(pending, now, &busy);
+    t.now = now;
+    t.cell = std::make_shared<WaitCell<dana::Result<BatchCost>>>();
+    busy[t.decision.slot] = 1;
+    QueryExecutor* exec = executor_;
+    workers.Post(t.decision.slot,
+                 [exec, batch = t.decision.batch, cell = t.cell] {
+                   cell->Set(exec->Dispatch(batch));
+                 });
+    inflight.push_back(std::move(t));
+    clock = now;
+  };
+  auto commit_head = [&]() -> dana::Status {
+    Ticket t = std::move(inflight.front());
+    inflight.pop_front();
+    dana::Result<BatchCost> cost = t.cell->Take();
+    busy[t.decision.slot] = 0;
+    if (!cost.ok()) return cost.status();
+    return engine.Commit(std::move(t.decision), t.now, *cost).status();
+  };
+
+  while (true) {
+    const bool work_left =
+        next_arrival < requests.size() || !pending.empty();
+    if (!work_left && inflight.empty()) break;
+    bool issued = false;
+    if (work_left) {
+      if (inflight.empty()) {
+        // Everything committed: this iteration is exactly the simulated
+        // loop's, including idle advances to the next arrival.
+        const uint32_t slot = engine.NextSlot();
+        dana::SimTime now = dana::SimTime::Max(engine.slot_free(slot), clock);
+        if (pending.empty()) {
+          now = dana::SimTime::Max(now, requests[next_arrival].arrival);
+        }
+        admit(now);
+        issue(now);
+        issued = true;
+      } else if (engine.HasFreeSlotAt(clock, busy)) {
+        admit(clock);
+        if (!pending.empty()) {
+          issue(clock);
+          issued = true;
+        }
+      }
+    }
+    if (!issued) {
+      DANA_RETURN_NOT_OK(commit_head());
     }
   }
   PublishReportMetrics(report, options_.metrics);

@@ -141,6 +141,28 @@ struct ScheduleReport {
   ///@}
 };
 
+/// How dispatched work physically executes.
+enum class RuntimeMode : uint8_t {
+  /// Single-threaded discrete-event simulation (the default): one virtual
+  /// clock, executor calls inline. This is the oracle the threaded mode is
+  /// verified against.
+  kSimulated,
+  /// Each slot is a real worker thread pulling work items off its own
+  /// mutex/condvar admission queue (SlotWorkerPool). Scheduling decisions
+  /// still serialize in oracle order on the coordinating thread — time is
+  /// virtual either way — but pricing, slices, and compiles execute on the
+  /// slots' threads: same-tick dispatches to distinct slots overlap on the
+  /// run-to-completion path, and cold compile/measurement stampedes
+  /// collapse through the fill-once caches. Per-query stats, dispatch
+  /// order, service charges, and warm-hit rates are identical to the
+  /// simulated oracle by construction (the sched_runtime parity suite
+  /// asserts it); only real wall-clock time differs, which no report field
+  /// measures. Assumes executors charge strictly positive batch costs
+  /// (true of DanaQueryExecutor) — a zero-cost dispatch could re-free its
+  /// slot at the same tick, which the overlap path conservatively forbids.
+  kThreaded,
+};
+
 struct SchedulerOptions {
   uint32_t slots = 1;
   Policy policy = Policy::kFcfs;
@@ -210,6 +232,9 @@ struct SchedulerOptions {
   /// policies, run-to-completion and preemptive — so the flag exists only
   /// to keep the reference path runnable for that comparison.
   bool indexed_queues = true;
+  /// Execution substrate (see RuntimeMode). kSimulated is the oracle;
+  /// kThreaded runs one worker thread per slot with identical schedules.
+  RuntimeMode runtime_mode = RuntimeMode::kSimulated;
 };
 
 /// Publishes `report`'s aggregate statistics into `metrics` as the
@@ -262,17 +287,27 @@ class Scheduler {
   /// submits its first query at time zero. Request ids number submissions
   /// in order (ties broken by session index).
   ///
-  /// Limitation: preemption and the batching window are open-stream
-  /// features. Closed-loop submissions are derived from completions known
-  /// at dispatch time; preemption makes completions depend on future
-  /// arrivals and a formation hold defers them, so nonzero
-  /// `preemption_quantum_epochs` or `batch_window` return InvalidArgument
-  /// (never abort) naming the offending knob. Lifting this needs the
-  /// event-driven path to admit submissions whose times depend on
-  /// in-flight completions (ROADMAP "closed-loop preemption").
+  /// `session_classes` (optional) assigns each session a query class;
+  /// empty defaults every session to kBatch. Sized, it must have one entry
+  /// per session.
+  ///
+  /// Preemption composes: with `preemption_quantum_epochs` nonzero the
+  /// sessions run through the event-driven preemptive engine, which
+  /// materializes each think-time submission at its predecessor's
+  /// *completion event* — so submissions whose times depend on in-flight
+  /// (possibly preempted) completions are admitted correctly, and
+  /// interactive-class sessions preempt batch-class runs exactly as in the
+  /// open-stream path. With the knob zero the run-to-completion closed
+  /// loop is taken, bit for bit the PR 4 schedule.
+  ///
+  /// Limitation: the batch-formation window remains an open-stream
+  /// feature — a formation hold defers completions that closed-loop
+  /// submission times are derived from — so nonzero `batch_window` returns
+  /// InvalidArgument (never aborts) naming the knob.
   dana::Result<ScheduleReport> RunClosedLoop(
       const std::vector<std::vector<std::string>>& sessions,
-      dana::SimTime think_time);
+      dana::SimTime think_time,
+      const std::vector<QueryClass>& session_classes = {});
 
  private:
   /// `ids` interns every workload in the stream (dense ids assigned at
@@ -280,6 +315,21 @@ class Scheduler {
   /// `estimates_by_id` holds the SJF a-priori estimates indexed by id
   /// (empty unless the policy is SJF).
   dana::Result<ScheduleReport> RunPreemptive(
+      std::vector<QueryRequest> requests, const dana::Interner& ids,
+      const std::vector<uint32_t>& wids,
+      const std::vector<dana::SimTime>& estimates_by_id);
+
+  /// Closed-loop sessions through the event-driven preemptive engine:
+  /// think-time submissions materialize at completion events.
+  dana::Result<ScheduleReport> RunClosedLoopPreemptive(
+      const std::vector<std::vector<std::string>>& sessions,
+      dana::SimTime think_time,
+      const std::vector<QueryClass>& session_classes);
+
+  /// Open-stream run-to-completion loop in threaded mode: slot workers
+  /// price same-tick dispatches concurrently, commits land in decision
+  /// (ticket) order so the report is bit-identical to the simulated loop.
+  dana::Result<ScheduleReport> RunThreadedRtc(
       std::vector<QueryRequest> requests, const dana::Interner& ids,
       const std::vector<uint32_t>& wids,
       const std::vector<dana::SimTime>& estimates_by_id);

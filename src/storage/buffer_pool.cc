@@ -201,6 +201,11 @@ BufferPoolGroup::BufferPoolGroup(uint64_t capacity_bytes_per_pool,
 }
 
 void BufferPoolGroup::Resize(size_t n) {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  ResizeLocked(n);
+}
+
+void BufferPoolGroup::ResizeLocked(size_t n) {
   if (n == 0) n = 1;
   while (pools_.size() < n) {
     pools_.push_back(std::make_unique<BufferPool>(capacity_bytes_, page_size_,
@@ -209,7 +214,8 @@ void BufferPoolGroup::Resize(size_t n) {
 }
 
 BufferPool* BufferPoolGroup::pool(size_t i) {
-  if (i >= pools_.size()) Resize(i + 1);
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  if (i >= pools_.size()) ResizeLocked(i + 1);
   return pools_[i].get();
 }
 

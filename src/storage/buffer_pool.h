@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -236,6 +237,16 @@ class BufferPool {
 /// its own frames and OS-cache set (independent caching state) while every
 /// pool shares one DiskModel — the slots contend for the same simulated
 /// device, they just stop sharing cache residency.
+///
+/// Concurrency contract: the *group* is safe to grow concurrently —
+/// Resize and the lazily-growing pool(i) serialize on an internal mutex,
+/// and returned BufferPool pointers are stable (pools are heap-allocated
+/// and never destroyed before the group). Each *pool* itself is
+/// externally synchronized: in the threaded runtime, slot i's pool is
+/// touched only by slot i's worker (or by the coordinator while that slot
+/// is idle), which is the partition the scheduler guarantees. Callers
+/// should still PrepareSlots/Resize up front so steady-state pool(i)
+/// calls are pure reads.
 class BufferPoolGroup {
  public:
   /// Sizing template applied to every pool in the group; `Resize` creates
@@ -247,11 +258,17 @@ class BufferPoolGroup {
   /// keep their cached state.
   void Resize(size_t n);
 
-  size_t size() const { return pools_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    return pools_.size();
+  }
 
   /// Pool of slot `i`; grows the group when `i` is past the end.
   BufferPool* pool(size_t i);
-  const BufferPool* pool(size_t i) const { return pools_.at(i).get(); }
+  const BufferPool* pool(size_t i) const {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    return pools_.at(i).get();
+  }
 
   /// Aggregate hit/miss/eviction/io statistics across all pools.
   BufferPoolStats Rollup() const;
@@ -272,10 +289,14 @@ class BufferPoolGroup {
                  const std::string& prefix = "pool") const;
 
  private:
+  void ResizeLocked(size_t n);
+
   uint64_t capacity_bytes_;
   uint32_t page_size_;
   DiskModel disk_;
   uint64_t os_cache_bytes_;
+  /// Guards the pools_ vector (growth + indexing), not the pools' state.
+  mutable std::mutex grow_mu_;
   std::vector<std::unique_ptr<BufferPool>> pools_;
 };
 

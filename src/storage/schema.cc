@@ -42,7 +42,9 @@ Schema Schema::Dense(uint32_t width, ColumnType type, bool with_label) {
   std::vector<Column> cols;
   cols.reserve(width + 1);
   for (uint32_t i = 0; i < width; ++i) {
-    cols.push_back({"f" + std::to_string(i), type});
+    std::string name = "f";
+    name += std::to_string(i);
+    cols.push_back({std::move(name), type});
   }
   if (with_label) cols.push_back({"label", type});
   return Schema(std::move(cols));

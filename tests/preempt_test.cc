@@ -861,22 +861,22 @@ TEST(PreemptionTest, PreemptiveScheduleIsDeterministic) {
 }
 
 TEST(PreemptionTest, ClosedLoopRejectsPreemptiveKnobs) {
-  // Closed-loop sessions submit from completions known at dispatch time;
-  // preemption and the batching window make completions depend on future
-  // events, so each knob must come back as its own actionable Status (a
-  // proper error naming the offending option — never an abort), and the
-  // knobs-off run on the same scheduler options must still work.
+  // The preemption quantum now composes with closed-loop sessions (the
+  // run routes through the event-driven engine), so it must succeed where
+  // it used to come back InvalidArgument. The batching window remains the
+  // one open-stream-only knob: a held slot defers the completions sessions
+  // submit from, so it still fails with an actionable Status naming the
+  // offending option — never an abort — and the knobs-off run on the same
+  // scheduler options must still work.
   SlicedExecutor exec;
   exec.Set("a", 2, 1.0, 0.0, 2);
   sched::Scheduler preemptive({.slots = 1,
                                .policy = sched::Policy::kFcfs,
                                .preemption_quantum_epochs = 1},
                               &exec);
-  const Status quantum_err =
-      preemptive.RunClosedLoop({{"a"}}, dana::SimTime::Zero()).status();
-  EXPECT_TRUE(quantum_err.IsInvalidArgument());
-  EXPECT_NE(quantum_err.ToString().find("preemption_quantum_epochs"),
-            std::string::npos);
+  auto quantum_run = preemptive.RunClosedLoop({{"a"}}, dana::SimTime::Zero());
+  ASSERT_TRUE(quantum_run.ok()) << quantum_run.status().ToString();
+  EXPECT_EQ(quantum_run->queries.size(), 1u);
 
   sched::Scheduler windowed({.slots = 1,
                              .policy = sched::Policy::kFcfs,

@@ -74,7 +74,7 @@ void PrintHelp(std::FILE* out) {
       "        [--affinity W] [--closed-loop] [--think-ms MS] [--sessions N]\n"
       "        [--interactive R] [--quantum E] [--ctx-ms MS] [--window-ms MS]\n"
       "        [--pool-frames F] [--metrics-json FILE] [--trace-out FILE]\n"
-      "        [--metrics-table]\n"
+      "        [--metrics-table] [--runtime simulated|threaded]\n"
       "                            schedule a multi-query request stream\n"
       "                            onto N simulated accelerator slots;\n"
       "                            --batch K coalesces up to K same-algorithm\n"
@@ -111,7 +111,10 @@ void PrintHelp(std::FILE* out) {
       "                            across identical runs), --trace-out FILE\n"
       "                            writes a Chrome trace_event slot timeline\n"
       "                            (chrome://tracing / Perfetto),\n"
-      "                            --metrics-table prints the snapshot\n"
+      "                            --metrics-table prints the snapshot.\n"
+      "                            --runtime threaded executes each slot on\n"
+      "                            a real worker thread (same schedule as\n"
+      "                            the simulated oracle, bit for bit)\n"
       "  help | --help | -h        this message\n",
       out);
 }
@@ -370,9 +373,20 @@ int CmdSched(int argc, char** argv) {
                          "--window-ms must be non-negative\n");
     return 2;
   }
-  if (closed_loop && (quantum > 0 || window_ms > 0)) {
-    std::fprintf(stderr, "--quantum and --window-ms are open-stream "
-                         "features; drop --closed-loop\n");
+  if (closed_loop && window_ms > 0) {
+    // --quantum composes with --closed-loop now (the event-driven engine
+    // materializes think-time submissions at completion events); only the
+    // batch-formation window remains open-stream.
+    std::fprintf(stderr, "--window-ms is an open-stream feature; drop "
+                         "--closed-loop\n");
+    return 2;
+  }
+  const std::string runtime_name = Flag(argc, argv, "--runtime", "simulated");
+  sched::RuntimeMode runtime_mode = sched::RuntimeMode::kSimulated;
+  if (runtime_name == "threaded") {
+    runtime_mode = sched::RuntimeMode::kThreaded;
+  } else if (runtime_name != "simulated") {
+    std::fprintf(stderr, "--runtime must be simulated or threaded\n");
     return 2;
   }
   // Shared physical residency pools: frames per slot pool; 0 falls back to
@@ -558,7 +572,8 @@ int CmdSched(int argc, char** argv) {
          .context_switch_cost = dana::SimTime::Millis(ctx_ms),
          .batch_window = dana::SimTime::Millis(window_ms),
          .metrics = want_obs ? &registry : nullptr,
-         .tracer = trace_out != nullptr ? &tracer : nullptr},
+         .tracer = trace_out != nullptr ? &tracer : nullptr,
+         .runtime_mode = runtime_mode},
         &executor);
     auto report =
         closed_loop
