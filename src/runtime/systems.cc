@@ -52,6 +52,12 @@ void WorkloadInstance::PrepareCache(CacheState state, uint32_t slot) {
   if (state == CacheState::kWarm) {
     pool->Prewarm(*table_);
     pool->ResetStats();
+  } else if (state == CacheState::kOsCached) {
+    // The os-warm endpoint: pool cold, kernel page cache holding the
+    // table (a prior query streamed it) — misses pay the memory-copy
+    // rate, not the device.
+    pool->MarkOsCached(*table_);
+    pool->ResetStats();
   }
 }
 

@@ -15,8 +15,11 @@
 
 namespace dana::runtime {
 
-/// Cache state of a run (paper §7 default setup).
-enum class CacheState : uint8_t { kWarm, kCold };
+/// Cache state of a run (paper §7 default setup). kOsCached is the middle
+/// endpoint of the tiered pricing model: the buffer pool is cold but the
+/// table's pages sit in the modeled kernel page cache, so every pool miss
+/// is served at OS-cache speed instead of disk speed.
+enum class CacheState : uint8_t { kWarm, kCold, kOsCached };
 
 /// Outcome of running one workload on one system.
 struct SystemResult {

@@ -29,6 +29,7 @@ class SingleSliceExecution : public BatchExecution {
   dana::SimTime compile_cost() const override { return cost_.compile; }
   double warm_fraction() const override { return cost_.warm_fraction; }
   bool residency_modeled() const override { return cost_.residency_modeled; }
+  double os_warm_fraction() const override { return cost_.os_warm_fraction; }
 
   dana::Result<SliceCost> NextSlice(uint32_t max_epochs) override {
     (void)max_epochs;
@@ -87,6 +88,7 @@ Result<BatchCost> QueryExecutor::Dispatch(const QueryBatch& batch) {
   cost.compile = exec->compile_cost();
   cost.warm_fraction = exec->warm_fraction();
   cost.residency_modeled = exec->residency_modeled();
+  cost.os_warm_fraction = exec->os_warm_fraction();
   return cost;
 }
 
@@ -120,13 +122,15 @@ class DanaBatchExecution : public BatchExecution {
  public:
   DanaBatchExecution(DanaQueryExecutor* owner, QueryBatch batch,
                      DanaQueryExecutor::EpochProfile profile,
-                     double warm_fraction, bool modeled, double size_ratio,
-                     uint64_t norm_pages)
+                     double warm_fraction, double os_warm_fraction,
+                     bool modeled, double size_ratio, uint64_t norm_pages)
       : BatchExecution(std::move(batch)),
         owner_(owner),
         profile_(profile),
         warm_at_begin_(warm_fraction),
+        os_warm_at_begin_(os_warm_fraction),
         last_left_(warm_fraction),
+        last_os_left_(os_warm_fraction),
         modeled_(modeled),
         size_ratio_(size_ratio),
         norm_pages_(norm_pages) {}
@@ -136,6 +140,7 @@ class DanaBatchExecution : public BatchExecution {
   dana::SimTime compile_cost() const override { return profile_.compile; }
   double warm_fraction() const override { return warm_at_begin_; }
   bool residency_modeled() const override { return modeled_; }
+  double os_warm_fraction() const override { return os_warm_at_begin_; }
 
   dana::Result<SliceCost> NextSlice(uint32_t max_epochs) override {
     const uint32_t remaining = profile_.epochs - done_;
@@ -165,11 +170,12 @@ class DanaBatchExecution : public BatchExecution {
     // parallel as the predictor it is cross-checked against.
     if (modeled_) {
       const uint32_t sweeps = std::min<uint32_t>(n, 2);
+      const double os_ratio = owner_->OsLedgerRatio();
       {
         std::lock_guard<std::mutex> lock(owner_->state_mu_);
         for (uint32_t i = 0; i < sweeps; ++i) {
           owner_->residency_.OnRun(batch_.slot, batch_.workload_id,
-                                   size_ratio_);
+                                   size_ratio_, os_ratio);
         }
       }
       if (owner_->options_.physical_pools) {
@@ -190,6 +196,7 @@ class DanaBatchExecution : public BatchExecution {
             pool->resident_frames(tid) == norm_pages_;
         if (undisturbed) {
           last_left_ = 1.0;  // fully resident, by the guard above
+          last_os_left_ = 0.0;  // the tiers are exclusive
           obs::Count(owner_->options_.metrics, "exec.slices.memoized");
         } else {
           for (uint32_t i = 0; i < sweeps; ++i) {
@@ -199,10 +206,17 @@ class DanaBatchExecution : public BatchExecution {
           swept_version_ = pool->version();
           last_left_ =
               owner_->PhysicalWarmFraction(batch_.workload_id, batch_.slot);
+          last_os_left_ = owner_->PhysicalOsWarmFraction(
+              batch_.workload_id, batch_.slot, last_left_);
         }
       } else {
         last_left_ =
             storage::CacheResidencyModel::PostRunResidency(size_ratio_);
+        if (os_ratio > 0.0) {
+          std::lock_guard<std::mutex> lock(owner_->state_mu_);
+          last_os_left_ = owner_->residency_.OsResidentFraction(
+              batch_.slot, batch_.workload_id);
+        }
       }
     }
     return s;
@@ -236,23 +250,34 @@ class DanaBatchExecution : public BatchExecution {
     // Residency of the resume slot — physical pools measure it, the
     // legacy ledger predicts it.
     double warm;
+    double os_warm = 0.0;
     if (owner_->options_.physical_pools) {
       warm = owner_->PhysicalWarmFraction(batch_.workload_id, slot);
+      os_warm =
+          owner_->PhysicalOsWarmFraction(batch_.workload_id, slot, warm);
     } else {
       std::lock_guard<std::mutex> lock(owner_->state_mu_);
       warm = owner_->residency_.ResidentFraction(slot, batch_.workload_id);
+      if (owner_->OsLedgerRatio() > 0.0) {
+        os_warm =
+            owner_->residency_.OsResidentFraction(slot, batch_.workload_id);
+      }
     }
-    // Undisturbed same-slot resume: the table is exactly as resident as
-    // the last slice left it (last_left_ captured that, measured or
-    // modeled), so the original cost curve continues bit for bit.
+    // Undisturbed same-slot resume: the table is exactly as resident (in
+    // both tiers) as the last slice left it (last_left_/last_os_left_
+    // captured that, measured or modeled), so the original cost curve
+    // continues bit for bit.
     const double left_behind = done_ > 0 ? last_left_ : warm_at_begin_;
-    if (slot == batch_.slot && warm == left_behind) return Status::OK();
+    const double os_left = done_ > 0 ? last_os_left_ : os_warm_at_begin_;
+    if (slot == batch_.slot && warm == left_behind && os_warm == os_left) {
+      return Status::OK();
+    }
     // Re-base: the remaining epochs run as a fresh segment at the new
     // slot's warmth — its first epoch re-reads the missing share of the
     // table, later epochs return to the steady state.
     batch_.slot = slot;
     DANA_ASSIGN_OR_RETURN(DanaQueryExecutor::EpochProfile rebased,
-                          owner_->ProfileAt(batch_, warm));
+                          owner_->ProfileAt(batch_, warm, os_warm));
     rebased.epochs = profile_.epochs;  // the budget never changes
     profile_ = rebased;
     base_ = done_;
@@ -289,9 +314,13 @@ class DanaBatchExecution : public BatchExecution {
   DanaQueryExecutor* owner_;
   DanaQueryExecutor::EpochProfile profile_;
   double warm_at_begin_;
+  double os_warm_at_begin_;
   /// Residency the last slice left on its slot (warm_at_begin_ until the
   /// first slice) — the "undisturbed" reference a Resume compares against.
   double last_left_;
+  /// OS-tier share the last slice left behind, the tier-1 companion to
+  /// last_left_ (always 0 without an OS tier).
+  double last_os_left_;
   bool modeled_;
   double size_ratio_;
   uint64_t norm_pages_;
@@ -314,18 +343,36 @@ namespace {
 /// the BufferPool byte-capacity constructor. Matches the workload tables'
 /// 32 KB pages for consistency.
 constexpr uint32_t kSharedPoolPageSize = 32 * 1024;
+
+/// Normalizes option combinations before any member reads them: at least
+/// one pool frame, and the OS tier exists only under an evicting policy —
+/// clock is the pinned legacy hierarchy (admit-until-full OS set), so
+/// `os_frames` is forced off rather than silently priced as a tier the
+/// pools don't run.
+DanaQueryExecutor::Options NormalizeExecOptions(
+    DanaQueryExecutor::Options o) {
+  o.pool_frames = std::max<uint64_t>(o.pool_frames, 1);
+  if (o.eviction == storage::EvictionKind::kClock) o.os_frames = 0;
+  return o;
+}
+
+/// OS-tier byte capacity for the shared slot pools. Clock keeps the
+/// unlimited legacy admit-until-full set (seed behaviour bit for bit);
+/// evicting policies get exactly the configured tier, 0 disabling it.
+uint64_t SharedPoolOsBytes(const DanaQueryExecutor::Options& o) {
+  if (o.eviction == storage::EvictionKind::kClock) return UINT64_MAX;
+  return o.os_frames * kSharedPoolPageSize;
+}
 }  // namespace
 
 DanaQueryExecutor::DanaQueryExecutor() : DanaQueryExecutor(Options{}) {}
 
 DanaQueryExecutor::DanaQueryExecutor(Options options)
-    : options_(options),
+    : options_(NormalizeExecOptions(options)),
       system_(cost_model_, MakeSystemOptions(options.functional_epoch_cap)),
-      slot_pools_(std::max<uint64_t>(options.pool_frames, 1) *
-                      kSharedPoolPageSize,
-                  kSharedPoolPageSize, storage::DiskModel{}) {
-  options_.pool_frames = std::max<uint64_t>(options_.pool_frames, 1);
-}
+      slot_pools_(options_.pool_frames * kSharedPoolPageSize,
+                  kSharedPoolPageSize, storage::DiskModel{},
+                  SharedPoolOsBytes(options_), options_.eviction) {}
 
 Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
     const std::string& id) {
@@ -366,7 +413,7 @@ Result<const DanaQueryExecutor::EpochProfile*>
 DanaQueryExecutor::MeasureEndpoint(const QueryBatch& batch,
                                    runtime::CacheState cache) {
   const auto key = std::make_tuple(batch.workload_id, batch.size(),
-                                   cache == runtime::CacheState::kWarm);
+                                   static_cast<uint8_t>(cache));
   // Fill-once/wait: a cold key elects exactly one caller to run the
   // measurement while concurrent requesters block for the result, so N
   // slot workers hitting the same cold (workload, batch, endpoint) never
@@ -406,35 +453,68 @@ DanaQueryExecutor::MeasureEndpoint(const QueryBatch& batch,
 }
 
 Result<DanaQueryExecutor::EpochProfile> DanaQueryExecutor::ProfileAt(
-    const QueryBatch& batch, double warm_fraction) {
+    const QueryBatch& batch, double warm_fraction, double os_fraction) {
   if (warm_fraction >= 1.0) {
     DANA_ASSIGN_OR_RETURN(const EpochProfile* hot,
                           MeasureEndpoint(batch, runtime::CacheState::kWarm));
     return *hot;
   }
-  if (warm_fraction <= 0.0) {
+  if (os_fraction <= 0.0) {
+    // Two-endpoint pricing, the pre-tier arithmetic bit for bit.
+    if (warm_fraction <= 0.0) {
+      DANA_ASSIGN_OR_RETURN(
+          const EpochProfile* cold,
+          MeasureEndpoint(batch, runtime::CacheState::kCold));
+      return *cold;
+    }
+    // The two measured endpoints bound the run — a fraction f of the table
+    // still resident saves f of the cold run's extra (I/O-side) time, so
+    // every epoch-cost component interpolates linearly between them.
     DANA_ASSIGN_OR_RETURN(const EpochProfile* cold,
                           MeasureEndpoint(batch, runtime::CacheState::kCold));
-    return *cold;
+    DANA_ASSIGN_OR_RETURN(const EpochProfile* hot,
+                          MeasureEndpoint(batch, runtime::CacheState::kWarm));
+    const double miss = 1.0 - warm_fraction;
+    EpochProfile p = *hot;
+    p.first_wall =
+        hot->first_wall + (cold->first_wall - hot->first_wall) * miss;
+    p.steady_wall =
+        hot->steady_wall + (cold->steady_wall - hot->steady_wall) * miss;
+    p.first_shared =
+        hot->first_shared + (cold->first_shared - hot->first_shared) * miss;
+    p.steady_shared =
+        hot->steady_shared + (cold->steady_shared - hot->steady_shared) * miss;
+    p.first_pq = hot->first_pq + (cold->first_pq - hot->first_pq) * miss;
+    p.steady_pq = hot->steady_pq + (cold->steady_pq - hot->steady_pq) * miss;
+    return p;
   }
-  // The two measured endpoints bound the run — a fraction f of the table
-  // still resident saves f of the cold run's extra (I/O-side) time, so
-  // every epoch-cost component interpolates linearly between them.
-  DANA_ASSIGN_OR_RETURN(const EpochProfile* cold,
-                        MeasureEndpoint(batch, runtime::CacheState::kCold));
+  // Three-endpoint pricing: the run splits into a pool-warm share `p`
+  // (priced at the pool-warm endpoint), an OS-cached share `o` (priced at
+  // the os-warm endpoint — pages re-read from the modeled kernel cache, no
+  // device I/O), and the cold remainder. Each epoch-cost component is the
+  // convex combination of the three measured endpoints.
+  const double pw = std::clamp(warm_fraction, 0.0, 1.0);
+  const double ow = std::min(std::max(os_fraction, 0.0), 1.0 - pw);
+  const double cw = 1.0 - pw - ow;
   DANA_ASSIGN_OR_RETURN(const EpochProfile* hot,
                         MeasureEndpoint(batch, runtime::CacheState::kWarm));
-  const double miss = 1.0 - warm_fraction;
+  DANA_ASSIGN_OR_RETURN(const EpochProfile* osw,
+                        MeasureEndpoint(batch, runtime::CacheState::kOsCached));
+  DANA_ASSIGN_OR_RETURN(const EpochProfile* cold,
+                        MeasureEndpoint(batch, runtime::CacheState::kCold));
   EpochProfile p = *hot;
-  p.first_wall = hot->first_wall + (cold->first_wall - hot->first_wall) * miss;
-  p.steady_wall =
-      hot->steady_wall + (cold->steady_wall - hot->steady_wall) * miss;
+  const auto mix = [pw, ow, cw](dana::SimTime h, dana::SimTime o,
+                                dana::SimTime c) {
+    return h * pw + o * ow + c * cw;
+  };
+  p.first_wall = mix(hot->first_wall, osw->first_wall, cold->first_wall);
+  p.steady_wall = mix(hot->steady_wall, osw->steady_wall, cold->steady_wall);
   p.first_shared =
-      hot->first_shared + (cold->first_shared - hot->first_shared) * miss;
+      mix(hot->first_shared, osw->first_shared, cold->first_shared);
   p.steady_shared =
-      hot->steady_shared + (cold->steady_shared - hot->steady_shared) * miss;
-  p.first_pq = hot->first_pq + (cold->first_pq - hot->first_pq) * miss;
-  p.steady_pq = hot->steady_pq + (cold->steady_pq - hot->steady_pq) * miss;
+      mix(hot->steady_shared, osw->steady_shared, cold->steady_shared);
+  p.first_pq = mix(hot->first_pq, osw->first_pq, cold->first_pq);
+  p.steady_pq = mix(hot->steady_pq, osw->steady_pq, cold->steady_pq);
   return p;
 }
 
@@ -456,26 +536,36 @@ Result<std::unique_ptr<BatchExecution>> DanaQueryExecutor::Begin(
     obs::Count(options_.metrics, warm >= 1.0 ? "exec.charges.warm"
                                              : "exec.charges.cold");
     return std::unique_ptr<BatchExecution>(new DanaBatchExecution(
-        this, batch, *p, warm, /*modeled=*/false, instance->PoolSizeRatio(),
+        this, batch, *p, warm, /*os_warm_fraction=*/0.0, /*modeled=*/false,
+        instance->PoolSizeRatio(),
         instance->NormalizedPages(options_.pool_frames)));
   }
   // Residency regime: price this slot's actual cache state — measured
   // from the shared physical pool, or predicted by the ledger in legacy
-  // mode.
+  // mode. With an OS tier, the working set splits three ways: pool-warm,
+  // os-warm (demoted pages still in the modeled kernel cache) and cold.
   double warm;
+  double os_warm = 0.0;
   if (options_.physical_pools) {
     warm = PhysicalWarmFraction(batch.workload_id, batch.slot);
+    os_warm = PhysicalOsWarmFraction(batch.workload_id, batch.slot, warm);
   } else {
     std::lock_guard<std::mutex> lock(state_mu_);
     warm = residency_.ResidentFraction(batch.slot, batch.workload_id);
+    if (OsLedgerRatio() > 0.0) {
+      os_warm = residency_.OsResidentFraction(batch.slot, batch.workload_id);
+    }
   }
   obs::Count(options_.metrics,
-             warm >= 1.0   ? "exec.charges.warm"
-             : warm <= 0.0 ? "exec.charges.cold"
-                           : "exec.charges.partial");
-  DANA_ASSIGN_OR_RETURN(EpochProfile profile, ProfileAt(batch, warm));
+             warm >= 1.0 ? "exec.charges.warm"
+             : (warm <= 0.0 && os_warm <= 0.0)
+                 ? "exec.charges.cold"
+                 : "exec.charges.partial");
+  DANA_ASSIGN_OR_RETURN(EpochProfile profile,
+                        ProfileAt(batch, warm, os_warm));
   return std::unique_ptr<BatchExecution>(new DanaBatchExecution(
-      this, batch, profile, warm, /*modeled=*/true, instance->PoolSizeRatio(),
+      this, batch, profile, warm, os_warm, /*modeled=*/true,
+      instance->PoolSizeRatio(),
       instance->NormalizedPages(options_.pool_frames)));
 }
 
@@ -487,16 +577,39 @@ double DanaQueryExecutor::PhysicalWarmFraction(const std::string& id,
   return slot_pools_.pool(slot)->ResidentShare(id, pages);
 }
 
+double DanaQueryExecutor::PhysicalOsWarmFraction(const std::string& id,
+                                                 uint32_t slot,
+                                                 double pool_warm) {
+  if (options_.os_frames == 0) return 0.0;
+  auto instance = Instance(id);
+  if (!instance.ok()) return 0.0;
+  const uint64_t pages = (*instance)->NormalizedPages(options_.pool_frames);
+  const double share = slot_pools_.pool(slot)->TierResidentShare(
+      storage::BufferPool::kOsTier, id, pages);
+  // The tiers are exclusive by construction; the clamp only guards float
+  // edge cases so the pricing shares always sum to at most 1.
+  return std::min(share, 1.0 - pool_warm);
+}
+
 double DanaQueryExecutor::WarmFraction(const std::string& workload_id,
                                        uint32_t slot) {
   if (!options_.model_residency) {
     return options_.cache == runtime::CacheState::kWarm ? 1.0 : 0.0;
   }
+  // Placement heuristic: an os-warm page is cheaper than cold but dearer
+  // than pool-warm, so it counts at half weight. Without an OS tier this
+  // is exactly the pool residency, as before.
   if (options_.physical_pools) {
-    return PhysicalWarmFraction(workload_id, slot);
+    const double w = PhysicalWarmFraction(workload_id, slot);
+    if (options_.os_frames == 0) return w;
+    return std::min(
+        1.0, w + 0.5 * PhysicalOsWarmFraction(workload_id, slot, w));
   }
   std::lock_guard<std::mutex> lock(state_mu_);
-  return residency_.ResidentFraction(slot, workload_id);
+  const double w = residency_.ResidentFraction(slot, workload_id);
+  if (OsLedgerRatio() <= 0.0) return w;
+  return std::min(
+      1.0, w + 0.5 * residency_.OsResidentFraction(slot, workload_id));
 }
 
 Result<dana::SimTime> DanaQueryExecutor::Estimate(

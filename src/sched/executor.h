@@ -58,6 +58,11 @@ struct BatchCost {
   /// for this table, or fully evicted since), 1 a fully warm repeat.
   /// Executors without a residency model report their static cache state.
   double warm_fraction = 0.0;
+  /// Fraction of the workload's table held by the dispatch slot's modeled
+  /// OS page-cache tier when the run started, exclusive of
+  /// `warm_fraction`'s pool share. Always 0 unless the executor runs with
+  /// an OS tier (Options::os_frames > 0 under lru/promotional eviction).
+  double os_warm_fraction = 0.0;
   /// True when `warm_fraction` comes from a tracked residency model; false
   /// for executors that report a static cache state (their constant value
   /// says nothing about placement and must not skew warm-hit rates).
@@ -113,6 +118,10 @@ class BatchExecution {
   /// (BatchCost::warm_fraction), and whether a model tracked it.
   virtual double warm_fraction() const = 0;
   virtual bool residency_modeled() const = 0;
+  /// OS-tier share of the table when the run began
+  /// (BatchCost::os_warm_fraction); 0 for executors without a tiered
+  /// hierarchy.
+  virtual double os_warm_fraction() const { return 0.0; }
 
   /// Advances up to `max_epochs` further epochs (0 = all remaining) and
   /// returns this slice's cost. Residency-modeling executors sweep their
@@ -284,6 +293,21 @@ class DanaQueryExecutor : public QueryExecutor {
     /// to 1/pages — not a byte budget. 4096 keeps quantization below
     /// 0.1% for every Table 3 ratio while a sweep stays cheap.
     uint64_t pool_frames = 4096;
+    /// Replacement policy of each slot's shared pool (and of its OS tier
+    /// when one is configured). kClock is the pinned legacy hierarchy —
+    /// bit-for-bit the seed pools; the endpoint-measurement instance pools
+    /// always stay clock regardless (endpoints are canonical cache-state
+    /// costs, not policy-dependent).
+    storage::EvictionKind eviction = storage::EvictionKind::kClock;
+    /// Frames of the modeled OS page-cache tier below each slot's shared
+    /// pool, in the same scale-normalized units as pool_frames. 0 (the
+    /// default) = no tier, the two-endpoint pricing bit for bit. With a
+    /// tier (requires lru/promotional eviction — clock keeps the legacy
+    /// Fetch-path set, which the shared pools' data-free sweeps never
+    /// consult), pool victims demote into it, tier hits promote back, and
+    /// dispatches are priced across three measured endpoints
+    /// (pool-warm / os-warm / cold).
+    uint64_t os_frames = 0;
     /// Buffer-pool state every query trains under when `model_residency`
     /// is false (the legacy fixed-cache regime).
     runtime::CacheState cache = runtime::CacheState::kWarm;
@@ -394,13 +418,31 @@ class DanaQueryExecutor : public QueryExecutor {
   /// resident frames over its normalized footprint. 0 when the workload is
   /// unknown (the later Begin/Estimate reports the error properly).
   double PhysicalWarmFraction(const std::string& id, uint32_t slot);
+  /// Measured OS-tier share of `id` on `slot` (tier 1 resident frames over
+  /// the normalized footprint), clamped so pool + OS shares never exceed 1.
+  /// 0 without a configured OS tier.
+  double PhysicalOsWarmFraction(const std::string& id, uint32_t slot,
+                                double pool_warm);
+  /// OS-tier capacity over pool capacity — the `os_ratio` the ledger
+  /// predictor is taught (0 = no tier).
+  double OsLedgerRatio() const {
+    return options_.os_frames == 0
+               ? 0.0
+               : static_cast<double>(options_.os_frames) /
+                     static_cast<double>(options_.pool_frames);
+  }
   /// Measured (or memoized) epoch profile at a cache endpoint.
   dana::Result<const EpochProfile*> MeasureEndpoint(const QueryBatch& batch,
                                                     runtime::CacheState cache);
-  /// Profile charged at `warm_fraction` residency: one measured endpoint
-  /// when fully warm/cold, the linear interpolation between both otherwise.
+  /// Profile charged at `warm_fraction` pool residency plus
+  /// `os_fraction` OS-tier residency: one measured endpoint when fully
+  /// warm/cold, otherwise the linear mix of the pool-warm, os-warm, and
+  /// cold endpoints (the os-warm endpoint is only measured when
+  /// os_fraction > 0 — two-endpoint pricing is reproduced bit for bit
+  /// otherwise).
   dana::Result<EpochProfile> ProfileAt(const QueryBatch& batch,
-                                       double warm_fraction);
+                                       double warm_fraction,
+                                       double os_fraction = 0.0);
 
   Options options_;
   runtime::CpuCostModel cost_model_;
@@ -414,11 +456,12 @@ class DanaQueryExecutor : public QueryExecutor {
   /// slot's pool, so cross-table eviction is measured, not modeled.
   storage::BufferPoolGroup slot_pools_;
   std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_;
-  /// Measured epoch profiles, keyed by (workload, batch size, warm?). The
-  /// cold table-load path: measuring an endpoint actually runs the
-  /// cycle-level simulator, so concurrent slot workers asking for the same
-  /// cold key share one fill (fill-once/wait) and never duplicate a run.
-  dana::FillOnceMap<std::tuple<std::string, uint32_t, bool>, EpochProfile>
+  /// Measured epoch profiles, keyed by (workload, batch size, cache
+  /// endpoint). The cold table-load path: measuring an endpoint actually
+  /// runs the cycle-level simulator, so concurrent slot workers asking for
+  /// the same cold key share one fill (fill-once/wait) and never duplicate
+  /// a run.
+  dana::FillOnceMap<std::tuple<std::string, uint32_t, uint8_t>, EpochProfile>
       measured_;
   /// Registry lookups memoized per name: ml::FindWorkload is a linear scan
   /// with string compares, and Estimate/EstimateAtWarmth run once per

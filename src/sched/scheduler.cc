@@ -101,6 +101,18 @@ double ScheduleReport::MeanWarmFraction() const {
   return total / static_cast<double>(modeled);
 }
 
+double ScheduleReport::MeanOsWarmFraction() const {
+  uint64_t modeled = 0;
+  double total = 0.0;
+  for (const QueryStat& q : queries) {
+    if (!q.residency_modeled) continue;
+    ++modeled;
+    total += q.os_warm_fraction;
+  }
+  if (modeled == 0) return std::numeric_limits<double>::quiet_NaN();
+  return total / static_cast<double>(modeled);
+}
+
 uint64_t ScheduleReport::ClassQueries(QueryClass cls) const {
   uint64_t n = 0;
   for (const QueryStat& q : queries) {
@@ -729,6 +741,7 @@ class DispatchEngine {
       stat.shared_service = cost.shared;
       stat.private_service = cost.per_query;
       stat.warm_fraction = cost.warm_fraction;
+      stat.os_warm_fraction = cost.os_warm_fraction;
       stat.residency_modeled = cost.residency_modeled;
       stat.completion = completion;
       if (stat.compile_hit) {
@@ -1148,6 +1161,7 @@ class PreemptiveEngine {
       stat.compile_hit = !(head_miss && j == 0);
       stat.batch_size = static_cast<uint32_t>(a.run.members.size());
       stat.warm_fraction = exec->warm_fraction();
+      stat.os_warm_fraction = exec->os_warm_fraction();
       stat.residency_modeled = exec->residency_modeled();
       if (stat.compile_hit) {
         ++report_->compile_hits;

@@ -77,6 +77,10 @@ struct QueryStat {
   /// query's batch started (BatchCost::warm_fraction): 0 = genuinely cold
   /// pool, 1 = fully warm repeat.
   double warm_fraction = 0.0;
+  /// OS-tier share of the table at the same instant
+  /// (BatchCost::os_warm_fraction), exclusive of `warm_fraction`. Always 0
+  /// unless the executor runs a tiered hierarchy.
+  double os_warm_fraction = 0.0;
   /// True when `warm_fraction` came from a tracked residency model (see
   /// BatchCost::residency_modeled); static-cache executors report false
   /// and are excluded from warm-hit rates.
@@ -130,6 +134,10 @@ struct ScheduleReport {
   /// Mean warm fraction at dispatch over residency-modeled queries; NaN
   /// when no query was modeled.
   double MeanWarmFraction() const;
+  /// Mean OS-tier fraction at dispatch over residency-modeled queries
+  /// (QueryStat::os_warm_fraction); NaN when no query was modeled, 0 for
+  /// untiered executors.
+  double MeanOsWarmFraction() const;
 
   /// @name Per-class SLO accounting
   ///@{

@@ -15,15 +15,25 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "storage/disk.h"
+#include "storage/eviction_policy.h"
 #include "storage/table.h"
 
 namespace dana::storage {
 
-/// Hit/miss statistics of a BufferPool.
+/// Hit/miss statistics of a BufferPool, per tier. `hits`/`misses`/
+/// `evictions` are the buffer-pool (tier 0) counters; the `os_*`/`ssd_*`
+/// fields cover the modeled kernel page cache (tier 1) and the optional
+/// SSD capacity tier (tier 2): an `os_hit` is a pool miss served at
+/// OS-cache speed, an `os_miss` is a pool miss the OS tier did not hold.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t os_hits = 0;
+  uint64_t os_misses = 0;
+  uint64_t os_evictions = 0;
+  uint64_t ssd_hits = 0;
+  uint64_t ssd_evictions = 0;
   /// Accumulated simulated disk time spent servicing misses.
   dana::SimTime io_time;
 
@@ -33,7 +43,16 @@ struct BufferPoolStats {
   }
 };
 
-/// Fixed-capacity page cache with clock (second-chance) replacement.
+/// Fixed-capacity page cache at the top of an explicit tier hierarchy:
+///
+///   tier 0: buffer pool frames (this class's frames_), victim selection
+///           delegated to an EvictionPolicy (clock / lru / promotional);
+///   tier 1: modeled kernel page cache — under clock this is the legacy
+///           admit-until-full `os_cached_` set (bit-compatible with the
+///           seed pools); under lru/promotional it is an evicting,
+///           *exclusive* PageTier that pool victims demote into;
+///   tier 2: optional SSD-style capacity tier (lru/promotional only) that
+///           OS-tier victims cascade into before dropping to disk.
 ///
 /// This is the structure Striders interface with in the paper (Figure 2):
 /// the RDBMS executor fills the pool from disk and the FPGA reads resident
@@ -46,7 +65,7 @@ struct BufferPoolStats {
 /// is what lets one pool be shared across a slot's tables (the scheduler's
 /// physical residency ground truth) while per-workload pools keep their
 /// original behaviour, and it gives the pool exact per-table frame
-/// accounting (resident_frames(table)).
+/// accounting (resident_frames(table), tier_resident_frames(tier, table)).
 ///
 /// Internally table names are interned into dense per-pool ids (InternTable)
 /// and every frame, page key, and per-table counter is integer-keyed — a
@@ -57,12 +76,24 @@ struct BufferPoolStats {
 /// pages, not the name table — so callers may cache them across runs.
 class BufferPool {
  public:
+  /// Tier indices for the per-tier accessors and `tier<j>.*` gauges.
+  static constexpr size_t kPoolTier = 0;
+  static constexpr size_t kOsTier = 1;
+  static constexpr size_t kSsdTier = 2;
+
   /// Pool of `capacity_bytes / page_size` frames; `disk` supplies miss
-  /// costs. Misses for pages previously read (and still within
-  /// `os_cache_bytes` of distinct pages) are served at the OS-page-cache
-  /// rate instead of disk speed, modeling the kernel cache above the pool.
+  /// costs. Misses for pages held by the OS tier are served at the
+  /// OS-page-cache rate instead of disk speed, modeling the kernel cache
+  /// above the pool. `os_cache_bytes` semantics: UINT64_MAX keeps the
+  /// legacy unlimited set under clock (and disables the tier under
+  /// lru/promotional, which need a finite capacity); 0 disables the tier;
+  /// anything else caps it at that many bytes of distinct pages.
+  /// `ssd_cache_bytes > 0` adds the capacity tier below the OS tier
+  /// (effective under lru/promotional, where demotions cascade).
   BufferPool(uint64_t capacity_bytes, uint32_t page_size, DiskModel disk,
-             uint64_t os_cache_bytes = UINT64_MAX);
+             uint64_t os_cache_bytes = UINT64_MAX,
+             EvictionKind eviction = EvictionKind::kClock,
+             uint64_t ssd_cache_bytes = 0);
 
   /// Pool sized directly in frames — the shared per-slot residency pools
   /// are specified this way (scale-normalized units, not bytes).
@@ -70,6 +101,16 @@ class BufferPool {
                                   DiskModel disk) {
     return BufferPool(frames * static_cast<uint64_t>(page_size), page_size,
                       disk);
+  }
+  /// Frame-sized pool with an explicit policy and tier shape; `os_frames`
+  /// and `ssd_frames` of 0 disable the respective tier.
+  static BufferPool SizedInFrames(uint64_t frames, uint32_t page_size,
+                                  DiskModel disk, EvictionKind eviction,
+                                  uint64_t os_frames,
+                                  uint64_t ssd_frames = 0) {
+    const uint64_t ps = page_size;
+    return BufferPool(frames * ps, page_size, disk, os_frames * ps, eviction,
+                      ssd_frames * ps);
   }
 
   /// Dense id of logical table `name` in this pool, interning it on first
@@ -91,7 +132,10 @@ class BufferPool {
   /// FetchPage — on a miss. No page image is copied and no I/O time is
   /// charged (the caller prices I/O from measured service profiles; the
   /// pool's job here is to be the occupancy/eviction ground truth).
-  /// Hit/miss/eviction counters still advance. Returns true on a hit.
+  /// Hit/miss/eviction counters still advance. Under lru/promotional a
+  /// miss consults the lower tiers: an OS/SSD-tier hit promotes the page
+  /// into the pool and the displaced victim demotes down the hierarchy.
+  /// Returns true on a (pool) hit.
   bool TouchPage(uint32_t table_id, uint64_t page_no);
   bool TouchPage(const std::string& table, uint64_t page_no) {
     return TouchPage(InternTable(table), page_no);
@@ -107,11 +151,23 @@ class BufferPool {
     ScanTable(InternTable(table), pages);
   }
 
-  /// Fraction of a `pages`-page logical table currently resident, in
-  /// [0, 1]: resident_frames(table) / pages, clamped.
+  /// Fraction of a `pages`-page logical table currently resident in the
+  /// buffer pool (tier 0), in [0, 1]: resident_frames(table) / pages,
+  /// clamped.
   double ResidentShare(uint32_t table_id, uint64_t pages) const;
   double ResidentShare(const std::string& table, uint64_t pages) const {
     return ResidentShare(names_.Find(table), pages);
+  }
+
+  /// Fraction of a `pages`-page logical table held by `tier`
+  /// (kPoolTier/kOsTier/kSsdTier), clamped to [0, 1]. Under lru/promotional
+  /// the tiers are exclusive, so the per-tier shares of one table sum to at
+  /// most 1; under clock the legacy OS set is inclusive of the pool.
+  double TierResidentShare(size_t tier, uint32_t table_id,
+                           uint64_t pages) const;
+  double TierResidentShare(size_t tier, const std::string& table,
+                           uint64_t pages) const {
+    return TierResidentShare(tier, names_.Find(table), pages);
   }
 
   /// Loads the leading `fraction` of `table`'s pages (capped by the pool
@@ -120,15 +176,18 @@ class BufferPool {
   /// everything the pool can hold. Also marks the table OS-cache resident.
   void Prewarm(const Table& table, double fraction = 1.0);
 
-  /// Marks `table`'s pages resident in the OS page cache (up to the cache
-  /// capacity) without touching the pool: a prior query streamed them.
+  /// Marks `table`'s pages resident in the OS page cache without touching
+  /// the pool: a prior query streamed them. Under clock this is the legacy
+  /// admit-until-full set; under lru/promotional the tier evicts, so a
+  /// saturated tier rotates pages in (and cascades victims to the SSD
+  /// tier). Bumps version(): the OS tier is pricing state.
   void MarkOsCached(const Table& table);
 
   /// Fraction of `table` currently resident.
   double ResidentFraction(const Table& table) const;
 
-  /// Drops all cached pages and (optionally) statistics. Interned table
-  /// ids survive — they name tables, not pages.
+  /// Drops all cached pages in every tier and resets the policy state.
+  /// Interned table ids survive — they name tables, not pages.
   void Clear();
 
   const BufferPoolStats& stats() const { return stats_; }
@@ -150,6 +209,23 @@ class BufferPool {
   uint64_t resident_frames(const std::string& table) const {
     return resident_frames(names_.Find(table));
   }
+
+  /// Pages currently held by `tier`: tier 0 is resident_frames(), tier 1
+  /// the OS page-cache tier, tier 2 the SSD capacity tier.
+  uint64_t tier_resident_frames(size_t tier) const;
+  /// The per-table partition of tier_resident_frames(tier).
+  uint64_t tier_resident_frames(size_t tier, uint32_t table_id) const;
+  uint64_t tier_resident_frames(size_t tier, const std::string& table) const {
+    return tier_resident_frames(tier, names_.Find(table));
+  }
+
+  EvictionKind eviction() const { return eviction_; }
+  /// Capacity of the OS tier in pages (UINT64_MAX = unlimited legacy set).
+  uint64_t os_cache_pages() const {
+    return eviction_ == EvictionKind::kClock ? os_cache_pages_
+                                             : os_tier_.capacity();
+  }
+
   /// Name of the table the pool most recently served (FetchPage, TouchPage,
   /// or Prewarm); empty for a fresh or cleared pool. In shared-pool mode
   /// this is the table whose sweep last reshaped the cache.
@@ -160,12 +236,13 @@ class BufferPool {
                : names_.Name(last_table_id_);
   }
 
-  /// Monotone counter bumped whenever pool contents change (a page install
-  /// or a Clear). Two reads returning the same value bracket a window in
-  /// which every frame held the same page with the same reference bit —
-  /// pure hits set bits that were already set — so a caller that swept the
-  /// pool can recognise an undisturbed repeat and skip it (the executor's
-  /// slice memoization).
+  /// Monotone counter bumped whenever cached contents change in *any*
+  /// tier — a page install, a Clear, or an OS/SSD-tier mutation
+  /// (MarkOsCached, the Fetch-path OS admission). Two reads returning the
+  /// same value bracket a window in which every tier held the same pages
+  /// in the same replacement order — pure hits set bits that were already
+  /// set — so a caller that swept the pool can recognise an undisturbed
+  /// repeat and skip it (the executor's slice memoization).
   uint64_t version() const { return version_; }
 
   uint64_t num_frames() const { return frames_.size(); }
@@ -174,7 +251,9 @@ class BufferPool {
 
   /// Publishes this pool's counters and occupancy as gauges under
   /// `<prefix>.` (hits, misses, evictions, hit_rate, io_time_s,
-  /// resident_frames); a null registry is a no-op.
+  /// resident_frames) plus per-tier gauges under `<prefix>.tier<j>.*`
+  /// (tier 2 only when the SSD tier is enabled); a null registry is a
+  /// no-op.
   void PublishTo(obs::MetricRegistry* metrics,
                  const std::string& prefix) const;
 
@@ -184,27 +263,18 @@ class BufferPool {
     uint32_t table_id = dana::Interner::kInvalidId;
     uint64_t page_no = 0;
     bool valid = false;
-    bool referenced = false;
   };
-  /// Page identity: interned table id + page number. Two integers — the
-  /// maps below never hash or compare a string on the touch path.
-  struct Key {
-    uint32_t table_id;
-    uint64_t page_no;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      // Fibonacci mixing of the two fields; page numbers are sequential,
-      // so the multiply is what spreads neighbouring pages across buckets.
-      return static_cast<size_t>(
-          (k.page_no * 0x9E3779B97F4A7C15ull) ^
-          (static_cast<uint64_t>(k.table_id) * 0xC2B2AE3D27D4EB4Full));
-    }
-  };
+  /// Page identity: interned table id + page number (shared with the
+  /// lower tiers).
+  using Key = PageKey;
+  using KeyHash = PageKeyHash;
 
-  /// Picks a victim frame via the clock hand and returns its index.
-  size_t EvictOne();
+  /// Returns a frame to install into: the next never-filled frame while
+  /// the pool is filling (no policy involved — matches the seed, whose
+  /// clock hand always sat on the first invalid frame), else the policy's
+  /// victim, evicted; under lru/promotional the victim demotes into the
+  /// OS tier.
+  size_t AllocFrame();
 
   /// Indexes frame `idx` as (table_id, page_no), copying the page image
   /// from `src` when given (FetchPage/Prewarm) and leaving the frame
@@ -212,11 +282,30 @@ class BufferPool {
   void Install(size_t idx, uint32_t table_id, uint64_t page_no,
                const uint8_t* src);
 
+  // Pool-tier policy dispatch: switch on eviction_ through concrete
+  // (final) pointers — no virtual calls on the touch path.
+  void PoolOnInsert(size_t idx);
+  void PoolOnAccess(size_t idx);
+  size_t PoolPickVictim();
+
+  /// Demotes an evicted pool page into the OS tier, cascading that tier's
+  /// victim into the SSD tier (lru/promotional only).
+  void DemoteToOs(const Key& key);
+
+  /// Grows/increments the legacy clock-mode per-table OS-set count.
+  void BumpOsCount(uint32_t table_id);
+
   uint32_t page_size_;
   DiskModel disk_;
+  EvictionKind eviction_ = EvictionKind::kClock;
   std::vector<Frame> frames_;
   std::unordered_map<Key, size_t, KeyHash> map_;
-  size_t clock_hand_ = 0;
+  /// Next never-filled frame; only consulted while resident < capacity.
+  size_t fill_cursor_ = 0;
+  // Pool-tier policy: exactly one is non-null, selected by eviction_.
+  std::unique_ptr<ClockEvictionPolicy> pool_clock_;
+  std::unique_ptr<LruEvictionPolicy> pool_lru_;
+  std::unique_ptr<PromotionalEvictionPolicy> pool_promotional_;
   BufferPoolStats stats_;
   uint64_t resident_frames_ = 0;
   /// Interned table names; ids index per_table_frames_ and key the maps.
@@ -225,9 +314,15 @@ class BufferPool {
   std::vector<uint64_t> per_table_frames_;
   uint32_t last_table_id_ = dana::Interner::kInvalidId;
   uint64_t version_ = 0;
-  /// Pages currently held by the (modeled) OS page cache.
+  /// Clock mode only: the legacy admit-until-full OS page-cache set and
+  /// its per-table partition (bit-compatible with the seed pools).
   std::unordered_set<Key, KeyHash> os_cached_;
+  std::vector<uint64_t> os_per_table_;
   uint64_t os_cache_pages_ = UINT64_MAX;
+  /// lru/promotional: the evicting OS and SSD tiers (exclusive of the
+  /// pool; disabled tiers have capacity 0).
+  PageTier os_tier_;
+  PageTier ssd_tier_;
 };
 
 /// A set of identically-sized buffer pools, one per accelerator slot.
@@ -250,9 +345,12 @@ class BufferPool {
 class BufferPoolGroup {
  public:
   /// Sizing template applied to every pool in the group; `Resize` creates
-  /// new pools from it on demand.
+  /// new pools from it on demand. `eviction` and the tier capacities have
+  /// BufferPool's constructor semantics.
   BufferPoolGroup(uint64_t capacity_bytes_per_pool, uint32_t page_size,
-                  DiskModel disk, uint64_t os_cache_bytes_per_pool = UINT64_MAX);
+                  DiskModel disk, uint64_t os_cache_bytes_per_pool = UINT64_MAX,
+                  EvictionKind eviction = EvictionKind::kClock,
+                  uint64_t ssd_cache_bytes_per_pool = 0);
 
   /// Grows (never shrinks below 1) the group to `n` pools; existing pools
   /// keep their cached state.
@@ -283,8 +381,9 @@ class BufferPoolGroup {
   void ClearAll();
 
   /// Publishes the group's rollup under `<prefix>.` plus each slot's pool
-  /// under `<prefix>.slot<i>.` (BufferPool::PublishTo); a null registry is
-  /// a no-op.
+  /// under `<prefix>.slot<i>.` (BufferPool::PublishTo, which adds the
+  /// per-tier `<prefix>.slot<i>.tier<j>.*` gauges); a null registry is a
+  /// no-op.
   void PublishTo(obs::MetricRegistry* metrics,
                  const std::string& prefix = "pool") const;
 
@@ -295,6 +394,8 @@ class BufferPoolGroup {
   uint32_t page_size_;
   DiskModel disk_;
   uint64_t os_cache_bytes_;
+  EvictionKind eviction_;
+  uint64_t ssd_cache_bytes_;
   /// Guards the pools_ vector (growth + indexing), not the pools' state.
   mutable std::mutex grow_mu_;
   std::vector<std::unique_ptr<BufferPool>> pools_;

@@ -37,8 +37,18 @@ double CacheResidencyModel::ResidentFraction(uint32_t slot,
   return it != entries.end() && it->table_id == tid ? it->resident : 0.0;
 }
 
+double CacheResidencyModel::OsResidentFraction(
+    uint32_t slot, const std::string& table) const {
+  if (slot >= slots_.size()) return 0.0;
+  const uint32_t tid = names_.Find(table);
+  if (tid == dana::Interner::kInvalidId) return 0.0;
+  auto& entries = const_cast<SlotEntries&>(slots_[slot]);
+  auto it = LowerBound(entries, tid);
+  return it != entries.end() && it->table_id == tid ? it->os_resident : 0.0;
+}
+
 void CacheResidencyModel::OnRun(uint32_t slot, const std::string& table,
-                                double size_ratio) {
+                                double size_ratio, double os_ratio) {
   size_ratio = std::max(size_ratio, 1e-9);
   if (slot >= slots_.size()) slots_.resize(slot + 1);
   SlotEntries& entries = slots_[slot];
@@ -68,13 +78,27 @@ void CacheResidencyModel::OnRun(uint32_t slot, const std::string& table,
                           ? (others - evicted) / others
                           : 0.0;
   // Decay the co-located tables in place (name order, like the map walk
-  // this replaces), dropping entries that fall below the floor.
+  // this replaces), dropping entries that fall below the floor. With an OS
+  // tier, the share a table loses to this run's installs demotes into its
+  // OS share instead of vanishing (the physical pools cascade victims the
+  // same way), and an entry survives on OS share alone.
   size_t w = 0;
   for (size_t r = 0; r < entries.size(); ++r) {
     Entry e = entries[r];
     if (e.table_id != tid) {
+      const double before = e.resident;
       e.resident *= keep;
-      if (e.resident < kResidencyFloor) continue;
+      if (os_ratio > 0.0) {
+        const double demoted = before - e.resident;
+        e.os_resident = std::min(1.0 - e.resident, e.os_resident + demoted);
+        if (e.os_resident < kResidencyFloor) e.os_resident = 0.0;
+        if (e.resident < kResidencyFloor) {
+          e.resident = 0.0;
+          if (e.os_resident <= 0.0) continue;
+        }
+      } else if (e.resident < kResidencyFloor) {
+        continue;
+      }
     }
     entries[w++] = e;
   }
@@ -87,6 +111,26 @@ void CacheResidencyModel::OnRun(uint32_t slot, const std::string& table,
   }
   it->size_ratio = size_ratio;
   it->resident = PostRunResidency(size_ratio);
+  if (os_ratio > 0.0) {
+    // The scanned table's pool overflow streamed through the tier: its
+    // leading window (what the pool could not keep) is the freshest OS
+    // content, capped by the tier's capacity in working-set units.
+    it->os_resident =
+        std::min(1.0 - it->resident, os_ratio / size_ratio);
+    if (it->os_resident < kResidencyFloor) it->os_resident = 0.0;
+    // Normalize the tier to its capacity: total OS share (os_resident *
+    // size_ratio, the same units as pool shares) cannot exceed os_ratio —
+    // the proportional analogue of the tier evicting.
+    double total = 0.0;
+    for (const Entry& e : entries) total += e.os_resident * e.size_ratio;
+    if (total > os_ratio) {
+      const double scale = os_ratio / total;
+      for (Entry& e : entries) {
+        e.os_resident *= scale;
+        if (e.os_resident < kResidencyFloor) e.os_resident = 0.0;
+      }
+    }
+  }
 }
 
 void CacheResidencyModel::Reset() {

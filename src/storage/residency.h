@@ -43,6 +43,11 @@ class CacheResidencyModel {
   /// 0 (cold) for slots or tables never seen.
   double ResidentFraction(uint32_t slot, const std::string& table) const;
 
+  /// Fraction of `table`'s working set the ledger predicts the slot's OS
+  /// page-cache tier to hold (exclusive of the pool share above). Always 0
+  /// unless runs were recorded with a nonzero `os_ratio`.
+  double OsResidentFraction(uint32_t slot, const std::string& table) const;
+
   /// Records a full-scan run of `table` on `slot`. `size_ratio` is the
   /// table's page count over the slot pool's frame count: ratios <= 1 leave
   /// the table fully resident, larger tables end with `1 / size_ratio` of
@@ -52,7 +57,17 @@ class CacheResidencyModel {
   /// sweep, and the update is idempotent for an undisturbed repeat, so a
   /// preempted table stays resident until an intervening query's sweep
   /// evicts it.
-  void OnRun(uint32_t slot, const std::string& table, double size_ratio);
+  ///
+  /// `os_ratio` is the OS tier's capacity over the pool's frame count
+  /// (0 = no tier, the legacy arithmetic bit for bit). With a tier, the
+  /// ledger predicts the exclusive demotion cascade coarsely: pool share a
+  /// co-located table loses to this run's installs demotes into its OS
+  /// share, the scanned table's own overflow (the window the pool cannot
+  /// hold) streams into the tier, and the tier's total share is normalized
+  /// to its capacity — the proportional analogue of the physical tiers'
+  /// victim rotation.
+  void OnRun(uint32_t slot, const std::string& table, double size_ratio,
+             double os_ratio = 0.0);
 
   /// Residency a run of size ratio `size_ratio` leaves behind: the whole
   /// table when it fits the pool, its trailing pool-sized window otherwise.
@@ -82,6 +97,9 @@ class CacheResidencyModel {
     uint32_t table_id = 0;
     double resident = 0.0;    ///< fraction of the table's working set
     double size_ratio = 1.0;  ///< table pages / pool frames
+    /// Predicted OS-tier share of the working set (exclusive of
+    /// `resident`); nonzero only when runs carry an os_ratio.
+    double os_resident = 0.0;
   };
   /// Entries of one slot, sorted by interned table *name*.
   using SlotEntries = std::vector<Entry>;

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/eviction_policy.h"
+
+namespace dana::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Clock bit-compatibility
+// ---------------------------------------------------------------------------
+
+/// Reference implementation of the seed buffer pool's replacement: frames
+/// fill in order, each hit sets the frame's reference bit, and a full pool
+/// runs the classic second-chance hand sweep from where it last stopped.
+/// The refactored pool delegates victim selection to ClockEvictionPolicy;
+/// this simulator pins that the delegation reproduced the seed behaviour
+/// decision for decision.
+class ReferenceClock {
+ public:
+  explicit ReferenceClock(size_t frames) : ref_(frames, 0) {}
+
+  /// Touches (table, page); returns true on hit. `evicted` reports the
+  /// frame index evicted this touch, or -1.
+  bool Touch(uint32_t table, uint64_t page, int* evicted) {
+    *evicted = -1;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i].first == table && keys_[i].second == page) {
+        ref_[i] = 1;
+        return true;
+      }
+    }
+    if (keys_.size() < ref_.size()) {
+      keys_.emplace_back(table, page);
+      ref_[keys_.size() - 1] = 1;
+      return false;
+    }
+    while (ref_[hand_] != 0) {
+      ref_[hand_] = 0;
+      hand_ = (hand_ + 1) % ref_.size();
+    }
+    *evicted = static_cast<int>(hand_);
+    ++evictions_;
+    keys_[hand_] = {table, page};
+    ref_[hand_] = 1;
+    hand_ = (hand_ + 1) % ref_.size();
+    return false;
+  }
+
+  uint64_t evictions() const { return evictions_; }
+  size_t resident() const { return keys_.size(); }
+
+ private:
+  std::vector<std::pair<uint32_t, uint64_t>> keys_;
+  std::vector<uint8_t> ref_;
+  size_t hand_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+TEST(ClockCompatTest, MatchesReferenceClockOnRandomTrace) {
+  constexpr size_t kFrames = 16;
+  auto pool = BufferPool::SizedInFrames(kFrames, 8 * 1024, DiskModel{},
+                                        EvictionKind::kClock,
+                                        /*os_frames=*/0);
+  ReferenceClock ref(kFrames);
+  const uint32_t t0 = pool.InternTable("a");
+  const uint32_t t1 = pool.InternTable("b");
+  // Deterministic mixed trace: two tables, 48 distinct pages, enough
+  // re-references that reference bits and hand position both matter.
+  uint64_t x = 0x243F6A8885A308D3ull;
+  for (int step = 0; step < 4000; ++step) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const uint32_t table = (x >> 33) & 1 ? t1 : t0;
+    const uint64_t page = (x >> 40) % 24;
+    int evicted = -1;
+    const bool ref_hit = ref.Touch(table, page, &evicted);
+    const bool pool_hit = pool.TouchPage(table, page);
+    ASSERT_EQ(pool_hit, ref_hit) << "step " << step;
+    ASSERT_EQ(pool.resident_frames(), ref.resident()) << "step " << step;
+    ASSERT_EQ(pool.stats().evictions, ref.evictions()) << "step " << step;
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+}
+
+TEST(ClockCompatTest, OversizedScanKeepsMissingOnRescan) {
+  // The seed invariant the sched suites depend on: a cyclic sequential
+  // scan of a table larger than the pool never hits (each touch evicts
+  // the page the scan will want next).
+  auto pool = BufferPool::SizedInFrames(8, 8 * 1024, DiskModel{},
+                                        EvictionKind::kClock, 0);
+  const uint32_t tid = pool.InternTable("big");
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t p = 0; p < 12; ++p) {
+      EXPECT_FALSE(pool.TouchPage(tid, p)) << "pass " << pass << " p " << p;
+    }
+  }
+  EXPECT_EQ(pool.resident_frames(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// LRU vs clock divergence
+// ---------------------------------------------------------------------------
+
+TEST(LruEvictionTest, DivergesFromClockOnCraftedTrace) {
+  // Crafted 3-frame trace where recency order and hand order part ways:
+  //   touch 0,1,2 (fill), 3 (evict 0), 4 (evict 1), 2 (hit), 5
+  // At the last touch clock's hand sweep clears every reference bit and
+  // evicts page 2 (the only hit of the trace), while LRU protects the
+  // recently-used page 2 and evicts page 3 (the least recent).
+  auto clock_pool = BufferPool::SizedInFrames(3, 8 * 1024, DiskModel{},
+                                              EvictionKind::kClock, 0);
+  auto lru_pool = BufferPool::SizedInFrames(3, 8 * 1024, DiskModel{},
+                                            EvictionKind::kLru, 0);
+  for (BufferPool* pool : {&clock_pool, &lru_pool}) {
+    const uint32_t tid = pool->InternTable("t");
+    for (uint64_t p : {0u, 1u, 2u, 3u, 4u}) {
+      EXPECT_FALSE(pool->TouchPage(tid, p));
+    }
+    EXPECT_TRUE(pool->TouchPage(tid, 2));
+    EXPECT_FALSE(pool->TouchPage(tid, 5));
+  }
+  // The policies now disagree about page 2.
+  EXPECT_FALSE(clock_pool.TouchPage(clock_pool.InternTable("t"), 2));
+  EXPECT_TRUE(lru_pool.TouchPage(lru_pool.InternTable("t"), 2));
+}
+
+// ---------------------------------------------------------------------------
+// Promotional (SLRU-style) promotion/demotion order
+// ---------------------------------------------------------------------------
+
+TEST(PromotionalEvictionTest, ReReferencePromotesAndProbationEvictsFirst) {
+  // 4 frames, protected capacity 2. Insert 0..3 (all probationary), then
+  // re-reference 1 and 0 (promote to protected), then 2 (protected
+  // overflows, demoting 1 back to probationary MRU). The next miss must
+  // take the probationary LRU — page 3, never touched since insert.
+  auto pool = BufferPool::SizedInFrames(4, 8 * 1024, DiskModel{},
+                                        EvictionKind::kPromotional, 0);
+  const uint32_t tid = pool.InternTable("t");
+  for (uint64_t p : {0u, 1u, 2u, 3u}) {
+    EXPECT_FALSE(pool.TouchPage(tid, p));
+  }
+  EXPECT_TRUE(pool.TouchPage(tid, 1));  // probation -> protected
+  EXPECT_TRUE(pool.TouchPage(tid, 0));  // probation -> protected (full)
+  EXPECT_TRUE(pool.TouchPage(tid, 2));  // promotes; demotes 1 to probation
+  EXPECT_FALSE(pool.TouchPage(tid, 4));  // evicts probationary LRU = 3
+  EXPECT_TRUE(pool.TouchPage(tid, 1));
+  EXPECT_TRUE(pool.TouchPage(tid, 0));
+  EXPECT_TRUE(pool.TouchPage(tid, 2));
+  EXPECT_FALSE(pool.TouchPage(tid, 3));  // 3 was the victim
+}
+
+TEST(PromotionalEvictionTest, ProtectedSurvivesScanFlood) {
+  // The ZNCache property the tier sweep banks on: a hot, re-referenced
+  // working set in the protected segment survives a one-pass cold scan
+  // that would flood clock or LRU.
+  auto pool = BufferPool::SizedInFrames(8, 8 * 1024, DiskModel{},
+                                        EvictionKind::kPromotional, 0);
+  const uint32_t hot = pool.InternTable("hot");
+  const uint32_t cold = pool.InternTable("cold");
+  for (uint64_t p = 0; p < 4; ++p) pool.TouchPage(hot, p);
+  for (uint64_t p = 0; p < 4; ++p) EXPECT_TRUE(pool.TouchPage(hot, p));
+  for (uint64_t p = 0; p < 16; ++p) pool.TouchPage(cold, p);  // flood
+  for (uint64_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(pool.TouchPage(hot, p)) << "hot page " << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OS-tier admission after saturation (the fixed bug) and demotion cascade
+// ---------------------------------------------------------------------------
+
+TEST(PageTierTest, FullTierEvictsInsteadOfRefusingAdmission) {
+  // The legacy os_cached_ set admitted until full and then never changed:
+  // a page first read after saturation could never become OS-cached. The
+  // PageTier must instead displace a victim — for every policy.
+  for (EvictionKind kind : {EvictionKind::kClock, EvictionKind::kLru,
+                            EvictionKind::kPromotional}) {
+    PageTier tier(kind, 3);
+    const PageKey k1{0, 1}, k2{0, 2}, k3{0, 3}, k4{0, 4};
+    EXPECT_FALSE(tier.Insert(k1, nullptr));
+    EXPECT_FALSE(tier.Insert(k2, nullptr));
+    EXPECT_FALSE(tier.Insert(k3, nullptr));
+    ASSERT_EQ(tier.resident(), 3u);
+    tier.Touch(k2);  // k2 is hot; a sane policy spares it
+    PageKey evicted{0, 0};
+    EXPECT_TRUE(tier.Insert(k4, &evicted)) << EvictionKindName(kind);
+    EXPECT_TRUE(tier.Contains(k4)) << EvictionKindName(kind);
+    EXPECT_FALSE(evicted == k2 && tier.Contains(k2) == false)
+        << EvictionKindName(kind);
+    EXPECT_TRUE(tier.Contains(k2)) << EvictionKindName(kind);
+    EXPECT_EQ(tier.resident(), 3u);
+    EXPECT_EQ(tier.evictions(), 1u);
+  }
+}
+
+TEST(TieredPoolTest, PostSaturationHotPageDisplacesColdOne) {
+  // End to end through the BufferPool: with an evicting OS tier, a page
+  // demoted after the tier saturates still gets admitted (displacing a
+  // colder one) — the regression the never-evicting set failed.
+  auto pool = BufferPool::SizedInFrames(2, 8 * 1024, DiskModel{},
+                                        EvictionKind::kLru,
+                                        /*os_frames=*/2);
+  const uint32_t tid = pool.InternTable("t");
+  // Touch 0..5: the pool keeps the trailing 2 pages, the OS tier receives
+  // the demotions and keeps ITS trailing 2 — the tier kept evicting long
+  // after it first filled.
+  for (uint64_t p = 0; p < 6; ++p) pool.TouchPage(tid, p);
+  EXPECT_EQ(pool.tier_resident_frames(BufferPool::kOsTier), 2u);
+  EXPECT_GT(pool.stats().os_evictions, 0u);
+  // Pool holds {4, 5}; OS tier holds the latest demotions {2, 3}.
+  EXPECT_TRUE(pool.TouchPage(tid, 4));
+  EXPECT_TRUE(pool.TouchPage(tid, 5));
+  const uint64_t os_hits_before = pool.stats().os_hits;
+  pool.TouchPage(tid, 3);  // OS-tier hit: promoted back into the pool
+  EXPECT_EQ(pool.stats().os_hits, os_hits_before + 1);
+}
+
+TEST(TieredPoolTest, OsHitPromotesAndExclusivityHolds) {
+  auto pool = BufferPool::SizedInFrames(2, 8 * 1024, DiskModel{},
+                                        EvictionKind::kLru, 4);
+  const uint32_t tid = pool.InternTable("t");
+  for (uint64_t p = 0; p < 4; ++p) pool.TouchPage(tid, p);
+  // Pool {2, 3}; OS {0, 1}. A page is never in both tiers at once.
+  EXPECT_EQ(pool.resident_frames(), 2u);
+  EXPECT_EQ(pool.tier_resident_frames(BufferPool::kOsTier), 2u);
+  pool.TouchPage(tid, 0);  // promote 0; demote pool victim (2) to OS
+  EXPECT_TRUE(pool.TouchPage(tid, 0));
+  EXPECT_EQ(pool.resident_frames() +
+                pool.tier_resident_frames(BufferPool::kOsTier),
+            4u);
+  EXPECT_EQ(pool.stats().os_hits, 1u);
+}
+
+TEST(TieredPoolTest, SsdTierCatchesOsDemotions) {
+  // Optional third tier: OS victims cascade to the SSD-style capacity
+  // tier instead of dropping.
+  auto pool = BufferPool::SizedInFrames(2, 8 * 1024, DiskModel{},
+                                        EvictionKind::kLru,
+                                        /*os_frames=*/2, /*ssd_frames=*/4);
+  const uint32_t tid = pool.InternTable("t");
+  for (uint64_t p = 0; p < 8; ++p) pool.TouchPage(tid, p);
+  EXPECT_EQ(pool.resident_frames(), 2u);
+  EXPECT_EQ(pool.tier_resident_frames(BufferPool::kOsTier), 2u);
+  EXPECT_GT(pool.tier_resident_frames(BufferPool::kSsdTier), 0u);
+  const uint64_t ssd_hits_before = pool.stats().ssd_hits;
+  pool.TouchPage(tid, 2);  // long-demoted page: only the SSD tier has it
+  EXPECT_EQ(pool.stats().ssd_hits, ssd_hits_before + 1);
+}
+
+TEST(TieredPoolTest, TierResidentShareSplitsByTable) {
+  auto pool = BufferPool::SizedInFrames(4, 8 * 1024, DiskModel{},
+                                        EvictionKind::kPromotional, 8);
+  const uint32_t a = pool.InternTable("a");
+  const uint32_t b = pool.InternTable("b");
+  pool.ScanTable(a, 8);
+  pool.ScanTable(b, 4);
+  const double a_pool = pool.ResidentShare(a, 8);
+  const double a_os = pool.TierResidentShare(BufferPool::kOsTier, a, 8);
+  const double b_pool = pool.ResidentShare(b, 4);
+  const double b_os = pool.TierResidentShare(BufferPool::kOsTier, b, 4);
+  // Shares are per-table fractions in [0, 1]; the tiers are exclusive, so
+  // each table's pool + OS shares never exceed 1, and b's scan displaced
+  // a into the tier.
+  EXPECT_LE(a_pool + a_os, 1.0 + 1e-12);
+  EXPECT_LE(b_pool + b_os, 1.0 + 1e-12);
+  EXPECT_GT(a_os, 0.0);
+  EXPECT_GT(b_pool, 0.0);
+}
+
+TEST(TieredPoolTest, ClearResetsEveryTier) {
+  auto pool = BufferPool::SizedInFrames(2, 8 * 1024, DiskModel{},
+                                        EvictionKind::kLru, 2, 2);
+  const uint32_t tid = pool.InternTable("t");
+  for (uint64_t p = 0; p < 8; ++p) pool.TouchPage(tid, p);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_frames(), 0u);
+  EXPECT_EQ(pool.tier_resident_frames(BufferPool::kOsTier), 0u);
+  EXPECT_EQ(pool.tier_resident_frames(BufferPool::kSsdTier), 0u);
+  // And the trace replays identically from the cleared state.
+  for (uint64_t p = 0; p < 8; ++p) EXPECT_FALSE(pool.TouchPage(tid, p));
+  EXPECT_EQ(pool.tier_resident_frames(BufferPool::kOsTier), 2u);
+}
+
+TEST(EvictionKindTest, ParseRoundTripsAndRejectsUnknown) {
+  for (EvictionKind kind : {EvictionKind::kClock, EvictionKind::kLru,
+                            EvictionKind::kPromotional}) {
+    auto parsed = ParseEvictionKind(EvictionKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseEvictionKind("mru").ok());
+}
+
+}  // namespace
+}  // namespace dana::storage

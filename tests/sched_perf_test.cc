@@ -27,6 +27,9 @@
 #include "sched/executor.h"
 #include "sched/scheduler.h"
 #include "sched/workload_driver.h"
+#include "storage/buffer_pool.h"
+#include "storage/schema.h"
+#include "storage/table.h"
 
 namespace dana::sched {
 namespace {
@@ -332,6 +335,83 @@ TEST(SchedPerfEquivalenceTest, SliceMemoizationPreservesTheSchedule) {
     return RunOutcome{std::move(*report), registry.ToJson().Dump()};
   };
   ExpectIdenticalOutcomes(run(false), run(true), "memoize");
+}
+
+TEST(SchedPerfEquivalenceTest, SliceMemoizationPreservesTheTieredSchedule) {
+  // Same pin with the evicting OS tier configured: demotions, OS-tier
+  // promotions, and the three-endpoint pricing all feed the memo key, so
+  // the schedule must still be bit-identical with memoization on and off.
+  DriverOptions dopts;
+  dopts.seed = 0xDA7A;
+  dopts.num_queries = 14;
+  dopts.arrival_rate_qps = 0.02;
+  dopts.popularity = Popularity::kZipfian;
+  dopts.zipf_exponent = 1.2;
+  dopts.interactive_ranks = 1;
+  WorkloadDriver driver({"wlan", "sn_lrmf", "sn_linear"}, dopts);
+  auto stream = driver.Generate();
+  ASSERT_TRUE(stream.ok());
+
+  auto run = [&](bool memoize) {
+    DanaQueryExecutor::Options eopts;
+    eopts.memoize_slices = memoize;
+    eopts.eviction = storage::EvictionKind::kLru;
+    eopts.os_frames = 4096;
+    DanaQueryExecutor executor(eopts);
+    obs::MetricRegistry registry;
+    Scheduler scheduler({.slots = 2,
+                         .policy = Policy::kSjf,
+                         .max_batch = 2,
+                         .affinity_weight = 0.5,
+                         .preemption_quantum_epochs = 2,
+                         .context_switch_cost = dana::SimTime::Millis(50),
+                         .metrics = &registry},
+                        &executor);
+    auto report = scheduler.Run(*stream);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return RunOutcome{std::move(*report), registry.ToJson().Dump()};
+  };
+  ExpectIdenticalOutcomes(run(false), run(true), "memoize/tiered");
+}
+
+// ---------------------------------------------------------------------------
+// OS-tier mutations vs slice memoization: version() is the contract
+// ---------------------------------------------------------------------------
+
+TEST(SliceMemoizationVersionTest, OsTierMutationsBumpPoolVersion) {
+  // The memo's "undisturbed pool" check is two version() reads bracketing
+  // the sweep, so an OS-tier reshape the sweep did not see must bump the
+  // counter — otherwise memoize_slices serves a sweep priced against a
+  // tier layout that no longer exists. A genuinely idempotent re-mark
+  // (clock's admit-until-full set, already holding every page) must NOT
+  // bump it: that is exactly the repeat the memo exists to skip.
+  storage::PageLayout layout;
+  layout.page_size = 8 * 1024;
+  storage::Table table("t", storage::Schema::Dense(100), layout);
+  std::vector<double> row(101, 1.0);
+  while (table.num_pages() < 6) {
+    ASSERT_TRUE(table.AppendRow(row).ok());
+  }
+
+  for (storage::EvictionKind kind :
+       {storage::EvictionKind::kClock, storage::EvictionKind::kLru,
+        storage::EvictionKind::kPromotional}) {
+    auto pool = storage::BufferPool::SizedInFrames(
+        4, 8 * 1024, storage::DiskModel{}, kind, /*os_frames=*/8);
+    const uint64_t fresh = pool.version();
+    pool.MarkOsCached(table);
+    const uint64_t marked = pool.version();
+    EXPECT_GT(marked, fresh) << storage::EvictionKindName(kind);
+    pool.MarkOsCached(table);
+    if (kind == storage::EvictionKind::kClock) {
+      // Every page already admitted: nothing changed, nothing bumped.
+      EXPECT_EQ(pool.version(), marked) << storage::EvictionKindName(kind);
+    } else {
+      // The evicting tiers re-reference every page, which reorders the
+      // replacement queues — future victims differ, so it must count.
+      EXPECT_GT(pool.version(), marked) << storage::EvictionKindName(kind);
+    }
+  }
 }
 
 }  // namespace

@@ -73,7 +73,8 @@ void PrintHelp(std::FILE* out) {
       "        [--group public|sn|se|all] [--batch K] [--aging W]\n"
       "        [--affinity W] [--closed-loop] [--think-ms MS] [--sessions N]\n"
       "        [--interactive R] [--quantum E] [--ctx-ms MS] [--window-ms MS]\n"
-      "        [--pool-frames F] [--metrics-json FILE] [--trace-out FILE]\n"
+      "        [--pool-frames F] [--eviction clock|lru|promotional]\n"
+      "        [--os-frames F] [--metrics-json FILE] [--trace-out FILE]\n"
       "        [--metrics-table] [--runtime simulated|threaded]\n"
       "                            schedule a multi-query request stream\n"
       "                            onto N simulated accelerator slots;\n"
@@ -95,6 +96,14 @@ void PrintHelp(std::FILE* out) {
       "                            reports the mean measured residency at\n"
       "                            dispatch. --pool-frames 0 selects the\n"
       "                            legacy logical-ledger pricing.\n"
+      "                            Memory hierarchy: --eviction picks the\n"
+      "                            pools' replacement policy (clock is the\n"
+      "                            pinned legacy behaviour); --os-frames F\n"
+      "                            adds a modeled OS page-cache tier of F\n"
+      "                            frames below each slot pool (demoted\n"
+      "                            pages re-read cheaper than disk; needs\n"
+      "                            lru or promotional). The warm column\n"
+      "                            then splits into pool/os shares.\n"
       "                            Priority classes & preemption:\n"
       "                            --interactive R tags the R hottest\n"
       "                            catalog ranks latency-sensitive; with\n"
@@ -401,6 +410,27 @@ int CmdSched(int argc, char** argv) {
     std::fprintf(stderr, "--pool-frames must be in 0..2^20\n");
     return 2;
   }
+  // Tiered hierarchy: replacement policy of the slot pools and an optional
+  // modeled OS page-cache tier below them. Clock is the pinned legacy
+  // hierarchy and never runs an evicting OS tier.
+  auto eviction =
+      storage::ParseEvictionKind(Flag(argc, argv, "--eviction", "clock"));
+  if (!eviction.ok()) {
+    std::fprintf(stderr, "%s\n", eviction.status().ToString().c_str());
+    return 2;
+  }
+  const long long os_frames =
+      std::atoll(Flag(argc, argv, "--os-frames", "0"));
+  if (os_frames < 0 || os_frames > (1ll << 20)) {
+    std::fprintf(stderr, "--os-frames must be in 0..2^20\n");
+    return 2;
+  }
+  if (os_frames > 0 && *eviction == storage::EvictionKind::kClock) {
+    std::fprintf(stderr,
+                 "--os-frames needs an evicting policy: choose --eviction "
+                 "lru or promotional for the evicting OS tier\n");
+    return 2;
+  }
 
   sched::DriverOptions driver_opts;
   driver_opts.num_queries = static_cast<uint32_t>(queries);
@@ -458,6 +488,8 @@ int CmdSched(int argc, char** argv) {
   if (pool_frames > 0) {
     executor_opts.pool_frames = static_cast<uint64_t>(pool_frames);
   }
+  executor_opts.eviction = *eviction;
+  executor_opts.os_frames = static_cast<uint64_t>(os_frames);
   executor_opts.metrics = want_obs ? &registry : nullptr;
   sched::DanaQueryExecutor executor(executor_opts);
   driver_opts.sessions = static_cast<uint32_t>(sessions);
@@ -545,8 +577,11 @@ int CmdSched(int argc, char** argv) {
   const bool preemptive = quantum > 0 || window_ms > 0;
   // With physical pools on, the mean warm fraction is *measured* per-slot
   // pool residency at dispatch ("phys warm"); with --pool-frames 0 it is
-  // the logical ledger's prediction.
-  const char* warm_column = pool_frames > 0 ? "phys warm" : "mean warm";
+  // the logical ledger's prediction. With an OS tier the column splits
+  // into the pool share and the os-tier share (exclusive tiers).
+  const bool tiered = os_frames > 0;
+  const char* warm_column =
+      tiered ? "pool/os warm" : (pool_frames > 0 ? "phys warm" : "mean warm");
   std::vector<std::string> columns = {
       "policy", "throughput (q/h)", "mean lat", "p50", "p95", "p99",
       "mean wait", "makespan", "mean batch", "warm hits", warm_column,
@@ -596,7 +631,9 @@ int CmdSched(int argc, char** argv) {
         report->makespan.ToString(),
         TablePrinter::Fmt(report->MeanBatchSize(), 2),
         warm_hits_cell(report->WarmHitRate()),
-        warm_frac_cell(report->MeanWarmFraction()),
+        tiered ? warm_frac_cell(report->MeanWarmFraction()) + "/" +
+                     warm_frac_cell(report->MeanOsWarmFraction())
+               : warm_frac_cell(report->MeanWarmFraction()),
         report->shared_service.ToString() + "/" +
             report->private_service.ToString(),
         std::to_string(report->compile_hits) + "/" +
