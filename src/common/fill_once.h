@@ -1,14 +1,14 @@
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace dana {
 
@@ -40,7 +40,7 @@ class FillOnceMap {
     if (filled_here != nullptr) *filled_here = false;
     std::shared_ptr<Entry> entry;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (;;) {
         auto it = entries_.find(key);
         if (it == entries_.end()) {
@@ -53,7 +53,7 @@ class FillOnceMap {
         // A fill is in flight: block on the shared wait handle. The fill
         // outcome for THIS generation is delivered to us even if the map
         // entry has already been erased (failure) by the filler.
-        cv_.wait(lock, [&] { return entry->settled; });
+        while (!entry->settled) cv_.Wait(mu_);
         if (entry->value.has_value()) return &*entry->value;
         return entry->error;
       }
@@ -62,7 +62,7 @@ class FillOnceMap {
     if (filled_here != nullptr) *filled_here = true;
     Result<V> result = filler();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       entry->settled = true;
       if (result.ok()) {
         entry->value.emplace(std::move(result).ValueOrDie());
@@ -71,14 +71,14 @@ class FillOnceMap {
         entries_.erase(key);  // next requester retries
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     if (!result.ok()) return result.status();
     return &*entry->value;
   }
 
   /// The ready value for `key`, or null when absent or still filling.
   const V* Find(const K& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end() || !it->second->value.has_value()) return nullptr;
     return &*it->second->value;
@@ -86,7 +86,7 @@ class FillOnceMap {
 
   /// Number of ready entries (in-flight fills excluded).
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t n = 0;
     for (const auto& [k, e] : entries_) {
       if (e->value.has_value()) ++n;
@@ -97,20 +97,24 @@ class FillOnceMap {
   /// Drops every entry. Must not race with concurrent GetOrFill/Find or
   /// with readers of previously returned pointers.
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries_.clear();
   }
 
  private:
+  /// Per-key fill state. The fields are written only by the elected filler
+  /// under mu_ and read by waiters under mu_ (the settled handshake); once
+  /// `value` is engaged it is immutable, which is what lets GetOrFill hand
+  /// out stable pointers after the lock is dropped.
   struct Entry {
     std::optional<V> value;        // set iff the fill succeeded
     Status error = Status::OK();   // set iff the fill failed
     bool settled = false;          // fill finished (either way)
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<K, std::shared_ptr<Entry>> entries_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<K, std::shared_ptr<Entry>> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace dana

@@ -1,0 +1,765 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace dana::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer-lite tokenizer
+//
+// dana_lint deliberately does not parse C++: it strips comments, string and
+// character literals, and preprocessor directives, then works on the
+// remaining identifier / number / punctuation stream with a little brace and
+// parenthesis bookkeeping. That is enough to enforce the determinism
+// contracts below with file/line diagnostics, and it keeps the tool a single
+// dependency-free binary that lints the whole tree in milliseconds.
+// ---------------------------------------------------------------------------
+
+enum class TokKind : uint8_t { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // punctuation tokens are single characters
+  uint32_t line;
+};
+
+struct ScanResult {
+  std::vector<Token> tokens;
+  // line -> rule ids waived there via `// dana-lint: allow(rule[, rule...])`.
+  std::map<uint32_t, std::set<std::string>> suppressions;
+};
+
+void ParseSuppression(std::string_view comment, uint32_t line,
+                      ScanResult* out) {
+  size_t tag = comment.find("dana-lint:");
+  if (tag == std::string_view::npos) return;
+  size_t open = comment.find("allow(", tag);
+  if (open == std::string_view::npos) return;
+  size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(open + 6, close - open - 6);
+  std::string rule;
+  auto flush = [&] {
+    if (!rule.empty()) out->suppressions[line].insert(rule);
+    rule.clear();
+  };
+  for (char c : list) {
+    if (c == ',') {
+      flush();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      rule.push_back(c);
+    }
+  }
+  flush();
+}
+
+ScanResult Tokenize(std::string_view text) {
+  ScanResult out;
+  uint32_t line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto peek = [&](size_t off) -> char {
+    return i + off < n ? text[i + off] : '\0';
+  };
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment: capture content for suppression directives.
+    if (c == '/' && peek(1) == '/') {
+      size_t start = i + 2;
+      while (i < n && text[i] != '\n') ++i;
+      ParseSuppression(text.substr(start, i - start), line, &out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      size_t start = i + 2;
+      uint32_t start_line = line;
+      i += 2;
+      while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      ParseSuppression(text.substr(start, i - start), start_line, &out);
+      if (i < n) i += 2;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    // (Only meaningful at start of line, but a stray # elsewhere is not
+    // valid C++ anyway.)
+    if (c == '#') {
+      while (i < n) {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // String literal (incl. raw strings).
+    if (c == '"' || (c == 'R' && peek(1) == '"')) {
+      if (c == 'R') {
+        // R"delim( ... )delim"
+        i += 2;
+        std::string delim;
+        while (i < n && text[i] != '(') delim.push_back(text[i++]);
+        std::string close = ")" + delim + "\"";
+        size_t end = text.find(close, i);
+        if (end == std::string_view::npos) end = n;
+        for (size_t k = i; k < end && k < n; ++k) {
+          if (text[k] == '\n') ++line;
+        }
+        i = std::min(n, end + close.size());
+      } else {
+        ++i;
+        while (i < n && text[i] != '"') {
+          if (text[i] == '\\') ++i;
+          if (i < n && text[i] == '\n') ++line;
+          ++i;
+        }
+        if (i < n) ++i;
+      }
+      continue;
+    }
+    // Character literal. Distinguish from digit separators (1'000'000):
+    // a ' directly after an identifier/number character is a separator
+    // handled by the number lexer, so here ' always opens a char literal.
+    if (c == '\'') {
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {TokKind::kIdent, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    // Number (pp-number: digits, letters, dots, exponent signs, ').
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      while (i < n) {
+        char d = text[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '\'') {
+          ++i;
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i < n &&
+              (text[i] == '+' || text[i] == '-') &&
+              text.substr(start, 2) != "0x" && text.substr(start, 2) != "0X") {
+            ++i;
+          }
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+bool IsFloatLiteral(const std::string& num) {
+  if (num.size() > 1 && num[0] == '0' && (num[1] == 'x' || num[1] == 'X')) {
+    return false;
+  }
+  return num.find('.') != std::string::npos ||
+         num.find('e') != std::string::npos ||
+         num.find('E') != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& UnorderedTypeNames() {
+  static const std::set<std::string> kNames = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kNames;
+}
+
+// Index just past a balanced `<...>` starting at tokens[i] == "<"; i itself
+// if tokens[i] is not "<".
+size_t SkipTemplateArgs(const std::vector<Token>& toks, size_t i) {
+  if (i >= toks.size() || toks[i].text != "<") return i;
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "<") ++depth;
+    if (toks[i].text == ">" && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+// Index just past a balanced bracket group opening at tokens[i].
+size_t SkipBalanced(const std::vector<Token>& toks, size_t i, char open,
+                    char close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text[0] == open) ++depth;
+    if (toks[i].text[0] == close && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+bool IsPunct(const std::vector<Token>& toks, size_t i, char c) {
+  return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+         toks[i].text[0] == c;
+}
+
+bool IsIdent(const std::vector<Token>& toks, size_t i) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdent;
+}
+
+// Keywords that look like `name (...)` but never open a function definition.
+bool IsControlKeyword(const std::string& s) {
+  static const std::set<std::string> kKw = {
+      "if",       "for",     "while",         "switch",   "return",
+      "sizeof",   "catch",   "new",           "delete",   "throw",
+      "alignof",  "alignas", "decltype",      "noexcept", "constexpr",
+      "static_assert",       "static_cast",   "dynamic_cast",
+      "const_cast",          "reinterpret_cast"};
+  return kKw.count(s) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+// Function names whose bodies must iterate deterministically: everything
+// that renders a snapshot, report, or serialized artifact. Matching is by
+// name only — the whole point is that these outputs are diffed byte-for-byte
+// by the CI determinism gates, so iteration order inside them is part of the
+// observable contract.
+bool IsSnapshotFunction(const std::string& name) {
+  if (name == "ToJson" || name == "ToTable") return true;
+  for (const char* prefix :
+       {"Snapshot", "Serialize", "Dump", "Publish", "Write", "Report"}) {
+    if (StartsWith(name, prefix)) return true;
+  }
+  for (const char* suffix : {"Snapshot", "ToJson", "Report"}) {
+    if (EndsWith(name, suffix) && name != suffix) return true;
+  }
+  return false;
+}
+
+const std::set<std::string>& BannedRandomIdents() {
+  static const std::set<std::string> kIds = {
+      "rand",          "srand",          "drand48",
+      "lrand48",       "mrand48",        "random_shuffle",
+      "random_device", "default_random_engine"};
+  return kIds;
+}
+
+const std::set<std::string>& BannedClockIdents() {
+  static const std::set<std::string> kIds = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get",
+      "localtime",    "gmtime",       "mktime",
+      "strftime"};
+  return kIds;
+}
+
+// Identifier suffixes/names that smell like a wall-time or fractional value
+// being accumulated into a counter.
+bool IsFloatSmellingIdent(const std::string& s) {
+  for (const char* suffix : {"_s", "_sec", "_secs", "_seconds", "_ms",
+                             "_millis", "_us", "_frac", "_fraction", "_ratio"}) {
+    if (EndsWith(s, suffix)) return true;
+  }
+  return s == "seconds" || s == "millis" || s == "elapsed";
+}
+
+struct FunctionFrame {
+  std::string name;
+  int body_depth;  // brace depth inside the function body
+  bool snapshot;   // name matches IsSnapshotFunction
+};
+
+class FileLinter {
+ public:
+  FileLinter(std::string path, const ScanResult& scan,
+             std::set<std::string> unordered_names)
+      : path_(std::move(path)),
+        toks_(scan.tokens),
+        suppressions_(scan.suppressions),
+        unordered_(std::move(unordered_names)) {
+    exempt_random_ = EndsWith(path_, "common/random.h");
+    exempt_clock_ = path_.find("bench") != std::string::npos;
+    exempt_float_metric_ = path_.find("obs/") != std::string::npos;
+  }
+
+  std::vector<Finding> Run() {
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text[0] == '{') ++depth_;
+        if (t.text[0] == '}') {
+          while (!stack_.empty() && stack_.back().body_depth == depth_) {
+            stack_.pop_back();
+          }
+          --depth_;
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "for") {
+        CheckRangeFor(i);
+        continue;
+      }
+      MaybeEnterFunction(i);
+      CheckRandom(i);
+      CheckClock(i);
+      CheckFloatMetric(i);
+      CheckUnorderedBegin(i);
+    }
+    return std::move(findings_);
+  }
+
+ private:
+  bool InSnapshotFunction() const {
+    for (const auto& f : stack_) {
+      if (f.snapshot) return true;
+    }
+    return false;
+  }
+
+  void Report(const std::string& rule, uint32_t line, std::string message) {
+    for (uint32_t l : {line, line > 0 ? line - 1 : line}) {
+      auto it = suppressions_.find(l);
+      if (it != suppressions_.end() &&
+          (it->second.count(rule) || it->second.count("all"))) {
+        return;
+      }
+    }
+    findings_.push_back({path_, line, rule, std::move(message)});
+  }
+
+  // Detects `name(...) [qualifiers] {` / `name(...) : init-list {` and
+  // pushes a function frame so rules know which body they are in.
+  void MaybeEnterFunction(size_t i) {
+    const std::string& name = toks_[i].text;
+    if (IsControlKeyword(name)) return;
+    if (!IsPunct(toks_, i + 1, '(')) return;
+    size_t after = SkipBalanced(toks_, i + 1, '(', ')');
+    // Skip trailing qualifiers: const, noexcept(...), override, final,
+    // -> trailing return types (identifiers, ::, <...>, *, &).
+    size_t j = after;
+    while (j < toks_.size()) {
+      if (IsIdent(toks_, j)) {
+        const std::string& q = toks_[j].text;
+        if (q == "const" || q == "noexcept" || q == "override" ||
+            q == "final" || q == "mutable" || q == "try") {
+          ++j;
+          if (q == "noexcept" && IsPunct(toks_, j, '(')) {
+            j = SkipBalanced(toks_, j, '(', ')');
+          }
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(toks_, j, '-') && IsPunct(toks_, j + 1, '>')) {
+        // Trailing return type: consume type tokens up to `{` or `;`.
+        j += 2;
+        while (j < toks_.size() && !IsPunct(toks_, j, '{') &&
+               !IsPunct(toks_, j, ';') && !IsPunct(toks_, j, '=')) {
+          if (IsPunct(toks_, j, '<')) {
+            j = SkipTemplateArgs(toks_, j);
+          } else {
+            ++j;
+          }
+        }
+        continue;
+      }
+      break;
+    }
+    if (IsPunct(toks_, j, ':') && !IsPunct(toks_, j + 1, ':')) {
+      // Constructor initializer list: member (expr) or member {expr},
+      // comma-separated, then the body brace.
+      ++j;
+      while (j < toks_.size()) {
+        while (IsIdent(toks_, j) ||
+               (IsPunct(toks_, j, ':') && IsPunct(toks_, j + 1, ':'))) {
+          j = IsIdent(toks_, j) ? j + 1 : j + 2;
+          j = SkipTemplateArgs(toks_, j);
+        }
+        if (IsPunct(toks_, j, '(')) {
+          j = SkipBalanced(toks_, j, '(', ')');
+        } else if (IsPunct(toks_, j, '{')) {
+          j = SkipBalanced(toks_, j, '{', '}');
+        } else {
+          return;  // not an initializer list after all
+        }
+        if (IsPunct(toks_, j, ',')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+    }
+    if (!IsPunct(toks_, j, '{')) return;
+    stack_.push_back({name, depth_ + 1, IsSnapshotFunction(name)});
+  }
+
+  // Rule: unordered-snapshot — range-for over an unordered container inside
+  // a snapshot/report/serialization function.
+  void CheckRangeFor(size_t i) {
+    if (!IsPunct(toks_, i + 1, '(')) return;
+    size_t end = SkipBalanced(toks_, i + 1, '(', ')');
+    // Find the range-for ':' at paren depth 1 (skipping :: pairs).
+    size_t colon = 0;
+    int depth = 0;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (toks_[j].kind != TokKind::kPunct) continue;
+      char c = toks_[j].text[0];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ':' && depth == 1) {
+        if (IsPunct(toks_, j + 1, ':') || (j > 0 && IsPunct(toks_, j - 1, ':'))) {
+          continue;  // scope resolution
+        }
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0 || !InSnapshotFunction()) return;
+    // Range expression: tokens (colon, end-1). Flag when it is a plain
+    // member/variable chain ending in a known unordered container (calls
+    // are assumed to impose their own order, e.g. SortedKeys(map_)).
+    bool has_call = false;
+    std::string last_ident;
+    for (size_t j = colon + 1; j + 1 < end; ++j) {
+      if (IsPunct(toks_, j, '(')) has_call = true;
+      if (toks_[j].kind == TokKind::kIdent) last_ident = toks_[j].text;
+    }
+    if (!has_call && unordered_.count(last_ident)) {
+      Report("unordered-snapshot", toks_[i].line,
+             "range-for over unordered container '" + last_ident +
+                 "' in snapshot path '" + CurrentSnapshotName() +
+                 "'; iterate a sorted view instead");
+    }
+  }
+
+  // Rule: unordered-snapshot — explicit iterator walk (x.begin()) over an
+  // unordered container inside a snapshot function.
+  void CheckUnorderedBegin(size_t i) {
+    if (!InSnapshotFunction()) return;
+    if (!unordered_.count(toks_[i].text)) return;
+    size_t j = i + 1;
+    if (IsPunct(toks_, j, '.')) {
+      ++j;
+    } else if (IsPunct(toks_, j, '-') && IsPunct(toks_, j + 1, '>')) {
+      j += 2;
+    } else {
+      return;
+    }
+    if (IsIdent(toks_, j) &&
+        (toks_[j].text == "begin" || toks_[j].text == "cbegin") &&
+        IsPunct(toks_, j + 1, '(')) {
+      Report("unordered-snapshot", toks_[i].line,
+             "iterator walk over unordered container '" + toks_[i].text +
+                 "' in snapshot path '" + CurrentSnapshotName() + "'");
+    }
+  }
+
+  std::string CurrentSnapshotName() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->snapshot) return it->name;
+    }
+    return "?";
+  }
+
+  // Rule: unseeded-random — raw PRNG/entropy primitives outside the seeded
+  // dana::Rng home (common/random.h).
+  void CheckRandom(size_t i) {
+    if (exempt_random_) return;
+    if (!BannedRandomIdents().count(toks_[i].text)) return;
+    Report("unseeded-random", toks_[i].line,
+           "'" + toks_[i].text +
+               "' is nondeterministic; use the seeded dana::Rng from "
+               "common/random.h");
+  }
+
+  // Rule: wall-clock — wall/monotonic clock reads outside bench timers.
+  // Simulated time (SimTime) is the only clock the deterministic core may
+  // observe.
+  void CheckClock(size_t i) {
+    if (exempt_clock_) return;
+    const std::string& id = toks_[i].text;
+    bool banned = BannedClockIdents().count(id) > 0;
+    if (!banned && id == "time" && IsPunct(toks_, i + 1, '(')) {
+      // `time(...)` as a free/qualified call, not a declaration or member.
+      bool member = i > 0 && (IsPunct(toks_, i - 1, '.') ||
+                              (IsPunct(toks_, i - 1, '>') &&
+                               IsPunct(toks_, i - 2, '-')));
+      bool decl = i > 0 && IsIdent(toks_, i - 1);
+      banned = !member && !decl;
+    }
+    if (!banned) return;
+    Report("wall-clock", toks_[i].line,
+           "'" + id +
+               "' reads wall-clock time; deterministic code must use "
+               "simulated time (SimTime) or a bench-scoped timer");
+  }
+
+  // Rule: float-metric — floating-point accumulation into counters outside
+  // obs/. Counters feed the byte-diffed snapshots; float accumulation makes
+  // totals depend on arrival order. Histograms (Observe) and gauges are the
+  // sanctioned homes for float-valued measurements.
+  void CheckFloatMetric(size_t i) {
+    if (exempt_float_metric_) return;
+    const std::string& id = toks_[i].text;
+    if (id != "Count" && id != "Increment") return;
+    if (!IsPunct(toks_, i + 1, '(')) return;
+    size_t end = SkipBalanced(toks_, i + 1, '(', ')');
+    // Split top-level arguments.
+    std::vector<std::pair<size_t, size_t>> args;  // [begin, end) token ranges
+    int depth = 0;
+    size_t arg_begin = i + 2;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (toks_[j].kind != TokKind::kPunct) continue;
+      char c = toks_[j].text[0];
+      if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+      if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+      if ((c == ',' && depth == 1) || (c == ')' && depth == 0)) {
+        // Keep empty ranges: string literals are stripped by the tokenizer,
+        // so `Count("name", slot, x)`'s first argument has no tokens but
+        // still occupies position 0.
+        args.emplace_back(arg_begin, j);
+        arg_begin = j + 1;
+      }
+    }
+    size_t value_arg = id == "Count" ? 2 : 0;
+    if (value_arg >= args.size()) return;  // defaulted `by = 1.0` is fine
+    bool has_cast = false;
+    bool smells_float = false;
+    for (size_t j = args[value_arg].first; j < args[value_arg].second; ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == TokKind::kNumber && IsFloatLiteral(t.text)) {
+        smells_float = true;
+      }
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "static_cast") has_cast = true;
+        if (IsFloatSmellingIdent(t.text)) smells_float = true;
+        if (t.text == "double" || t.text == "float") {
+          // `static_cast<double>(integral)` is the sanctioned widening
+          // idiom; a bare double operand is not.
+          if (!has_cast) smells_float = true;
+        }
+      }
+    }
+    if (smells_float) {
+      Report("float-metric", toks_[i].line,
+             "floating-point accumulation into counter via '" + id +
+                 "' outside obs/; use Observe() on a histogram or an "
+                 "integral counter");
+    }
+  }
+
+  std::string path_;
+  const std::vector<Token>& toks_;
+  const std::map<uint32_t, std::set<std::string>>& suppressions_;
+  std::set<std::string> unordered_;
+  bool exempt_random_ = false;
+  bool exempt_clock_ = false;
+  bool exempt_float_metric_ = false;
+
+  int depth_ = 0;
+  std::vector<FunctionFrame> stack_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"unordered-snapshot",
+       "no iteration over std::unordered_{map,set} in snapshot/report/"
+       "serialization paths (byte-diffed outputs must not depend on hash "
+       "order)"},
+      {"unseeded-random",
+       "no rand()/std::random_device/etc outside common/random.h; all "
+       "randomness flows through the seeded dana::Rng"},
+      {"wall-clock",
+       "no system_clock/steady_clock/time() outside bench timers; the "
+       "deterministic core observes only simulated time"},
+      {"float-metric",
+       "no float/double accumulation into counters outside obs/ "
+       "(histograms own float-valued measurements)"},
+  };
+  return kRules;
+}
+
+std::vector<std::string> UnorderedNames(std::string_view text) {
+  ScanResult scan = Tokenize(text);
+  const auto& toks = scan.tokens;
+  std::set<std::string> alias_types;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    bool is_unordered_type = UnorderedTypeNames().count(toks[i].text) > 0 ||
+                             alias_types.count(toks[i].text) > 0;
+    if (!is_unordered_type) continue;
+    // `using Alias = std::unordered_map<...>;` registers the alias so later
+    // `Alias member_;` declarations are recognized too. Walk back over the
+    // `std::` qualifier to find the `using Alias =` introducer.
+    size_t k = i;
+    while (k > 0 && (IsPunct(toks, k - 1, ':') ||
+                     (IsIdent(toks, k - 1) && toks[k - 1].text == "std"))) {
+      --k;
+    }
+    if (k >= 3 && IsPunct(toks, k - 1, '=') && IsIdent(toks, k - 2) &&
+        IsIdent(toks, k - 3) && toks[k - 3].text == "using") {
+      alias_types.insert(toks[k - 2].text);
+    }
+    size_t j = SkipTemplateArgs(toks, i + 1);
+    while (IsPunct(toks, j, '*') || IsPunct(toks, j, '&') ||
+           (IsIdent(toks, j) && toks[j].text == "const")) {
+      ++j;
+    }
+    if (IsIdent(toks, j) && !IsControlKeyword(toks[j].text)) {
+      names.push_back(toks[j].text);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<Finding> LintSource(const std::string& path, std::string_view text,
+                                const std::vector<std::string>& extra_unordered) {
+  ScanResult scan = Tokenize(text);
+  std::set<std::string> unordered(extra_unordered.begin(),
+                                  extra_unordered.end());
+  for (const std::string& name : UnorderedNames(text)) unordered.insert(name);
+  FileLinter linter(path, scan, std::move(unordered));
+  return linter.Run();
+}
+
+TreeReport LintTree(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root);
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp") {
+        paths.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  // Pass 1: every unordered-container name declared anywhere in the tree,
+  // so a member declared in a header is recognized in the .cc that walks it.
+  std::vector<std::string> all_names;
+  std::map<std::string, std::string> contents;
+  for (const std::string& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents[p] = buf.str();
+    for (std::string& name : UnorderedNames(contents[p])) {
+      all_names.push_back(std::move(name));
+    }
+  }
+  std::sort(all_names.begin(), all_names.end());
+  all_names.erase(std::unique(all_names.begin(), all_names.end()),
+                  all_names.end());
+
+  // Pass 2: lint each file against the global name set.
+  TreeReport report;
+  report.files_scanned = paths.size();
+  for (const std::string& p : paths) {
+    std::vector<Finding> f = LintSource(p, contents[p], all_names);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(f.begin()),
+                           std::make_move_iterator(f.end()));
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return report;
+}
+
+obs::Json ReportJson(const TreeReport& report) {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("schema_version", 1);
+  doc.Set("tool", "dana_lint");
+  doc.Set("files_scanned", static_cast<uint64_t>(report.files_scanned));
+  doc.Set("total_findings", static_cast<uint64_t>(report.findings.size()));
+  obs::Json counts = obs::Json::Object();
+  for (const RuleInfo& rule : Rules()) {
+    uint64_t n = 0;
+    for (const Finding& f : report.findings) {
+      if (f.rule == rule.id) ++n;
+    }
+    counts.Set(rule.id, n);
+  }
+  doc.Set("rule_counts", std::move(counts));
+  obs::Json findings = obs::Json::Array();
+  for (const Finding& f : report.findings) {
+    obs::Json item = obs::Json::Object();
+    item.Set("file", f.file);
+    item.Set("line", static_cast<uint64_t>(f.line));
+    item.Set("rule", f.rule);
+    item.Set("message", f.message);
+    findings.Append(std::move(item));
+  }
+  doc.Set("findings", std::move(findings));
+  return doc;
+}
+
+}  // namespace dana::lint

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dana::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;     ///< path as given to the scanner
+  uint32_t line = 0;    ///< 1-based line of the offending token
+  std::string rule;     ///< rule id (see Rules())
+  std::string message;  ///< human-readable diagnostic
+};
+
+/// A lint rule's identity, for --list-rules and the JSON summary.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule dana_lint enforces, in fixed order. The ids are what the
+/// inline suppression names: `// dana-lint: allow(<id>)` on the offending
+/// line (or the line directly above it) waives that rule there.
+const std::vector<RuleInfo>& Rules();
+
+/// Names of variables/members declared with an unordered container type
+/// (`std::unordered_map` / `std::unordered_set`) in `text`. LintTree feeds
+/// the union across all scanned files back into each file's scan so a
+/// member declared in a header is recognized when a .cc iterates it.
+std::vector<std::string> UnorderedNames(std::string_view text);
+
+/// Lints one source text. `path` appears in findings and selects the
+/// per-file exemptions (e.g. common/random.h may reference the raw random
+/// primitives it replaces; src/obs/ owns float metric accumulation).
+/// `extra_unordered` supplements the file's own unordered-container
+/// declarations with names collected from the rest of the tree.
+std::vector<Finding> LintSource(
+    const std::string& path, std::string_view text,
+    const std::vector<std::string>& extra_unordered = {});
+
+/// A whole-tree scan: every .h/.cc/.cpp under each root, two passes
+/// (collect unordered-container names, then lint), findings sorted by
+/// (file, line, rule) for deterministic output.
+struct TreeReport {
+  std::vector<Finding> findings;
+  size_t files_scanned = 0;
+};
+TreeReport LintTree(const std::vector<std::string>& roots);
+
+/// Machine-readable summary: schema_version, files_scanned, per-rule
+/// counts, and the findings list — byte-identical across identical runs
+/// (obs::Json's deterministic formatting, name-ordered counts).
+obs::Json ReportJson(const TreeReport& report);
+
+}  // namespace dana::lint

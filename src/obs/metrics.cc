@@ -44,35 +44,35 @@ double Histogram::Percentile(double p) const {
 }
 
 Counter* MetricRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dana::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dana::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dana::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 void MetricRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  dana::MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 Json MetricRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dana::MutexLock lock(mu_);
   Json root = Json::Object();
   Json counters = Json::Object();
   for (const auto& [name, c] : counters_) counters.Set(name, c->value());
@@ -97,7 +97,7 @@ Json MetricRegistry::ToJson() const {
 }
 
 TablePrinter MetricRegistry::ToTable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dana::MutexLock lock(mu_);
   TablePrinter table({"metric", "type", "value", "p50", "p95", "p99"});
   for (const auto& [name, c] : counters_) {
     table.AddRow({name, "counter", Json::FormatNumber(c->value())});

@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace dana {
@@ -61,11 +62,11 @@ class Gauge {
 class Histogram {
  public:
   void Record(double v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    dana::MutexLock lock(mu_);
     samples_.push_back(v);
   }
   uint64_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dana::MutexLock lock(mu_);
     return samples_.size();
   }
   double Sum() const;
@@ -75,13 +76,13 @@ class Histogram {
   /// p in [0, 100]; NaN for an empty histogram (common/stats.h semantics).
   double Percentile(double p) const;
   std::vector<double> samples() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dana::MutexLock lock(mu_);
     return samples_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
+  mutable dana::Mutex mu_;
+  std::vector<double> samples_ GUARDED_BY(mu_);
 };
 
 /// Named registry the instrumented subsystems (Scheduler,
@@ -124,10 +125,11 @@ class MetricRegistry {
   TablePrinter ToTable() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable dana::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Null-safe helpers: the idiomatic publish call at an instrumentation

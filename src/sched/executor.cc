@@ -172,7 +172,7 @@ class DanaBatchExecution : public BatchExecution {
       const uint32_t sweeps = std::min<uint32_t>(n, 2);
       const double os_ratio = owner_->OsLedgerRatio();
       {
-        std::lock_guard<std::mutex> lock(owner_->state_mu_);
+        dana::MutexLock lock(owner_->state_mu_);
         for (uint32_t i = 0; i < sweeps; ++i) {
           owner_->residency_.OnRun(batch_.slot, batch_.workload_id,
                                    size_ratio_, os_ratio);
@@ -213,7 +213,7 @@ class DanaBatchExecution : public BatchExecution {
         last_left_ =
             storage::CacheResidencyModel::PostRunResidency(size_ratio_);
         if (os_ratio > 0.0) {
-          std::lock_guard<std::mutex> lock(owner_->state_mu_);
+          dana::MutexLock lock(owner_->state_mu_);
           last_os_left_ = owner_->residency_.OsResidentFraction(
               batch_.slot, batch_.workload_id);
         }
@@ -256,7 +256,7 @@ class DanaBatchExecution : public BatchExecution {
       os_warm =
           owner_->PhysicalOsWarmFraction(batch_.workload_id, slot, warm);
     } else {
-      std::lock_guard<std::mutex> lock(owner_->state_mu_);
+      dana::MutexLock lock(owner_->state_mu_);
       warm = owner_->residency_.ResidentFraction(slot, batch_.workload_id);
       if (owner_->OsLedgerRatio() > 0.0) {
         os_warm =
@@ -376,7 +376,7 @@ DanaQueryExecutor::DanaQueryExecutor(Options options)
 
 Result<runtime::WorkloadInstance*> DanaQueryExecutor::Instance(
     const std::string& id) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  dana::MutexLock lock(state_mu_);
   return InstanceLocked(id);
 }
 
@@ -393,7 +393,7 @@ Result<runtime::WorkloadInstance*> DanaQueryExecutor::InstanceLocked(
 
 Result<const ml::Workload*> DanaQueryExecutor::RegistryWorkload(
     const std::string& id) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  dana::MutexLock lock(state_mu_);
   return RegistryWorkloadLocked(id);
 }
 
@@ -422,7 +422,7 @@ DanaQueryExecutor::MeasureEndpoint(const QueryBatch& batch,
     // Serialize the actual simulator runs across *different* keys too:
     // WorkloadInstance execution contexts grow per-slot pools lazily and
     // DanaSystem::RunCompiled is not re-entrant. Once-per-key, memoized.
-    std::lock_guard<std::mutex> lock(measure_mu_);
+    dana::MutexLock lock(measure_mu_);
     DANA_ASSIGN_OR_RETURN(runtime::WorkloadInstance * instance,
                           Instance(batch.workload_id));
     DANA_ASSIGN_OR_RETURN(
@@ -550,7 +550,7 @@ Result<std::unique_ptr<BatchExecution>> DanaQueryExecutor::Begin(
     warm = PhysicalWarmFraction(batch.workload_id, batch.slot);
     os_warm = PhysicalOsWarmFraction(batch.workload_id, batch.slot, warm);
   } else {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    dana::MutexLock lock(state_mu_);
     warm = residency_.ResidentFraction(batch.slot, batch.workload_id);
     if (OsLedgerRatio() > 0.0) {
       os_warm = residency_.OsResidentFraction(batch.slot, batch.workload_id);
@@ -605,7 +605,7 @@ double DanaQueryExecutor::WarmFraction(const std::string& workload_id,
     return std::min(
         1.0, w + 0.5 * PhysicalOsWarmFraction(workload_id, slot, w));
   }
-  std::lock_guard<std::mutex> lock(state_mu_);
+  dana::MutexLock lock(state_mu_);
   const double w = residency_.ResidentFraction(slot, workload_id);
   if (OsLedgerRatio() <= 0.0) return w;
   return std::min(

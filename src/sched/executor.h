@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <unordered_map>
@@ -11,8 +10,10 @@
 #include <vector>
 
 #include "common/fill_once.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "runtime/systems.h"
 #include "sched/compile_cache.h"
@@ -369,7 +370,7 @@ class DanaQueryExecutor : public QueryExecutor {
   /// wins.
   double PredictedWarmFraction(const std::string& workload_id, uint32_t slot)
       const {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    dana::MutexLock lock(state_mu_);
     return residency_.ResidentFraction(slot, workload_id);
   }
   /// Slot `slot`'s shared physical residency pool (created on demand).
@@ -385,7 +386,7 @@ class DanaQueryExecutor : public QueryExecutor {
   /// configurations so every run starts from the same cold machine.
   void ResetResidency() {
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      dana::MutexLock lock(state_mu_);
       residency_.Reset();
     }
     slot_pools_.ClearAll();
@@ -406,14 +407,16 @@ class DanaQueryExecutor : public QueryExecutor {
  private:
   friend class DanaBatchExecution;
 
-  dana::Result<runtime::WorkloadInstance*> Instance(const std::string& id);
+  dana::Result<runtime::WorkloadInstance*> Instance(const std::string& id)
+      EXCLUDES(state_mu_);
   dana::Result<runtime::WorkloadInstance*> InstanceLocked(
-      const std::string& id);
+      const std::string& id) REQUIRES(state_mu_);
   /// `id`'s registry entry, memoized (ml::FindWorkload is a linear scan);
   /// NotFound for unknown workloads.
-  dana::Result<const ml::Workload*> RegistryWorkload(const std::string& id);
+  dana::Result<const ml::Workload*> RegistryWorkload(const std::string& id)
+      EXCLUDES(state_mu_);
   dana::Result<const ml::Workload*> RegistryWorkloadLocked(
-      const std::string& id);
+      const std::string& id) REQUIRES(state_mu_);
   /// Measured residency of `id` on `slot`'s shared pool: the table's
   /// resident frames over its normalized footprint. 0 when the workload is
   /// unknown (the later Begin/Estimate reports the error properly).
@@ -450,12 +453,15 @@ class DanaQueryExecutor : public QueryExecutor {
   CompileCache compile_cache_;
   /// Logical per-slot ledger: the predictor the physical pools are
   /// cross-checked against (and the pricing source in legacy mode).
-  storage::CacheResidencyModel residency_;
+  /// The unlocked residency() accessor only binds a reference for post-run
+  /// single-threaded readers; every dereference happens under state_mu_.
+  storage::CacheResidencyModel residency_ GUARDED_BY(state_mu_);
   /// One shared physical pool per slot, sized in `Options::pool_frames`
   /// scale-normalized frames: every workload's sweep passes through its
   /// slot's pool, so cross-table eviction is measured, not modeled.
   storage::BufferPoolGroup slot_pools_;
-  std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_;
+  std::map<std::string, std::unique_ptr<runtime::WorkloadInstance>> instances_
+      GUARDED_BY(state_mu_);
   /// Measured epoch profiles, keyed by (workload, batch size, cache
   /// endpoint). The cold table-load path: measuring an endpoint actually
   /// runs the cycle-level simulator, so concurrent slot workers asking for
@@ -467,17 +473,20 @@ class DanaQueryExecutor : public QueryExecutor {
   /// with string compares, and Estimate/EstimateAtWarmth run once per
   /// queued candidate per dispatch under affinity SJF. Values are pointers
   /// into the static registry, valid for the process lifetime.
-  std::unordered_map<std::string, const ml::Workload*> workload_cache_;
+  std::unordered_map<std::string, const ml::Workload*> workload_cache_
+      GUARDED_BY(state_mu_);
   /// Guards the executor's cross-slot mutable state: instances_,
   /// workload_cache_, and the logical residency_ ledger. Per-slot pool
   /// state needs no lock — slot i's pool is touched only by slot i's
   /// worker (BufferPoolGroup's contract).
-  mutable std::mutex state_mu_;
+  mutable dana::Mutex state_mu_;
   /// Serializes actual simulator measurement runs (MeasureEndpoint fills):
   /// WorkloadInstance execution contexts grow per-slot pools on demand and
   /// DanaSystem::RunCompiled is not re-entrant. Fills are once-per-key and
   /// memoized, so the serialization never sits on a steady-state path.
-  std::mutex measure_mu_;
+  /// Ordered before state_mu_ (the filler takes state_mu_ through
+  /// Instance); no path nests them the other way.
+  dana::Mutex measure_mu_ ACQUIRED_BEFORE(state_mu_);
 };
 
 }  // namespace dana::sched

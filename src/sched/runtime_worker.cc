@@ -18,10 +18,10 @@ SlotWorkerPool::SlotWorkerPool(uint32_t slots) {
 SlotWorkerPool::~SlotWorkerPool() {
   for (auto& w : workers_) {
     {
-      std::lock_guard<std::mutex> lock(w->mu);
+      dana::MutexLock lock(w->mu);
       w->stop = true;
     }
-    w->cv.notify_all();
+    w->cv.NotifyAll();
   }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
@@ -31,18 +31,20 @@ SlotWorkerPool::~SlotWorkerPool() {
 void SlotWorkerPool::Post(uint32_t slot, std::function<void()> fn) {
   Worker* w = workers_[slot % workers_.size()].get();
   {
-    std::lock_guard<std::mutex> lock(w->mu);
+    dana::MutexLock lock(w->mu);
     w->queue.push_back(std::move(fn));
   }
-  w->cv.notify_all();
+  w->cv.NotifyAll();
 }
 
 void SlotWorkerPool::RunWorker(Worker* w) {
   for (;;) {
     std::function<void()> item;
     {
-      std::unique_lock<std::mutex> lock(w->mu);
-      w->cv.wait(lock, [&] { return w->stop || !w->queue.empty(); });
+      dana::MutexLock lock(w->mu);
+      // Explicit predicate loop so the guarded reads stay inside this
+      // REQUIRES-checked scope (a wait-predicate lambda would not be).
+      while (!w->stop && w->queue.empty()) w->cv.Wait(w->mu);
       if (w->queue.empty()) return;  // stop requested and queue drained
       item = std::move(w->queue.front());
       w->queue.pop_front();

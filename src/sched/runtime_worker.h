@@ -1,17 +1,17 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "sched/executor.h"
 
 namespace dana::sched {
@@ -41,10 +41,10 @@ class SlotWorkerPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
-    bool stop = false;
+    dana::Mutex mu;
+    dana::CondVar cv;
+    std::deque<std::function<void()>> queue GUARDED_BY(mu);
+    bool stop GUARDED_BY(mu) = false;
     std::thread thread;
   };
 
@@ -62,25 +62,25 @@ class WaitCell {
  public:
   void Set(T value) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      dana::MutexLock lock(mu_);
       value_.emplace(std::move(value));
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// Blocks until Set, then returns the value (moved out; call once).
   T Take() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return value_.has_value(); });
+    dana::MutexLock lock(mu_);
+    while (!value_.has_value()) cv_.Wait(mu_);
     T out = std::move(*value_);
     value_.reset();
     return out;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::optional<T> value_;
+  dana::Mutex mu_;
+  dana::CondVar cv_;
+  std::optional<T> value_ GUARDED_BY(mu_);
 };
 
 /// Runs `fn` on `slot`'s worker thread and blocks for its value.

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -10,9 +9,11 @@
 #include <vector>
 
 #include "common/intern.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/eviction_policy.h"
@@ -357,14 +358,14 @@ class BufferPoolGroup {
   void Resize(size_t n);
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(grow_mu_);
+    dana::MutexLock lock(grow_mu_);
     return pools_.size();
   }
 
   /// Pool of slot `i`; grows the group when `i` is past the end.
   BufferPool* pool(size_t i);
   const BufferPool* pool(size_t i) const {
-    std::lock_guard<std::mutex> lock(grow_mu_);
+    dana::MutexLock lock(grow_mu_);
     return pools_.at(i).get();
   }
 
@@ -388,7 +389,9 @@ class BufferPoolGroup {
                  const std::string& prefix = "pool") const;
 
  private:
-  void ResizeLocked(size_t n);
+  void ResizeLocked(size_t n) REQUIRES(grow_mu_);
+  BufferPoolStats RollupLocked() const REQUIRES(grow_mu_);
+  uint64_t TotalResidentFramesLocked() const REQUIRES(grow_mu_);
 
   uint64_t capacity_bytes_;
   uint32_t page_size_;
@@ -397,8 +400,8 @@ class BufferPoolGroup {
   EvictionKind eviction_;
   uint64_t ssd_cache_bytes_;
   /// Guards the pools_ vector (growth + indexing), not the pools' state.
-  mutable std::mutex grow_mu_;
-  std::vector<std::unique_ptr<BufferPool>> pools_;
+  mutable dana::Mutex grow_mu_;
+  std::vector<std::unique_ptr<BufferPool>> pools_ GUARDED_BY(grow_mu_);
 };
 
 }  // namespace dana::storage

@@ -1,0 +1,43 @@
+// dana_lint fixture: near-misses that must all stay clean.
+//
+//  - ordered (std::map) iteration inside a snapshot path;
+//  - an unordered container routed through a sorting view (the call is
+//    assumed to impose its own order);
+//  - unordered iteration outside any snapshot/report function;
+//  - banned identifiers appearing only in comments and string literals.
+//
+// This file is scanned by lint_test, never compiled.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Mentions of rand(), std::random_device and system_clock in prose — and
+// in the string below — are inert.
+static const char* kDoc = "never call rand() or time(nullptr) here";
+
+struct Snapshotter {
+  std::string ToJson() const {
+    std::string out;
+    for (const auto& kv : ordered_) {  // std::map: deterministic, fine
+      out += kv.first;
+    }
+    for (const auto& name : SortedKeys(cache_)) {  // sorted view: fine
+      out += name;
+    }
+    return out;
+  }
+
+  void Insert(const std::string& k, int v) {
+    cache_[k] = v;
+    for (const auto& kv : cache_) {  // not a snapshot path: fine
+      (void)kv;
+    }
+  }
+
+  std::vector<std::string> SortedKeys(
+      const std::unordered_map<std::string, int>& m) const;
+
+  std::map<std::string, int> ordered_;
+  std::unordered_map<std::string, int> cache_;
+};

@@ -1,0 +1,13 @@
+// dana_lint fixture: trips `float-metric` exactly once.
+//
+// Counters feed the byte-diffed metric snapshots; accumulating floats
+// into them makes totals depend on arrival order. Float-valued
+// measurements belong in histograms (Observe) — and obs/ itself owns the
+// accumulation plumbing.
+//
+// This file is scanned by lint_test, never compiled.
+struct Metrics;
+
+void RecordWait(Metrics& m, int slot, double wait_s) {
+  m.Count("sched.wait_total", slot, wait_s);  // <- float-metric fires here
+}

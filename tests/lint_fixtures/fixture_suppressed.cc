@@ -1,0 +1,18 @@
+// dana_lint fixture: real violations, each waived with an inline
+// suppression — the file must scan clean, and lint_test strips the
+// waivers to confirm both findings come back (the round-trip).
+//
+// This file is scanned by lint_test, never compiled.
+#include <cstdlib>
+#include <unordered_set>
+
+struct DebugDump {
+  int Dump() const {
+    int n = 0;
+    // dana-lint: allow(unordered-snapshot)
+    for (int v : live_) n += v;
+    n += rand();  // dana-lint: allow(unseeded-random)
+    return n;
+  }
+  std::unordered_set<int> live_;
+};

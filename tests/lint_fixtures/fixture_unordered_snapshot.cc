@@ -1,0 +1,20 @@
+// dana_lint fixture: trips `unordered-snapshot` exactly once.
+//
+// Iterating a std::unordered_map inside a serialization path makes the
+// emitted bytes depend on hash order / libstdc++ version; the CI
+// determinism gate diffs these outputs byte-for-byte.
+//
+// This file is scanned by lint_test, never compiled.
+#include <string>
+#include <unordered_map>
+
+struct Catalog {
+  std::string ToJson() const {
+    std::string out;
+    for (const auto& kv : entries_) {  // <- unordered-snapshot fires here
+      out += kv.first;
+    }
+    return out;
+  }
+  std::unordered_map<std::string, int> entries_;
+};

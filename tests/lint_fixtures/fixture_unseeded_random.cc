@@ -1,0 +1,11 @@
+// dana_lint fixture: trips `unseeded-random` exactly once.
+//
+// Raw PRNG/entropy primitives bypass the seeded dana::Rng and make runs
+// irreproducible; only common/random.h may reference them.
+//
+// This file is scanned by lint_test, never compiled.
+#include <cstdlib>
+
+int NoisyPick(int n) {
+  return rand() % n;  // <- unseeded-random fires here
+}

@@ -1,0 +1,14 @@
+// dana_lint fixture: trips `wall-clock` exactly once.
+//
+// The deterministic core observes only simulated time (SimTime); host
+// clock reads leak real-time jitter into scheduling decisions. Bench
+// timers (bench/) are the sanctioned exception.
+//
+// This file is scanned by lint_test, never compiled.
+#include <chrono>
+
+long NowNanos() {
+  return std::chrono::system_clock::now()  // <- wall-clock fires here
+      .time_since_epoch()
+      .count();
+}

@@ -1,0 +1,212 @@
+// Tests for dana_lint (src/lint): the tokenizer's comment/string/raw-string
+// stripping, each rule firing exactly once on its fixture, the clean and
+// suppressed fixtures, the suppression round-trip, per-file exemptions, the
+// whole-tree scan, the deterministic JSON summary — and the gate that the
+// production tree itself lints clean.
+#include "lint/lint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dana::lint::Finding;
+using dana::lint::LintSource;
+using dana::lint::LintTree;
+using dana::lint::ReportJson;
+using dana::lint::Rules;
+using dana::lint::TreeReport;
+using dana::lint::UnorderedNames;
+
+std::string FixtureDir() { return DANA_LINT_FIXTURE_DIR; }
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixtureDir() + "/" + name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(DanaLintRules, FourRulesWithStableIds) {
+  const auto& rules = Rules();
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_STREQ(rules[0].id, "unordered-snapshot");
+  EXPECT_STREQ(rules[1].id, "unseeded-random");
+  EXPECT_STREQ(rules[2].id, "wall-clock");
+  EXPECT_STREQ(rules[3].id, "float-metric");
+}
+
+TEST(DanaLintRules, EachRuleFiresExactlyOnceOnItsFixture) {
+  struct Case {
+    const char* file;
+    const char* rule;
+  };
+  const Case cases[] = {
+      {"fixture_unordered_snapshot.cc", "unordered-snapshot"},
+      {"fixture_unseeded_random.cc", "unseeded-random"},
+      {"fixture_wall_clock.cc", "wall-clock"},
+      {"fixture_float_metric.cc", "float-metric"},
+  };
+  for (const Case& c : cases) {
+    std::vector<Finding> findings = LintSource(c.file, ReadFixture(c.file));
+    ASSERT_EQ(findings.size(), 1u) << c.file;
+    EXPECT_EQ(findings[0].rule, c.rule) << c.file;
+    EXPECT_EQ(findings[0].file, c.file);
+    EXPECT_GT(findings[0].line, 0u);
+    EXPECT_FALSE(findings[0].message.empty());
+  }
+}
+
+TEST(DanaLintRules, CleanFixtureHasNoFindings) {
+  std::vector<Finding> findings =
+      LintSource("fixture_clean.cc", ReadFixture("fixture_clean.cc"));
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(DanaLintSuppression, RoundTrip) {
+  std::string text = ReadFixture("fixture_suppressed.cc");
+  EXPECT_TRUE(LintSource("fixture_suppressed.cc", text).empty())
+      << "inline waivers must silence the findings";
+  // Strip the waivers; the same code must now fire both rules, in token
+  // order.
+  std::string stripped = text;
+  size_t pos = 0;
+  while ((pos = stripped.find("dana-lint:", pos)) != std::string::npos) {
+    stripped.replace(pos, 10, "disabled--");
+  }
+  std::vector<Finding> findings = LintSource("fixture_suppressed.cc", stripped);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "unordered-snapshot");
+  EXPECT_EQ(findings[1].rule, "unseeded-random");
+}
+
+TEST(DanaLintTokenizer, CommentsStringsAndRawStringsAreInert) {
+  const char* text = R"src(
+// rand() and std::chrono::system_clock in a line comment.
+/* std::random_device inside a block comment */
+const char* kDoc = "call rand() then time(nullptr)";
+const char* kRaw = R"x(for (auto& kv : some_unordered_) {})x";
+)src";
+  EXPECT_TRUE(LintSource("inert.cc", text).empty());
+}
+
+TEST(DanaLintExemptions, PrimitiveHomesMayUseTheirPrimitives) {
+  const char* rng = "int Reseed() { return std::random_device{}(); }";
+  EXPECT_EQ(LintSource("src/sched/x.cc", rng).size(), 1u);
+  EXPECT_TRUE(LintSource("src/common/random.h", rng).empty());
+
+  const char* timer =
+      "long Tick() {"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();"
+      "}";
+  EXPECT_EQ(LintSource("src/sched/x.cc", timer).size(), 1u);
+  EXPECT_TRUE(LintSource("bench/bench_harness.cc", timer).empty());
+}
+
+TEST(DanaLintFloatMetric, LiteralSuffixAndBareDoubleAreCaught) {
+  const char* bad =
+      "void F(M* m, double wait_s, double raw) {"
+      "  m->Count(\"sched.wait\", 0, wait_s);"  // _s suffix
+      "  m->Count(\"sched.frac\", 0, 0.5);"     // float literal
+      "}";
+  EXPECT_EQ(LintSource("src/sched/x.cc", bad).size(), 2u);
+
+  const char* ok =
+      "void F(M* m, uint64_t frames) {"
+      "  m->Count(\"pool.frames\", 0, static_cast<double>(frames));"
+      "  m->Count(\"pool.hits\", 0);"
+      "  m->Observe(\"pool.warm_frac\", 0, 0.5);"
+      "}";
+  EXPECT_TRUE(LintSource("src/sched/x.cc", ok).empty());
+
+  // obs/ owns the accumulation plumbing and is exempt wholesale.
+  EXPECT_TRUE(LintSource("src/obs/metrics.cc", bad).empty());
+}
+
+TEST(DanaLintUnordered, DeclarationHarvestIncludesAliases) {
+  const char* text =
+      "using SlotMap = std::unordered_map<int, int>;"
+      "struct S {"
+      "  SlotMap by_slot_;"
+      "  std::unordered_set<std::string> names_;"
+      "  std::map<int, int> ordered_;"
+      "};";
+  std::vector<std::string> names = UnorderedNames(text);
+  ASSERT_EQ(names.size(), 2u);  // sorted, deduped
+  EXPECT_EQ(names[0], "by_slot_");
+  EXPECT_EQ(names[1], "names_");
+}
+
+TEST(DanaLintUnordered, CrossFileNamesReachTheIteratingFile) {
+  // Member declared in a "header", iterated in a "source" — the tree scan
+  // feeds the harvested names into every file's scan.
+  const char* source =
+      "std::string Registry::SnapshotNames() {"
+      "  std::string out;"
+      "  for (const auto& kv : by_name_) { out += kv.first; }"
+      "  return out;"
+      "}";
+  EXPECT_TRUE(LintSource("src/x.cc", source).empty())
+      << "without the header's declaration the name is unknown";
+  std::vector<Finding> findings =
+      LintSource("src/x.cc", source, {"by_name_"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-snapshot");
+}
+
+TEST(DanaLintTree, FixtureTreeScansDeterministically) {
+  TreeReport report = LintTree({FixtureDir()});
+  EXPECT_EQ(report.files_scanned, 6u);
+  ASSERT_EQ(report.findings.size(), 4u);
+  // Sorted by (file, line, rule): fixture file names happen to sort in
+  // rule-alphabetical order too, so just assert each rule appears once.
+  for (const auto& rule : Rules()) {
+    size_t n = 0;
+    for (const Finding& f : report.findings) {
+      if (f.rule == rule.id) ++n;
+    }
+    EXPECT_EQ(n, 1u) << rule.id;
+  }
+
+  dana::obs::Json doc = ReportJson(report);
+  ASSERT_NE(doc.Find("schema_version"), nullptr);
+  EXPECT_EQ(doc.Find("schema_version")->AsNumber(), 1);
+  EXPECT_EQ(doc.Find("files_scanned")->AsNumber(), 6);
+  EXPECT_EQ(doc.Find("total_findings")->AsNumber(), 4);
+  const dana::obs::Json* counts = doc.Find("rule_counts");
+  ASSERT_NE(counts, nullptr);
+  for (const auto& rule : Rules()) {
+    ASSERT_NE(counts->Find(rule.id), nullptr) << rule.id;
+    EXPECT_EQ(counts->Find(rule.id)->AsNumber(), 1) << rule.id;
+  }
+  EXPECT_EQ(doc.Find("findings")->size(), 4u);
+
+  // Byte-identical across runs: the whole summary re-serializes equal.
+  EXPECT_EQ(doc.Dump(2), ReportJson(LintTree({FixtureDir()})).Dump(2));
+}
+
+// The gate the CI job re-runs via `ctest -L lint` / the dana_lint binary:
+// the production tree is clean today, and stays that way.
+TEST(DanaLintTree, ProductionSrcTreeIsClean) {
+  namespace fs = std::filesystem;
+  fs::path src =
+      fs::path(FixtureDir()).parent_path().parent_path() / "src";
+  ASSERT_TRUE(fs::is_directory(src));
+  TreeReport report = LintTree({src.string()});
+  EXPECT_GT(report.files_scanned, 20u);
+  for (const Finding& f : report.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace

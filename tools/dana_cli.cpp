@@ -32,12 +32,12 @@
 #include <string>
 #include <vector>
 
+#include "common/table_printer.h"
 #include "compiler/report.h"
 #include "compiler/serialization.h"
 #include "ml/algorithms.h"
 #include "ml/datasets.h"
 #include "ml/workloads.h"
-#include "common/table_printer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/systems.h"
